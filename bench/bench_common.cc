@@ -1,0 +1,99 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace missl::bench {
+
+bool FastMode() {
+  const char* v = std::getenv("MISSL_BENCH_FAST");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+baselines::ZooConfig DefaultZoo() {
+  baselines::ZooConfig zc;
+  zc.dim = 32;
+  zc.max_len = 30;
+  zc.num_interests = 3;
+  zc.seed = 17;
+  return zc;
+}
+
+train::TrainConfig DefaultTrain() {
+  train::TrainConfig tc;
+  tc.max_epochs = FastMode() ? 3 : 10;
+  tc.patience = 3;
+  tc.batch_size = 128;
+  tc.max_len = 30;
+  tc.lr = 1e-3f;
+  tc.seed = 1;
+  return tc;
+}
+
+namespace {
+void ScaleForBench(data::SyntheticConfig* cfg, double scale) {
+  cfg->num_users = static_cast<int32_t>(cfg->num_users * scale);
+  cfg->num_items = static_cast<int32_t>(cfg->num_items * scale);
+  if (FastMode()) {
+    cfg->num_users /= 4;
+    cfg->num_items /= 2;
+  }
+}
+}  // namespace
+
+data::SyntheticConfig BenchTaobao() {
+  data::SyntheticConfig cfg = data::TaobaoSimConfig();
+  ScaleForBench(&cfg, 0.6);
+  return cfg;
+}
+
+data::SyntheticConfig BenchTmall() {
+  data::SyntheticConfig cfg = data::TmallSimConfig();
+  ScaleForBench(&cfg, 0.6);
+  return cfg;
+}
+
+data::SyntheticConfig BenchYelp() {
+  data::SyntheticConfig cfg = data::YelpSimConfig();
+  ScaleForBench(&cfg, 0.6);
+  return cfg;
+}
+
+data::SyntheticConfig SweepData() {
+  data::SyntheticConfig cfg = data::TaobaoSimConfig();
+  ScaleForBench(&cfg, 0.45);
+  return cfg;
+}
+
+Workbench::Workbench(const data::SyntheticConfig& cfg, int64_t len)
+    : ds(data::GenerateSynthetic(cfg)),
+      split(ds),
+      evaluator(ds, split,
+                [len] {
+                  eval::EvalConfig ec;
+                  ec.max_len = len;
+                  return ec;
+                }()),
+      max_len(len) {}
+
+train::TrainResult Workbench::TrainModel(const std::string& name,
+                                         const baselines::ZooConfig& zoo,
+                                         const train::TrainConfig& tc) {
+  auto model =
+      baselines::CreateModel(name, ds, zoo);
+  return Train(model.get(), tc);
+}
+
+train::TrainResult Workbench::Train(core::SeqRecModel* model,
+                                    const train::TrainConfig& tc) {
+  return train::Fit(model, ds, split, evaluator, tc);
+}
+
+void PrintHeader(const std::string& id, const std::string& title) {
+  std::printf("\n=== %s: %s ===\n", id.c_str(), title.c_str());
+  std::printf("(synthetic latent-interest data substitutes the paper's "
+              "datasets; see DESIGN.md)\n");
+  if (FastMode()) std::printf("[MISSL_BENCH_FAST=1: reduced scale]\n");
+}
+
+}  // namespace missl::bench

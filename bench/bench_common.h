@@ -1,0 +1,61 @@
+// Shared harness code for the experiment benches (T1-T3, F1-F8). Each bench
+// binary regenerates one table/figure of the reproduced evaluation; see
+// DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured
+// notes.
+#ifndef MISSL_BENCH_BENCH_COMMON_H_
+#define MISSL_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/zoo.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "train/trainer.h"
+#include "utils/table.h"
+
+namespace missl::bench {
+
+/// Shared experiment scale. The full suite is sized to finish on one CPU
+/// core; set MISSL_BENCH_FAST=1 to shrink every dataset/epoch budget ~4x for
+/// smoke runs.
+bool FastMode();
+
+/// Default model budget used across all experiments (dim 32, max_len 30).
+baselines::ZooConfig DefaultZoo();
+
+/// Default training budget (epochs/patience scaled down in fast mode).
+train::TrainConfig DefaultTrain();
+
+/// Bench-scaled dataset presets (smaller than the library presets so the
+/// whole suite completes in minutes).
+data::SyntheticConfig BenchTaobao();
+data::SyntheticConfig BenchTmall();
+data::SyntheticConfig BenchYelp();
+/// Small TaobaoSim used by the hyper-parameter sweep figures.
+data::SyntheticConfig SweepData();
+
+/// Dataset + split + evaluator bundle reused across models of one table.
+struct Workbench {
+  Workbench(const data::SyntheticConfig& cfg, int64_t max_len);
+
+  data::Dataset ds;
+  data::SplitView split;
+  eval::Evaluator evaluator;
+  int64_t max_len;
+
+  /// Trains a zoo model by name and returns its result.
+  train::TrainResult TrainModel(const std::string& name,
+                                const baselines::ZooConfig& zoo,
+                                const train::TrainConfig& tc);
+  /// Trains a caller-constructed model.
+  train::TrainResult Train(core::SeqRecModel* model,
+                           const train::TrainConfig& tc);
+};
+
+/// Prints the standard bench header with experiment id and substitutions.
+void PrintHeader(const std::string& id, const std::string& title);
+
+}  // namespace missl::bench
+
+#endif  // MISSL_BENCH_BENCH_COMMON_H_

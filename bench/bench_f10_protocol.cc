@@ -1,0 +1,46 @@
+// F10 — Evaluation-protocol study: the same trained models scored under
+// (a) 1+99 uniform negatives (the paper family's default), (b) 1+99
+// popularity-weighted negatives (harder), (c) full-catalog ranking with
+// seen-item exclusion (hardest, unbiased). Reproduces the well-known metric
+// inflation of sampled protocols and checks the model ordering is stable.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace missl;
+  bench::PrintHeader("F10", "evaluation protocol comparison (HR@10)");
+
+  data::SyntheticConfig cfg = bench::SweepData();
+  data::Dataset ds = data::GenerateSynthetic(cfg);
+  data::SplitView split(ds);
+  int64_t max_len = bench::DefaultZoo().max_len;
+
+  auto make_eval = [&](eval::CandidateMode mode) {
+    eval::EvalConfig ec;
+    ec.max_len = max_len;
+    ec.mode = mode;
+    return eval::Evaluator(ds, split, ec);
+  };
+  eval::Evaluator uniform = make_eval(eval::CandidateMode::kUniformNegatives);
+  eval::Evaluator popular = make_eval(eval::CandidateMode::kPopularityNegatives);
+  eval::Evaluator full = make_eval(eval::CandidateMode::kFullRanking);
+
+  train::TrainConfig tc = bench::DefaultTrain();
+  const char* models[] = {"SASRec", "MBHT", "MISSL"};
+  Table table({"Model", "uniform-99", "popularity-99", "full ranking"});
+  for (const char* name : models) {
+    auto model = baselines::CreateModel(name, ds, bench::DefaultZoo());
+    // Train once against the uniform evaluator, then score under all three.
+    train::Fit(model.get(), ds, split, uniform, tc);
+    double u = uniform.Evaluate(model.get(), true).hr10;
+    double p = popular.Evaluate(model.get(), true).hr10;
+    double f = full.Evaluate(model.get(), true).hr10;
+    table.Row().Cell(name).Num(u).Num(p).Num(f);
+    std::fflush(stdout);
+  }
+  table.Print();
+  std::printf("Expected shape: uniform-99 > popularity-99 > full ranking in "
+              "absolute value, with the model ordering preserved.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// F5 — Robustness to behavior noise (paper analogue: the denoising /
+// robustness study). Sweeps the click-channel noise rate of the generator
+// and compares MISSL against a traditional (SASRec) and a multi-behavior
+// (MBHT) baseline: multi-interest SSL should degrade most slowly.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace missl;
+  bench::PrintHeader("F5", "click-noise robustness sweep");
+
+  train::TrainConfig tc = bench::DefaultTrain();
+  if (!bench::FastMode()) tc.max_epochs = 8;
+  const char* models[] = {"SASRec", "MBHT", "MISSL"};
+
+  Table table({"click noise", "SASRec HR@10", "MBHT HR@10", "MISSL HR@10"});
+  double first[3] = {0, 0, 0}, last[3] = {0, 0, 0};
+  const float levels[] = {0.1f, 0.3f, 0.6f, 0.8f};
+  for (size_t li = 0; li < 4; ++li) {
+    data::SyntheticConfig cfg = bench::SweepData();
+    cfg.noise[0] = levels[li];
+    cfg.noise[1] = levels[li] * 0.6f;
+    bench::Workbench wb(cfg, bench::DefaultZoo().max_len);
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.1f", levels[li]);
+    auto& row = table.Row().Cell(label);
+    for (int m = 0; m < 3; ++m) {
+      train::TrainResult r =
+          wb.TrainModel(models[m], bench::DefaultZoo(), tc);
+      row.Num(r.test.hr10);
+      if (li == 0) first[m] = r.test.hr10;
+      if (li == 3) last[m] = r.test.hr10;
+      std::fflush(stdout);
+    }
+  }
+  table.Print();
+  for (int m = 0; m < 3; ++m) {
+    std::printf("%s retains %.1f%% of its clean-data HR@10 at the highest "
+                "noise level\n",
+                models[m], first[m] > 0 ? 100.0 * last[m] / first[m] : 0.0);
+  }
+  std::printf("Expected shape (paper): all degrade with noise; MISSL keeps "
+              "the largest fraction of its clean performance.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// F6 — Cold-start analysis (paper analogue: performance on users with few
+// target-behavior interactions). Buckets evaluation users by their number
+// of target events; auxiliary behaviors should let MISSL win hardest on the
+// coldest bucket.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/types.h"
+
+int main() {
+  using namespace missl;
+  bench::PrintHeader("F6", "cold-start: HR@10 by #target interactions bucket");
+
+  // Widen the event-count range so cold and warm users both exist.
+  data::SyntheticConfig cfg = bench::SweepData();
+  cfg.min_events = 12;
+  cfg.max_events = 110;
+  bench::Workbench wb(cfg, bench::DefaultZoo().max_len);
+  train::TrainConfig tc = bench::DefaultTrain();
+
+  // Bucket users by target-behavior count.
+  data::Behavior target = wb.ds.target_behavior();
+  std::vector<int32_t> cold, mid, warm;
+  for (int32_t u : wb.evaluator.eval_users()) {
+    int32_t n = 0;
+    for (const auto& e : wb.ds.user(u).events) {
+      if (e.behavior == target) ++n;
+    }
+    if (n <= 4) {
+      cold.push_back(u);
+    } else if (n <= 8) {
+      mid.push_back(u);
+    } else {
+      warm.push_back(u);
+    }
+  }
+  std::printf("buckets: cold(<=4)=%zu mid(5-8)=%zu warm(>8)=%zu users\n",
+              cold.size(), mid.size(), warm.size());
+
+  const char* models[] = {"SASRec", "MBHT", "MISSL"};
+  Table table({"Model", "cold HR@10", "mid HR@10", "warm HR@10"});
+  double cold_scores[3] = {0, 0, 0};
+  for (int m = 0; m < 3; ++m) {
+    auto model = baselines::CreateModel(models[m], wb.ds,
+                                        bench::DefaultZoo());
+    wb.Train(model.get(), tc);
+    double hc = cold.empty()
+                    ? 0
+                    : wb.evaluator.EvaluateSubset(model.get(), cold, true).hr10;
+    double hm =
+        mid.empty() ? 0
+                    : wb.evaluator.EvaluateSubset(model.get(), mid, true).hr10;
+    double hw = warm.empty()
+                    ? 0
+                    : wb.evaluator.EvaluateSubset(model.get(), warm, true).hr10;
+    cold_scores[m] = hc;
+    table.Row().Cell(models[m]).Num(hc).Num(hm).Num(hw);
+    std::fflush(stdout);
+  }
+  table.Print();
+  std::printf("cold-bucket winner: %s\n",
+              models[std::max_element(cold_scores, cold_scores + 3) -
+                     cold_scores]);
+  std::printf("Expected shape (paper): MISSL's margin is largest on cold "
+              "users (aux behaviors compensate for sparse targets).\n");
+  return 0;
+}

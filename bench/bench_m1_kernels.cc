@@ -1,0 +1,140 @@
+// M1 — Engine microbenchmarks (google-benchmark): the kernels every model's
+// step time is made of. Not a paper artifact; used to sanity-check that
+// experiment wall-clock is dominated by matmul as designed.
+#include <benchmark/benchmark.h>
+
+#include "hypergraph/hgat.h"
+#include "hypergraph/incidence.h"
+#include "nn/attention.h"
+#include "nn/transformer.h"
+#include "tensor/ops.h"
+#include "utils/rng.h"
+
+namespace {
+
+using namespace missl;
+
+void BM_MatMul(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  NoGradGuard ng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_BatchedMatMul(benchmark::State& state) {
+  Rng rng(2);
+  Tensor a = Tensor::Randn({64, 30, 32}, &rng);
+  Tensor b = Tensor::Randn({64, 32, 30}, &rng);
+  NoGradGuard ng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b).data());
+  }
+}
+BENCHMARK(BM_BatchedMatMul);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn({128, 30, 30}, &rng);
+  NoGradGuard ng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Softmax(a).data());
+  }
+}
+BENCHMARK(BM_Softmax);
+
+void BM_LayerNorm(benchmark::State& state) {
+  Rng rng(4);
+  Tensor x = Tensor::Randn({128, 30, 32}, &rng);
+  Tensor g = Tensor::Ones({32});
+  Tensor b = Tensor::Zeros({32});
+  NoGradGuard ng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LayerNorm(x, g, b).data());
+  }
+}
+BENCHMARK(BM_LayerNorm);
+
+void BM_EmbeddingLookup(benchmark::State& state) {
+  Rng rng(5);
+  Tensor w = Tensor::Randn({2000, 32}, &rng);
+  std::vector<int32_t> ids(128 * 30);
+  for (auto& id : ids) id = static_cast<int32_t>(rng.UniformInt(2000));
+  NoGradGuard ng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EmbeddingLookup(w, ids, {128, 30}).data());
+  }
+}
+BENCHMARK(BM_EmbeddingLookup);
+
+void BM_AttentionLayer(benchmark::State& state) {
+  Rng rng(6);
+  nn::MultiHeadAttention mha(32, 2, 0.0f, &rng);
+  mha.SetTraining(false);
+  Tensor x = Tensor::Randn({64, 30, 32}, &rng);
+  NoGradGuard ng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mha.Forward(x, x, x).data());
+  }
+}
+BENCHMARK(BM_AttentionLayer);
+
+void BM_HypergraphLayer(benchmark::State& state) {
+  Rng rng(7);
+  hypergraph::HypergraphAttentionLayer layer(32, 0.0f, &rng);
+  layer.SetTraining(false);
+  Tensor x = Tensor::Randn({64, 30, 32}, &rng);
+  std::vector<int32_t> items(64 * 30), behs(64 * 30);
+  for (size_t i = 0; i < items.size(); ++i) {
+    items[i] = static_cast<int32_t>(rng.UniformInt(500));
+    behs[i] = static_cast<int32_t>(rng.UniformInt(4));
+  }
+  hypergraph::HypergraphConfig cfg;
+  Tensor inc = hypergraph::BuildIncidence(items, behs, 64, 30, 4, cfg);
+  NoGradGuard ng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layer.Forward(x, inc).data());
+  }
+}
+BENCHMARK(BM_HypergraphLayer);
+
+void BM_IncidenceBuild(benchmark::State& state) {
+  Rng rng(8);
+  std::vector<int32_t> items(128 * 30), behs(128 * 30);
+  for (size_t i = 0; i < items.size(); ++i) {
+    items[i] = static_cast<int32_t>(rng.UniformInt(500));
+    behs[i] = static_cast<int32_t>(rng.UniformInt(4));
+  }
+  hypergraph::HypergraphConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hypergraph::BuildIncidence(items, behs, 128, 30, 4, cfg).data());
+  }
+}
+BENCHMARK(BM_IncidenceBuild);
+
+void BM_BackwardThroughEncoder(benchmark::State& state) {
+  Rng rng(9);
+  nn::TransformerConfig cfg;
+  cfg.dim = 32;
+  cfg.heads = 2;
+  cfg.layers = 1;
+  cfg.ffn_hidden = 64;
+  cfg.dropout = 0.0f;
+  nn::TransformerEncoder enc(cfg, &rng);
+  Tensor x = Tensor::Randn({32, 30, 32}, &rng);
+  for (auto _ : state) {
+    enc.ZeroGrad();
+    Sum(Square(enc.Forward(x))).Backward();
+  }
+}
+BENCHMARK(BM_BackwardThroughEncoder);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// T3 — Time-efficiency table (paper analogue: training time per epoch and
+// inference time per prediction for each method, plus parameter counts).
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "data/batch.h"
+
+int main() {
+  using namespace missl;
+  bench::PrintHeader("T3", "time efficiency (s/epoch, ms/user inference, params)");
+
+  data::SyntheticConfig cfg = bench::SweepData();
+  bench::Workbench wb(cfg, bench::DefaultZoo().max_len);
+  train::TrainConfig tc = bench::DefaultTrain();
+  tc.max_epochs = bench::FastMode() ? 1 : 3;  // timing only
+  tc.patience = tc.max_epochs;
+
+  Table table({"Model", "Params", "Train s/epoch", "Infer ms/user"});
+  for (const auto& name : baselines::ModelZooNames()) {
+    auto model = baselines::CreateModel(name, wb.ds,
+                                        bench::DefaultZoo());
+    train::TrainResult r = wb.Train(model.get(), tc);
+    // Inference timing: full test-set evaluation, averaged per user.
+    auto t0 = std::chrono::steady_clock::now();
+    eval::EvalResult er = wb.evaluator.Evaluate(model.get(), /*test=*/true);
+    auto t1 = std::chrono::steady_clock::now();
+    double ms_per_user = std::chrono::duration<double, std::milli>(t1 - t0)
+                             .count() /
+                         static_cast<double>(er.num_users);
+    table.Row()
+        .Cell(name)
+        .Int(model->NumParams())
+        .Num(r.seconds_per_epoch, 2)
+        .Num(ms_per_user, 3);
+    std::fflush(stdout);
+  }
+  table.Print();
+  std::printf("Expected shape (paper): the full model trains slower than "
+              "lean baselines but inference stays in the same order of "
+              "magnitude.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// E-commerce scenario: the workload the paper's introduction motivates.
+// A shop logs clicks, add-to-carts, favorites and purchases; we want to
+// predict the next *purchase*. This example:
+//   1. writes a raw multi-behavior log to TSV (the library's exchange
+//      format) and loads it back — the path a real deployment would use;
+//   2. trains MISSL and a single-behavior baseline (SASRec) on it;
+//   3. compares them, then produces top-5 purchase recommendations with
+//      per-recommendation interest attribution for one user.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/sasrec.h"
+#include "core/missl.h"
+#include "data/batch.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace missl;
+
+  // --- 1. Produce and round-trip a raw log --------------------------------
+  data::SyntheticConfig dcfg = data::TaobaoSimConfig();
+  dcfg.num_users = 250;
+  dcfg.num_items = 400;
+  data::Dataset raw = data::GenerateSynthetic(dcfg);
+  const std::string log_path = "/tmp/missl_shop_log.tsv";
+  Status s = raw.SaveTsv(log_path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  data::Dataset ds(1, 1, 2);
+  s = data::Dataset::LoadTsv(log_path, &ds);
+  if (!s.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded shop log: %d users, %d items, %d behavior channels\n",
+              ds.num_users(), ds.num_items(), ds.num_behaviors());
+
+  // --- 2. Train MISSL vs a single-behavior baseline -----------------------
+  const int64_t max_len = 30;
+  data::SplitView split(ds);
+  eval::EvalConfig ecfg;
+  ecfg.max_len = max_len;
+  eval::Evaluator evaluator(ds, split, ecfg);
+
+  train::TrainConfig tcfg;
+  tcfg.max_epochs = 6;
+  tcfg.max_len = max_len;
+
+  core::MisslConfig mcfg;
+  mcfg.dim = 32;
+  mcfg.num_interests = 3;
+  core::MisslModel missl(ds.num_items(), ds.num_behaviors(), max_len, mcfg);
+  train::TrainResult rm = train::Fit(&missl, ds, split, evaluator, tcfg);
+
+  baselines::SasRecConfig scfg;
+  scfg.dim = 32;
+  baselines::SasRec sasrec(ds.num_items(), max_len, scfg);
+  train::TrainResult rs = train::Fit(&sasrec, ds, split, evaluator, tcfg);
+
+  std::printf("\npurchase prediction (HR@10 / NDCG@10):\n");
+  std::printf("  MISSL  %.4f / %.4f\n", rm.test.hr10, rm.test.ndcg10);
+  std::printf("  SASRec %.4f / %.4f\n", rs.test.hr10, rs.test.ndcg10);
+
+  // --- 3. Top-5 recommendations with interest attribution -----------------
+  int32_t user = evaluator.eval_users()[0];
+  data::BatchBuilder builder(ds, max_len);
+  data::Batch batch =
+      builder.Build({{user, split.test_pos[static_cast<size_t>(user)]}});
+
+  missl.SetTraining(false);
+  NoGradGuard ng;
+  // Score the whole catalog.
+  std::vector<int32_t> all_items(static_cast<size_t>(ds.num_items()));
+  for (int32_t i = 0; i < ds.num_items(); ++i)
+    all_items[static_cast<size_t>(i)] = i;
+  Tensor scores = missl.ScoreCandidates(batch, all_items, ds.num_items());
+  Tensor interests = missl.UserInterests(batch);  // [1, K, d]
+
+  std::vector<std::pair<float, int32_t>> ranked;
+  for (int32_t i = 0; i < ds.num_items(); ++i)
+    ranked.push_back({scores.data()[i], i});
+  std::partial_sort(ranked.begin(), ranked.begin() + 5, ranked.end(),
+                    [](auto& a, auto& b) { return a.first > b.first; });
+
+  std::printf("\ntop-5 purchase recommendations for user %d:\n", user);
+  for (int r = 0; r < 5; ++r) {
+    int32_t item = ranked[static_cast<size_t>(r)].second;
+    // Which interest slot drives this recommendation?
+    int64_t best_k = 0;
+    float best = -1e30f;
+    for (int64_t k = 0; k < interests.size(1); ++k) {
+      float dot = 0;
+      for (int64_t d = 0; d < interests.size(2); ++d) {
+        dot += interests.at({0, k, d}) * missl.item_embedding().at({item, d});
+      }
+      if (dot > best) {
+        best = dot;
+        best_k = k;
+      }
+    }
+    std::printf("  #%d item %-4d score %+0.3f  (interest slot %lld, cluster "
+                "%d)\n",
+                r + 1, item, ranked[static_cast<size_t>(r)].first,
+                static_cast<long long>(best_k),
+                data::ItemCluster(item, dcfg.num_clusters));
+  }
+  std::printf("\n(items from the same interest slot should share a cluster "
+              "— the multi-interest structure is interpretable)\n");
+  std::remove(log_path.c_str());
+  return 0;
+}

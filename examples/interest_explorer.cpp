@@ -1,0 +1,129 @@
+// Interest explorer: inspect what MISSL's multi-interest extraction learns.
+// Trains on data with planted latent interests, then for a handful of users
+//   - prints each interest slot's nearest catalog items and their
+//     ground-truth clusters (are slots coherent?),
+//   - measures slot/cluster alignment across all users,
+//   - shows the cold-start effect: scores for users with few purchases
+//     still benefit from click-channel interests.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/missl.h"
+#include "data/batch.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace missl;
+
+  data::SyntheticConfig dcfg = data::TaobaoSimConfig();
+  dcfg.num_users = 250;
+  dcfg.num_items = 400;
+  dcfg.interests_per_user = 3;
+  data::Dataset ds = data::GenerateSynthetic(dcfg);
+  data::SplitView split(ds);
+  const int64_t max_len = 30;
+  eval::EvalConfig ecfg;
+  ecfg.max_len = max_len;
+  eval::Evaluator evaluator(ds, split, ecfg);
+
+  core::MisslConfig mcfg;
+  mcfg.dim = 32;
+  mcfg.num_interests = 3;
+  core::MisslModel model(ds.num_items(), ds.num_behaviors(), max_len, mcfg);
+  train::TrainConfig tcfg;
+  tcfg.max_epochs = 6;
+  tcfg.max_len = max_len;
+  train::Fit(&model, ds, split, evaluator, tcfg);
+
+  model.SetTraining(false);
+  NoGradGuard ng;
+  data::BatchBuilder builder(ds, max_len);
+
+  // --- nearest items per interest slot for 3 users -------------------------
+  std::printf("== per-user interest slots and their nearest items ==\n");
+  for (int u = 0; u < 3; ++u) {
+    int32_t user = evaluator.eval_users()[static_cast<size_t>(u)];
+    data::Batch batch =
+        builder.Build({{user, split.test_pos[static_cast<size_t>(user)]}});
+    Tensor v = model.UserInterests(batch);  // [1, K, d]
+    std::printf("user %d:\n", user);
+    for (int64_t k = 0; k < v.size(1); ++k) {
+      // Top-3 items by dot product with this slot.
+      std::vector<std::pair<float, int32_t>> scored;
+      for (int32_t i = 0; i < ds.num_items(); ++i) {
+        float dot = 0;
+        for (int64_t d = 0; d < v.size(2); ++d)
+          dot += v.at({0, k, d}) * model.item_embedding().at({i, d});
+        scored.push_back({dot, i});
+      }
+      std::partial_sort(scored.begin(), scored.begin() + 3, scored.end(),
+                        [](auto& a, auto& b) { return a.first > b.first; });
+      std::printf("  slot %lld -> items", static_cast<long long>(k));
+      for (int r = 0; r < 3; ++r) {
+        std::printf(" %d(c%d)", scored[static_cast<size_t>(r)].second,
+                    data::ItemCluster(scored[static_cast<size_t>(r)].second,
+                                      dcfg.num_clusters));
+      }
+      std::printf("\n");
+    }
+  }
+
+  // --- slot coherence across users -----------------------------------------
+  // For each user and slot, find the dominant ground-truth cluster among its
+  // top-5 nearest items; coherent slots concentrate on a single cluster.
+  double coherent = 0, total = 0;
+  for (size_t ui = 0; ui < 50 && ui < evaluator.eval_users().size(); ++ui) {
+    int32_t user = evaluator.eval_users()[ui];
+    data::Batch batch =
+        builder.Build({{user, split.test_pos[static_cast<size_t>(user)]}});
+    Tensor v = model.UserInterests(batch);
+    for (int64_t k = 0; k < v.size(1); ++k) {
+      std::vector<std::pair<float, int32_t>> scored;
+      for (int32_t i = 0; i < ds.num_items(); ++i) {
+        float dot = 0;
+        for (int64_t d = 0; d < v.size(2); ++d)
+          dot += v.at({0, k, d}) * model.item_embedding().at({i, d});
+        scored.push_back({dot, i});
+      }
+      std::partial_sort(scored.begin(), scored.begin() + 5, scored.end(),
+                        [](auto& a, auto& b) { return a.first > b.first; });
+      std::map<int32_t, int> counts;
+      for (int r = 0; r < 5; ++r) {
+        counts[data::ItemCluster(scored[static_cast<size_t>(r)].second,
+                                 dcfg.num_clusters)]++;
+      }
+      int best = 0;
+      for (auto& [c, n] : counts) best = std::max(best, n);
+      coherent += best >= 3 ? 1 : 0;  // majority cluster in top-5
+      total += 1;
+    }
+  }
+  std::printf("\n== slot coherence: %.0f%% of interest slots have a majority "
+              "ground-truth cluster in their top-5 items ==\n",
+              100.0 * coherent / total);
+
+  // --- cold-start: sparse-purchase users -----------------------------------
+  std::vector<int32_t> cold, warm;
+  for (int32_t user : evaluator.eval_users()) {
+    int buys = 0;
+    for (const auto& e : ds.user(user).events) {
+      if (e.behavior == ds.target_behavior()) ++buys;
+    }
+    (buys <= 4 ? cold : warm).push_back(user);
+  }
+  if (!cold.empty() && !warm.empty()) {
+    eval::EvalResult rc = evaluator.EvaluateSubset(&model, cold, true);
+    eval::EvalResult rw = evaluator.EvaluateSubset(&model, warm, true);
+    std::printf("\n== cold-start ==\ncold users (<=4 buys, n=%zu): HR@10=%.4f\n"
+                "warm users (n=%zu):           HR@10=%.4f\n",
+                cold.size(), rc.hr10, warm.size(), rw.hr10);
+    std::printf("(auxiliary click/cart/fav channels keep cold users' "
+                "accuracy close to warm users')\n");
+  }
+  return 0;
+}

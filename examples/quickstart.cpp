@@ -1,0 +1,65 @@
+// Quickstart: generate a small synthetic multi-behavior dataset, train the
+// MISSL model, and print leave-one-out test metrics.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/missl.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "train/trainer.h"
+#include "utils/logging.h"
+
+int main() {
+  using namespace missl;
+
+  // 1. Data: a Taobao-like synthetic log (clicks/carts/favs/buys) with
+  //    3 planted interests per user. Swap in Dataset::LoadTsv for real logs.
+  data::SyntheticConfig dcfg = data::TaobaoSimConfig();
+  dcfg.num_users = 300;
+  dcfg.num_items = 500;
+  data::Dataset ds = data::GenerateSynthetic(dcfg);
+  data::DatasetStats stats = ds.Stats();
+  std::printf("dataset %s: %d users, %d items, %lld interactions\n",
+              ds.name().c_str(), stats.num_users, stats.num_items,
+              static_cast<long long>(stats.num_interactions));
+
+  // 2. Split + evaluator: leave-one-out on the target behavior with
+  //    1 positive + 99 shared negatives.
+  data::SplitView split(ds);
+  eval::EvalConfig ecfg;
+  ecfg.max_len = 30;
+  eval::Evaluator evaluator(ds, split, ecfg);
+  std::printf("train examples: %zu, eval users: %lld\n",
+              split.train_examples.size(),
+              static_cast<long long>(split.NumEvalUsers()));
+
+  // 3. Model: MISSL with 4 interests.
+  core::MisslConfig mcfg;
+  mcfg.dim = 32;
+  mcfg.num_interests = 3;
+  core::MisslModel model(ds.num_items(), ds.num_behaviors(), ecfg.max_len, mcfg);
+  std::printf("model %s with %lld parameters\n", model.Name().c_str(),
+              static_cast<long long>(model.NumParams()));
+
+  // 4. Train with early stopping on validation NDCG@10.
+  train::TrainConfig tcfg;
+  tcfg.max_epochs = 8;
+  tcfg.max_len = ecfg.max_len;
+  tcfg.verbose = true;
+  SetLogLevel(LogLevel::kInfo);
+  train::TrainResult result = train::Fit(&model, ds, split, evaluator, tcfg);
+
+  // 5. Report.
+  std::printf("\n== test metrics (best validation checkpoint) ==\n");
+  std::printf("HR@5=%.4f HR@10=%.4f NDCG@5=%.4f NDCG@10=%.4f MRR=%.4f\n",
+              result.test.hr5, result.test.hr10, result.test.ndcg5,
+              result.test.ndcg10, result.test.mrr);
+  std::printf("epochs=%lld, %.1fs total (%.1fs/epoch)\n",
+              static_cast<long long>(result.epochs_run), result.total_seconds,
+              result.seconds_per_epoch);
+  std::printf("(random ranking over 100 candidates would give HR@10=0.10)\n");
+  return 0;
+}

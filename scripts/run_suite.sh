@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Builds the project and regenerates every reproduced table/figure plus the
+# test log, mirroring what CI / the paper-reproduction run does.
+#
+# Usage:
+#   scripts/run_suite.sh            # full scale (tens of minutes, 1 core)
+#   MISSL_BENCH_FAST=1 scripts/run_suite.sh   # ~4x smaller smoke run
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/bench_t1_datasets build/bench/bench_t2_main \
+           build/bench/bench_f1_ablation build/bench/bench_f2_interests \
+           build/bench/bench_f3_ssl build/bench/bench_f4_dims \
+           build/bench/bench_f5_noise build/bench/bench_f6_coldstart \
+           build/bench/bench_f7_seqlen build/bench/bench_f8_tsne \
+           build/bench/bench_f9_design build/bench/bench_f10_protocol \
+           build/bench/bench_t3_efficiency build/bench/bench_m1_kernels; do
+    echo "##### $b"
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt

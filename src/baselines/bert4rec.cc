@@ -1,0 +1,94 @@
+#include "baselines/bert4rec.h"
+
+#include "core/common.h"
+#include "nn/attention.h"
+#include "tensor/ops.h"
+
+namespace missl::baselines {
+
+namespace {
+nn::TransformerConfig EncoderConfig(const Bert4RecConfig& cfg) {
+  nn::TransformerConfig tc;
+  tc.dim = cfg.dim;
+  tc.heads = cfg.heads;
+  tc.layers = cfg.layers;
+  tc.ffn_hidden = 2 * cfg.dim;
+  tc.dropout = cfg.dropout;
+  tc.causal = false;
+  return tc;
+}
+}  // namespace
+
+Bert4Rec::Bert4Rec(int32_t num_items, int64_t max_len,
+                   const Bert4RecConfig& config)
+    : config_(config),
+      num_items_(num_items),
+      mask_id_(num_items),
+      rng_(config.seed),
+      item_emb_(num_items + 1, config.dim, &rng_),
+      pos_emb_(max_len, config.dim, &rng_),
+      encoder_(EncoderConfig(config), &rng_) {
+  RegisterModule("item_emb", &item_emb_);
+  RegisterModule("pos_emb", &pos_emb_);
+  RegisterModule("encoder", &encoder_);
+}
+
+Tensor Bert4Rec::EncodeIds(const std::vector<int32_t>& ids, int64_t b,
+                           int64_t t) {
+  Tensor h = core::EmbedWithPositions(item_emb_, pos_emb_, ids, b, t);
+  h = Dropout(h, config_.dropout, training(), &rng_);
+  Tensor mask = nn::KeyPaddingMask(ids, b, t);
+  return encoder_.Forward(h, mask);
+}
+
+Tensor Bert4Rec::Loss(const data::Batch& batch) {
+  int64_t b = batch.batch_size, t = batch.max_len;
+  // Cloze: replace a random subset of valid positions with [MASK]; predict
+  // the originals at those positions. The last valid position is always
+  // masked so training matches the evaluation query.
+  std::vector<int32_t> ids = batch.merged_items;
+  std::vector<int32_t> cloze_targets(static_cast<size_t>(b * t), -1);
+  for (int64_t row = 0; row < b; ++row) {
+    int64_t last_valid = -1;
+    for (int64_t i = 0; i < t; ++i) {
+      size_t idx = static_cast<size_t>(row * t + i);
+      if (batch.merged_items[idx] < 0) continue;
+      last_valid = i;
+      if (rng_.Bernoulli(config_.mask_prob)) {
+        cloze_targets[idx] = batch.merged_items[idx];
+        ids[idx] = mask_id_;
+      }
+    }
+    if (last_valid >= 0) {
+      size_t idx = static_cast<size_t>(row * t + last_valid);
+      cloze_targets[idx] = batch.merged_items[idx];
+      ids[idx] = mask_id_;
+    }
+  }
+  Tensor h = EncodeIds(ids, b, t);                       // [B, T, d]
+  Tensor flat = Reshape(h, {b * t, config_.dim});        // [B*T, d]
+  // Score against real items only (exclude the [MASK] row).
+  Tensor items = Slice(item_emb_.weight(), 0, 0, num_items_);
+  Tensor logits = MatMul(flat, Transpose(items));        // [B*T, V]
+  return CrossEntropyLoss(logits, cloze_targets);
+}
+
+Tensor Bert4Rec::ScoreCandidates(const data::Batch& batch,
+                                 const std::vector<int32_t>& cand_ids,
+                                 int64_t num_cands) {
+  int64_t b = batch.batch_size, t = batch.max_len;
+  // Shift history left one slot and append [MASK] as the query position.
+  std::vector<int32_t> ids(static_cast<size_t>(b * t), -1);
+  for (int64_t row = 0; row < b; ++row) {
+    for (int64_t i = 1; i < t; ++i) {
+      ids[static_cast<size_t>(row * t + i - 1)] =
+          batch.merged_items[static_cast<size_t>(row * t + i)];
+    }
+    ids[static_cast<size_t>(row * t + t - 1)] = mask_id_;
+  }
+  Tensor h = EncodeIds(ids, b, t);
+  Tensor user = core::LastPosition(h);
+  return core::ScoreCandidatesSingle(user, item_emb_, cand_ids, b, num_cands);
+}
+
+}  // namespace missl::baselines

@@ -1,0 +1,51 @@
+// BERT4Rec-lite (Sun et al., 2019): bidirectional transformer trained with
+// masked-item (cloze) prediction. The item vocabulary is extended with one
+// [MASK] token. At evaluation time the history is shifted left by one slot
+// and a [MASK] is placed at the last position, whose representation scores
+// candidates.
+#ifndef MISSL_BASELINES_BERT4REC_H_
+#define MISSL_BASELINES_BERT4REC_H_
+
+#include <string>
+
+#include "core/model.h"
+#include "nn/embedding.h"
+#include "nn/transformer.h"
+
+namespace missl::baselines {
+
+struct Bert4RecConfig {
+  int64_t dim = 48;
+  int64_t heads = 2;
+  int64_t layers = 2;
+  float dropout = 0.1f;
+  float mask_prob = 0.3f;  ///< cloze masking rate during training
+  uint64_t seed = 17;
+};
+
+class Bert4Rec : public core::SeqRecModel {
+ public:
+  Bert4Rec(int32_t num_items, int64_t max_len, const Bert4RecConfig& config);
+
+  std::string Name() const override { return "BERT4Rec"; }
+  Tensor Loss(const data::Batch& batch) override;
+  Tensor ScoreCandidates(const data::Batch& batch,
+                         const std::vector<int32_t>& cand_ids,
+                         int64_t num_cands) override;
+
+ private:
+  /// Encodes an (already masked) id sequence bidirectionally: [B, T, d].
+  Tensor EncodeIds(const std::vector<int32_t>& ids, int64_t b, int64_t t);
+
+  Bert4RecConfig config_;
+  int32_t num_items_;
+  int32_t mask_id_;  ///< == num_items (extra embedding row)
+  Rng rng_;
+  nn::Embedding item_emb_;  ///< [num_items + 1, d]
+  nn::Embedding pos_emb_;
+  nn::TransformerEncoder encoder_;
+};
+
+}  // namespace missl::baselines
+
+#endif  // MISSL_BASELINES_BERT4REC_H_

@@ -1,0 +1,80 @@
+#include "baselines/cl4srec.h"
+
+#include <algorithm>
+
+#include "core/common.h"
+#include "core/ssl.h"
+
+namespace missl::baselines {
+
+Cl4SRec::Cl4SRec(int32_t num_items, int64_t max_len, const Cl4SRecConfig& config)
+    : SasRec(num_items, max_len, config.base), cl_config_(config) {}
+
+std::vector<int32_t> Cl4SRec::Augment(const std::vector<int32_t>& ids, int64_t b,
+                                      int64_t t) {
+  std::vector<int32_t> out(static_cast<size_t>(b * t), -1);
+  for (int64_t row = 0; row < b; ++row) {
+    // Collect the valid (non-pad) suffix of this row.
+    std::vector<int32_t> valid;
+    for (int64_t i = 0; i < t; ++i) {
+      int32_t id = ids[static_cast<size_t>(row * t + i)];
+      if (id >= 0) valid.push_back(id);
+    }
+    if (valid.size() >= 2) {
+      switch (rng_.UniformInt(3)) {
+        case 0: {  // crop: keep a contiguous span
+          int64_t keep = std::max<int64_t>(
+              1, static_cast<int64_t>(cl_config_.crop_ratio *
+                                      static_cast<double>(valid.size())));
+          int64_t start = static_cast<int64_t>(
+              rng_.UniformInt(static_cast<uint64_t>(valid.size()) -
+                              static_cast<uint64_t>(keep) + 1));
+          valid = std::vector<int32_t>(valid.begin() + start,
+                                       valid.begin() + start + keep);
+          break;
+        }
+        case 1: {  // mask: drop random positions
+          std::vector<int32_t> kept;
+          for (int32_t id : valid) {
+            if (!rng_.Bernoulli(cl_config_.mask_ratio)) kept.push_back(id);
+          }
+          if (!kept.empty()) valid = std::move(kept);
+          break;
+        }
+        default: {  // reorder: shuffle a random window
+          int64_t span = std::min<int64_t>(cl_config_.reorder_span,
+                                           static_cast<int64_t>(valid.size()));
+          int64_t start = static_cast<int64_t>(
+              rng_.UniformInt(static_cast<uint64_t>(valid.size()) -
+                              static_cast<uint64_t>(span) + 1));
+          for (int64_t i = span; i > 1; --i) {
+            int64_t j = static_cast<int64_t>(rng_.UniformInt(
+                static_cast<uint64_t>(i)));
+            std::swap(valid[static_cast<size_t>(start + i - 1)],
+                      valid[static_cast<size_t>(start + j)]);
+          }
+          break;
+        }
+      }
+    }
+    // Re-pack front-padded.
+    int64_t n = static_cast<int64_t>(valid.size());
+    for (int64_t i = 0; i < n; ++i) {
+      out[static_cast<size_t>(row * t + (t - n + i))] =
+          valid[static_cast<size_t>(i)];
+    }
+  }
+  return out;
+}
+
+Tensor Cl4SRec::Loss(const data::Batch& batch) {
+  Tensor main = SasRec::Loss(batch);
+  if (cl_config_.lambda_cl <= 0.0f) return main;
+  int64_t b = batch.batch_size, t = batch.max_len;
+  Tensor z1 = EncodeIds(Augment(batch.merged_items, b, t), b, t);
+  Tensor z2 = EncodeIds(Augment(batch.merged_items, b, t), b, t);
+  Tensor cl = core::InfoNce(z1, z2, cl_config_.temperature);
+  return Add(main, MulScalar(cl, cl_config_.lambda_cl));
+}
+
+}  // namespace missl::baselines

@@ -1,0 +1,39 @@
+// CL4SRec-style self-supervised baseline: SASRec plus a contrastive loss
+// between two stochastic augmentations (crop / mask / reorder) of each
+// sequence.
+#ifndef MISSL_BASELINES_CL4SREC_H_
+#define MISSL_BASELINES_CL4SREC_H_
+
+#include "baselines/sasrec.h"
+
+namespace missl::baselines {
+
+struct Cl4SRecConfig {
+  SasRecConfig base;
+  float lambda_cl = 0.1f;
+  float temperature = 0.5f;
+  float crop_ratio = 0.6f;   ///< span kept by the crop augmentation
+  float mask_ratio = 0.3f;   ///< positions dropped by the mask augmentation
+  int64_t reorder_span = 4;  ///< window shuffled by the reorder augmentation
+};
+
+class Cl4SRec : public SasRec {
+ public:
+  Cl4SRec(int32_t num_items, int64_t max_len, const Cl4SRecConfig& config);
+
+  std::string Name() const override { return "CL4SRec"; }
+  Tensor Loss(const data::Batch& batch) override;
+
+  /// One stochastic augmentation of a front-padded id row (public for
+  /// tests). Augmentation kind is drawn uniformly from {crop, mask,
+  /// reorder}.
+  std::vector<int32_t> Augment(const std::vector<int32_t>& ids, int64_t b,
+                               int64_t t);
+
+ private:
+  Cl4SRecConfig cl_config_;
+};
+
+}  // namespace missl::baselines
+
+#endif  // MISSL_BASELINES_CL4SREC_H_

@@ -1,0 +1,54 @@
+#include "baselines/comirec.h"
+
+#include "core/common.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace missl::baselines {
+
+ComiRec::ComiRec(int32_t num_items, int64_t max_len, const ComiRecConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      item_emb_(num_items, config.dim, &rng_),
+      pos_emb_(max_len, config.dim, &rng_),
+      key_proj_(config.dim, config.dim, &rng_) {
+  MISSL_CHECK(config.num_interests >= 1);
+  RegisterModule("item_emb", &item_emb_);
+  RegisterModule("pos_emb", &pos_emb_);
+  RegisterModule("key_proj", &key_proj_);
+  queries_ = RegisterParameter(
+      "queries", nn::XavierUniform({config.num_interests, config.dim}, &rng_));
+}
+
+Tensor ComiRec::Interests(const data::Batch& batch) {
+  int64_t b = batch.batch_size, t = batch.max_len;
+  Tensor h = core::EmbedWithPositions(item_emb_, pos_emb_, batch.merged_items,
+                                      b, t);
+  h = Dropout(h, config_.dropout, training(), &rng_);
+  Tensor keys = key_proj_.Forward(h);             // [B, T, d]
+  Tensor scores = Transpose(MatMul(keys, Transpose(queries_)));  // [B, K, T]
+  // Mask padded positions.
+  Tensor mask = Tensor::Zeros({b, 1, t});
+  float* mp = mask.data();
+  for (int64_t i = 0; i < b * t; ++i) {
+    if (batch.merged_items[static_cast<size_t>(i)] < 0) mp[i] = -1e9f;
+  }
+  Tensor probs = Softmax(Add(scores, mask));
+  return MatMul(probs, h);  // [B, K, d]
+}
+
+Tensor ComiRec::Loss(const data::Batch& batch) {
+  Tensor interests = Interests(batch);
+  Tensor v = core::SelectInterestByTarget(interests, item_emb_, batch.targets);
+  return CrossEntropyLoss(core::FullCatalogLogits(v, item_emb_), batch.targets);
+}
+
+Tensor ComiRec::ScoreCandidates(const data::Batch& batch,
+                                const std::vector<int32_t>& cand_ids,
+                                int64_t num_cands) {
+  Tensor interests = Interests(batch);
+  return core::ScoreCandidatesMultiInterest(interests, item_emb_, cand_ids,
+                                            batch.batch_size, num_cands);
+}
+
+}  // namespace missl::baselines

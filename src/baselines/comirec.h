@@ -1,0 +1,47 @@
+// ComiRec-SA (Cen et al., 2020): multi-interest extraction with K attention
+// queries over the merged stream (behavior-agnostic), hard interest routing
+// at train time and max-over-interests scoring at inference — the
+// single-behavior multi-interest baseline.
+#ifndef MISSL_BASELINES_COMIREC_H_
+#define MISSL_BASELINES_COMIREC_H_
+
+#include <string>
+
+#include "core/model.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+
+namespace missl::baselines {
+
+struct ComiRecConfig {
+  int64_t dim = 48;
+  int64_t num_interests = 4;
+  float dropout = 0.1f;
+  uint64_t seed = 17;
+};
+
+class ComiRec : public core::SeqRecModel {
+ public:
+  ComiRec(int32_t num_items, int64_t max_len, const ComiRecConfig& config);
+
+  std::string Name() const override { return "ComiRec"; }
+  Tensor Loss(const data::Batch& batch) override;
+  Tensor ScoreCandidates(const data::Batch& batch,
+                         const std::vector<int32_t>& cand_ids,
+                         int64_t num_cands) override;
+
+  /// Interest matrix [B, K, d] (exposed for tests).
+  Tensor Interests(const data::Batch& batch);
+
+ private:
+  ComiRecConfig config_;
+  Rng rng_;
+  nn::Embedding item_emb_;
+  nn::Embedding pos_emb_;
+  nn::Linear key_proj_;
+  Tensor queries_;  ///< [K, d]
+};
+
+}  // namespace missl::baselines
+
+#endif  // MISSL_BASELINES_COMIREC_H_

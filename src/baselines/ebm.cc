@@ -1,0 +1,88 @@
+#include "baselines/ebm.h"
+
+#include "core/common.h"
+#include "nn/attention.h"
+
+namespace missl::baselines {
+
+namespace {
+nn::TransformerConfig EncoderConfig(const EbmConfig& cfg) {
+  nn::TransformerConfig tc;
+  tc.dim = cfg.dim;
+  tc.heads = cfg.heads;
+  tc.layers = cfg.layers;
+  tc.ffn_hidden = 2 * cfg.dim;
+  tc.dropout = cfg.dropout;
+  tc.causal = true;
+  return tc;
+}
+}  // namespace
+
+Ebm::Ebm(int32_t num_items, int32_t num_behaviors, int64_t max_len,
+         const EbmConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      item_emb_(num_items, config.dim, &rng_),
+      beh_emb_(num_behaviors, config.dim, &rng_),
+      pos_emb_(max_len, config.dim, &rng_),
+      encoder_(EncoderConfig(config), &rng_),
+      gate_(config.dim, 1, &rng_) {
+  RegisterModule("item_emb", &item_emb_);
+  RegisterModule("beh_emb", &beh_emb_);
+  RegisterModule("pos_emb", &pos_emb_);
+  RegisterModule("encoder", &encoder_);
+  RegisterModule("gate", &gate_);
+}
+
+Tensor Ebm::Encode(const data::Batch& batch, Tensor* gates_out) {
+  int64_t b = batch.batch_size, t = batch.max_len;
+  Tensor h = core::EmbedWithPositions(item_emb_, pos_emb_, batch.merged_items,
+                                      b, t);
+  h = Add(h, beh_emb_.Forward(batch.merged_behaviors, {b, t}));
+  h = Dropout(h, config_.dropout, training(), &rng_);
+  Tensor mask = nn::KeyPaddingMask(batch.merged_items, b, t);
+  h = encoder_.Forward(h, mask);
+  // Soft denoising: keep-probability per position, zeroed on padding.
+  Tensor g = Sigmoid(gate_.Forward(h));                         // [B, T, 1]
+  Tensor valid = core::ValidMask3d(batch.merged_items, b, t);   // [B, T, 1]
+  g = Mul(g, valid);
+  if (gates_out != nullptr) *gates_out = g;
+  // Gated mean pool + (always-kept) last position.
+  Tensor gated = Mul(h, g);
+  Tensor denom = AddScalar(Sum(Reshape(g, {b, t}), 1, true), 1e-6f);  // [B,1]
+  Tensor pooled = Div(Sum(gated, 1, false), denom);
+  return Add(pooled, core::LastPosition(h));
+}
+
+Tensor Ebm::Gates(const data::Batch& batch) {
+  Tensor g;
+  Encode(batch, &g);
+  return g;
+}
+
+Tensor Ebm::Loss(const data::Batch& batch) {
+  Tensor g;
+  Tensor user = Encode(batch, &g);
+  Tensor loss = CrossEntropyLoss(core::FullCatalogLogits(user, item_emb_),
+                                 batch.targets);
+  if (config_.lambda_gate > 0.0f) {
+    // Sparsity pressure: noisy events should be gated off, so penalize the
+    // average keep-probability over valid positions.
+    int64_t b = batch.batch_size, t = batch.max_len;
+    Tensor valid = core::ValidMask3d(batch.merged_items, b, t);
+    Tensor total = AddScalar(Sum(valid), 1e-6f);
+    Tensor mean_gate = Div(Sum(g), total);
+    loss = Add(loss, MulScalar(mean_gate, config_.lambda_gate));
+  }
+  return loss;
+}
+
+Tensor Ebm::ScoreCandidates(const data::Batch& batch,
+                            const std::vector<int32_t>& cand_ids,
+                            int64_t num_cands) {
+  Tensor user = Encode(batch, nullptr);
+  return core::ScoreCandidatesSingle(user, item_emb_, cand_ids,
+                                     batch.batch_size, num_cands);
+}
+
+}  // namespace missl::baselines

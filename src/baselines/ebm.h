@@ -1,0 +1,56 @@
+// EBM-lite (Han et al., 2024): efficient noise-decoupling for multi-behavior
+// sequences. A causal transformer over the behavior-tagged stream feeds a
+// learned soft-denoising gate per position; the user representation pools
+// gated states, and a sparsity regularizer pressures the gates to switch
+// noisy events off.
+#ifndef MISSL_BASELINES_EBM_H_
+#define MISSL_BASELINES_EBM_H_
+
+#include <string>
+
+#include "core/model.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/transformer.h"
+
+namespace missl::baselines {
+
+struct EbmConfig {
+  int64_t dim = 48;
+  int64_t heads = 2;
+  int64_t layers = 1;
+  float dropout = 0.1f;
+  float lambda_gate = 0.05f;  ///< sparsity pressure on the denoising gates
+  uint64_t seed = 17;
+};
+
+class Ebm : public core::SeqRecModel {
+ public:
+  Ebm(int32_t num_items, int32_t num_behaviors, int64_t max_len,
+      const EbmConfig& config);
+
+  std::string Name() const override { return "EBM"; }
+  Tensor Loss(const data::Batch& batch) override;
+  Tensor ScoreCandidates(const data::Batch& batch,
+                         const std::vector<int32_t>& cand_ids,
+                         int64_t num_cands) override;
+
+  /// Per-position keep-gates [B, T, 1] (exposed for denoising diagnostics).
+  Tensor Gates(const data::Batch& batch);
+
+ private:
+  /// Returns the user vector [B, d]; if `gates` non-null also the gates.
+  Tensor Encode(const data::Batch& batch, Tensor* gates);
+
+  EbmConfig config_;
+  Rng rng_;
+  nn::Embedding item_emb_;
+  nn::Embedding beh_emb_;
+  nn::Embedding pos_emb_;
+  nn::TransformerEncoder encoder_;
+  nn::Linear gate_;
+};
+
+}  // namespace missl::baselines
+
+#endif  // MISSL_BASELINES_EBM_H_

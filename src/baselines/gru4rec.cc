@@ -1,0 +1,42 @@
+#include "baselines/gru4rec.h"
+
+#include "core/common.h"
+
+namespace missl::baselines {
+
+Gru4Rec::Gru4Rec(int32_t num_items, int64_t max_len, const Gru4RecConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      item_emb_(num_items, config.dim, &rng_),
+      gru_(config.dim, config.hidden, &rng_) {
+  MISSL_CHECK(max_len > 0);
+  MISSL_CHECK(config.hidden == config.dim)
+      << "GRU4Rec scores against the item table; hidden must equal dim";
+  RegisterModule("item_emb", &item_emb_);
+  RegisterModule("gru", &gru_);
+}
+
+Tensor Gru4Rec::Encode(const data::Batch& batch) {
+  int64_t b = batch.batch_size, t = batch.max_len;
+  Tensor x = item_emb_.Forward(batch.merged_items, {b, t});
+  x = Dropout(x, config_.dropout, training(), &rng_);
+  Tensor last;
+  gru_.Forward(x, &last);
+  return last;
+}
+
+Tensor Gru4Rec::Loss(const data::Batch& batch) {
+  Tensor user = Encode(batch);
+  return CrossEntropyLoss(core::FullCatalogLogits(user, item_emb_),
+                          batch.targets);
+}
+
+Tensor Gru4Rec::ScoreCandidates(const data::Batch& batch,
+                                const std::vector<int32_t>& cand_ids,
+                                int64_t num_cands) {
+  Tensor user = Encode(batch);
+  return core::ScoreCandidatesSingle(user, item_emb_, cand_ids,
+                                     batch.batch_size, num_cands);
+}
+
+}  // namespace missl::baselines

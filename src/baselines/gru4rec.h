@@ -1,0 +1,44 @@
+// GRU4Rec (Hidasi et al., 2015) adapted to the shared protocol: GRU over the
+// merged interaction stream (behavior-agnostic), last hidden state readout,
+// full-softmax next-item loss.
+#ifndef MISSL_BASELINES_GRU4REC_H_
+#define MISSL_BASELINES_GRU4REC_H_
+
+#include <string>
+
+#include "core/model.h"
+#include "nn/embedding.h"
+#include "nn/gru.h"
+
+namespace missl::baselines {
+
+struct Gru4RecConfig {
+  int64_t dim = 48;
+  int64_t hidden = 48;
+  float dropout = 0.1f;
+  uint64_t seed = 17;
+};
+
+class Gru4Rec : public core::SeqRecModel {
+ public:
+  Gru4Rec(int32_t num_items, int64_t max_len, const Gru4RecConfig& config);
+
+  std::string Name() const override { return "GRU4Rec"; }
+  Tensor Loss(const data::Batch& batch) override;
+  Tensor ScoreCandidates(const data::Batch& batch,
+                         const std::vector<int32_t>& cand_ids,
+                         int64_t num_cands) override;
+
+ private:
+  /// Final user representation [B, d].
+  Tensor Encode(const data::Batch& batch);
+
+  Gru4RecConfig config_;
+  Rng rng_;
+  nn::Embedding item_emb_;
+  nn::GRU gru_;
+};
+
+}  // namespace missl::baselines
+
+#endif  // MISSL_BASELINES_GRU4REC_H_

@@ -1,0 +1,61 @@
+#include "baselines/mb_gru.h"
+
+#include "core/common.h"
+
+namespace missl::baselines {
+
+MbGru::MbGru(int32_t num_items, int32_t num_behaviors, int64_t max_len,
+             const MbGruConfig& config)
+    : config_(config),
+      num_behaviors_(num_behaviors),
+      rng_(config.seed),
+      item_emb_(num_items, config.dim, &rng_),
+      beh_emb_(num_behaviors, config.dim, &rng_),
+      gru_(config.dim, config.dim, &rng_) {
+  MISSL_CHECK(max_len > 0);
+  RegisterModule("item_emb", &item_emb_);
+  RegisterModule("beh_emb", &beh_emb_);
+  RegisterModule("gru", &gru_);
+}
+
+Tensor MbGru::Encode(const data::Batch& batch) {
+  int64_t b = batch.batch_size, t = batch.max_len;
+  Tensor x = item_emb_.Forward(batch.merged_items, {b, t});
+  x = Add(x, beh_emb_.Forward(batch.merged_behaviors, {b, t}));
+  x = Dropout(x, config_.dropout, training(), &rng_);
+  Tensor last;
+  gru_.Forward(x, &last);
+  return last;
+}
+
+Tensor MbGru::ChannelSummary(const data::Batch& batch, int32_t behavior) {
+  int64_t b = batch.batch_size, t = batch.max_len;
+  const auto& ids = batch.beh_items[static_cast<size_t>(behavior)];
+  Tensor e = item_emb_.Forward(ids, {b, t});
+  return core::MaskedMeanPool(e, ids, b, t);
+}
+
+Tensor MbGru::Loss(const data::Batch& batch) {
+  Tensor user = Encode(batch);
+  Tensor loss = CrossEntropyLoss(core::FullCatalogLogits(user, item_emb_),
+                                 batch.targets);
+  if (config_.lambda_aux > 0.0f && num_behaviors_ >= 2) {
+    // Cascading transfer: the shallowest channel's summary should also rank
+    // the purchased item highly.
+    Tensor clicks = ChannelSummary(batch, 0);
+    Tensor aux = CrossEntropyLoss(core::FullCatalogLogits(clicks, item_emb_),
+                                  batch.targets);
+    loss = Add(loss, MulScalar(aux, config_.lambda_aux));
+  }
+  return loss;
+}
+
+Tensor MbGru::ScoreCandidates(const data::Batch& batch,
+                              const std::vector<int32_t>& cand_ids,
+                              int64_t num_cands) {
+  Tensor user = Encode(batch);
+  return core::ScoreCandidatesSingle(user, item_emb_, cand_ids,
+                                     batch.batch_size, num_cands);
+}
+
+}  // namespace missl::baselines

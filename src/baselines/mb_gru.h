@@ -1,0 +1,49 @@
+// MB-GRU: recurrent multi-behavior baseline (NMTR-flavored stand-in). A GRU
+// consumes the merged stream with behavior-type embeddings added, plus an
+// auxiliary multi-task term that predicts the target from the click-channel
+// summary (cascading-behavior transfer).
+#ifndef MISSL_BASELINES_MB_GRU_H_
+#define MISSL_BASELINES_MB_GRU_H_
+
+#include <string>
+
+#include "core/model.h"
+#include "nn/embedding.h"
+#include "nn/gru.h"
+
+namespace missl::baselines {
+
+struct MbGruConfig {
+  int64_t dim = 48;
+  float dropout = 0.1f;
+  float lambda_aux = 0.2f;
+  uint64_t seed = 17;
+};
+
+class MbGru : public core::SeqRecModel {
+ public:
+  MbGru(int32_t num_items, int32_t num_behaviors, int64_t max_len,
+        const MbGruConfig& config);
+
+  std::string Name() const override { return "MB-GRU"; }
+  Tensor Loss(const data::Batch& batch) override;
+  Tensor ScoreCandidates(const data::Batch& batch,
+                         const std::vector<int32_t>& cand_ids,
+                         int64_t num_cands) override;
+
+ private:
+  Tensor Encode(const data::Batch& batch);
+  /// Mean-pooled embedding of one behavior channel [B, d].
+  Tensor ChannelSummary(const data::Batch& batch, int32_t behavior);
+
+  MbGruConfig config_;
+  int32_t num_behaviors_;
+  Rng rng_;
+  nn::Embedding item_emb_;
+  nn::Embedding beh_emb_;
+  nn::GRU gru_;
+};
+
+}  // namespace missl::baselines
+
+#endif  // MISSL_BASELINES_MB_GRU_H_

@@ -1,0 +1,65 @@
+#include "baselines/mb_str.h"
+
+#include "core/common.h"
+#include "nn/attention.h"
+
+namespace missl::baselines {
+
+namespace {
+nn::TransformerConfig EncoderConfig(const MbStrConfig& cfg) {
+  nn::TransformerConfig tc;
+  tc.dim = cfg.dim;
+  tc.heads = cfg.heads;
+  tc.layers = cfg.layers;
+  tc.ffn_hidden = 2 * cfg.dim;
+  tc.dropout = cfg.dropout;
+  tc.causal = true;
+  return tc;
+}
+}  // namespace
+
+MbStr::MbStr(int32_t num_items, int32_t num_behaviors, int64_t max_len,
+             const MbStrConfig& config)
+    : config_(config),
+      num_behaviors_(num_behaviors),
+      rng_(config.seed),
+      item_emb_(num_items, config.dim, &rng_),
+      beh_emb_(num_behaviors, config.dim, &rng_),
+      pos_emb_(max_len, config.dim, &rng_),
+      encoder_(EncoderConfig(config), &rng_),
+      head_(config.dim, config.dim, &rng_) {
+  RegisterModule("item_emb", &item_emb_);
+  RegisterModule("beh_emb", &beh_emb_);
+  RegisterModule("pos_emb", &pos_emb_);
+  RegisterModule("encoder", &encoder_);
+  RegisterModule("head", &head_);
+}
+
+Tensor MbStr::Encode(const data::Batch& batch) {
+  int64_t b = batch.batch_size, t = batch.max_len;
+  Tensor h = core::EmbedWithPositions(item_emb_, pos_emb_, batch.merged_items,
+                                      b, t);
+  h = Add(h, beh_emb_.Forward(batch.merged_behaviors, {b, t}));
+  h = Dropout(h, config_.dropout, training(), &rng_);
+  Tensor mask = nn::KeyPaddingMask(batch.merged_items, b, t);
+  Tensor user = core::LastPosition(encoder_.Forward(h, mask));
+  // Behavior-aware prediction projection for the target channel.
+  (void)num_behaviors_;
+  return head_.Forward(user);
+}
+
+Tensor MbStr::Loss(const data::Batch& batch) {
+  Tensor user = Encode(batch);
+  return CrossEntropyLoss(core::FullCatalogLogits(user, item_emb_),
+                          batch.targets);
+}
+
+Tensor MbStr::ScoreCandidates(const data::Batch& batch,
+                              const std::vector<int32_t>& cand_ids,
+                              int64_t num_cands) {
+  Tensor user = Encode(batch);
+  return core::ScoreCandidatesSingle(user, item_emb_, cand_ids,
+                                     batch.batch_size, num_cands);
+}
+
+}  // namespace missl::baselines

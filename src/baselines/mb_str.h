@@ -1,0 +1,57 @@
+// MB-STR-lite (Yuan et al., 2022): multi-behavior sequential transformer.
+// Causal transformer over the merged stream with item + behavior + position
+// embeddings and a behavior-aware prediction projection for the target
+// channel. (The full model's per-behavior multi-task heads would be dead
+// parameters under this repo's single-target-behavior protocol, so the lite
+// version keeps exactly one head.)
+#ifndef MISSL_BASELINES_MB_STR_H_
+#define MISSL_BASELINES_MB_STR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/transformer.h"
+
+namespace missl::baselines {
+
+struct MbStrConfig {
+  int64_t dim = 48;
+  int64_t heads = 2;
+  int64_t layers = 2;
+  float dropout = 0.1f;
+  uint64_t seed = 17;
+};
+
+class MbStr : public core::SeqRecModel {
+ public:
+  MbStr(int32_t num_items, int32_t num_behaviors, int64_t max_len,
+        const MbStrConfig& config);
+
+  std::string Name() const override { return "MB-STR"; }
+  Tensor Loss(const data::Batch& batch) override;
+  Tensor ScoreCandidates(const data::Batch& batch,
+                         const std::vector<int32_t>& cand_ids,
+                         int64_t num_cands) override;
+
+ private:
+  /// [B, d] readout already passed through the behavior-specific head of
+  /// the target behavior.
+  Tensor Encode(const data::Batch& batch);
+
+  MbStrConfig config_;
+  int32_t num_behaviors_;
+  Rng rng_;
+  nn::Embedding item_emb_;
+  nn::Embedding beh_emb_;
+  nn::Embedding pos_emb_;
+  nn::TransformerEncoder encoder_;
+  nn::Linear head_;  ///< behavior-aware projection for the target channel
+};
+
+}  // namespace missl::baselines
+
+#endif  // MISSL_BASELINES_MB_STR_H_

@@ -1,0 +1,56 @@
+// MBHT-lite (Yang et al., 2022): multi-behavior hypergraph-enhanced
+// transformer. Shares MISSL's hypergraph + transformer encoder stack over the
+// behavior-tagged merged stream, but with a single-vector readout and no
+// self-supervision — isolating exactly what MISSL's multi-interest SSL adds.
+#ifndef MISSL_BASELINES_MBHT_H_
+#define MISSL_BASELINES_MBHT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "hypergraph/hgat.h"
+#include "hypergraph/incidence.h"
+#include "nn/embedding.h"
+#include "nn/transformer.h"
+
+namespace missl::baselines {
+
+struct MbhtConfig {
+  int64_t dim = 48;
+  int64_t heads = 2;
+  int64_t layers = 1;
+  int64_t hgat_layers = 1;
+  float dropout = 0.1f;
+  hypergraph::HypergraphConfig hg;
+  uint64_t seed = 17;
+};
+
+class Mbht : public core::SeqRecModel {
+ public:
+  Mbht(int32_t num_items, int32_t num_behaviors, int64_t max_len,
+       const MbhtConfig& config);
+
+  std::string Name() const override { return "MBHT"; }
+  Tensor Loss(const data::Batch& batch) override;
+  Tensor ScoreCandidates(const data::Batch& batch,
+                         const std::vector<int32_t>& cand_ids,
+                         int64_t num_cands) override;
+
+ private:
+  Tensor Encode(const data::Batch& batch);
+
+  MbhtConfig config_;
+  int32_t num_behaviors_;
+  Rng rng_;
+  nn::Embedding item_emb_;
+  nn::Embedding beh_emb_;
+  nn::Embedding pos_emb_;
+  std::vector<std::unique_ptr<hypergraph::HypergraphAttentionLayer>> hgat_;
+  nn::TransformerEncoder encoder_;
+};
+
+}  // namespace missl::baselines
+
+#endif  // MISSL_BASELINES_MBHT_H_

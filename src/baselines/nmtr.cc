@@ -1,0 +1,71 @@
+#include "baselines/nmtr.h"
+
+#include "core/common.h"
+
+namespace missl::baselines {
+
+Nmtr::Nmtr(int32_t num_items, int32_t num_behaviors, int64_t max_len,
+           const NmtrConfig& config)
+    : config_(config),
+      num_behaviors_(num_behaviors),
+      rng_(config.seed),
+      item_emb_(num_items, config.dim, &rng_),
+      beh_emb_(num_behaviors, config.dim, &rng_),
+      gru_(config.dim, config.dim, &rng_) {
+  MISSL_CHECK(max_len > 0);
+  RegisterModule("item_emb", &item_emb_);
+  RegisterModule("beh_emb", &beh_emb_);
+  RegisterModule("gru", &gru_);
+  for (int32_t b = 0; b < num_behaviors; ++b) {
+    heads_.push_back(std::make_unique<nn::Linear>(config.dim, config.dim, &rng_));
+    RegisterModule("head" + std::to_string(b), heads_.back().get());
+  }
+}
+
+std::vector<Tensor> Nmtr::CascadedUsers(const data::Batch& batch) {
+  int64_t b = batch.batch_size, t = batch.max_len;
+  Tensor x = item_emb_.Forward(batch.merged_items, {b, t});
+  x = Add(x, beh_emb_.Forward(batch.merged_behaviors, {b, t}));
+  x = Dropout(x, config_.dropout, training(), &rng_);
+  Tensor last;
+  gru_.Forward(x, &last);
+  // Cascade: u_b = u_{b-1} + head_b(shared); deeper channels refine the
+  // shallower prediction instead of starting over.
+  std::vector<Tensor> users;
+  Tensor acc;
+  for (int32_t beh = 0; beh < num_behaviors_; ++beh) {
+    Tensor h = heads_[static_cast<size_t>(beh)]->Forward(last);
+    acc = acc.defined() ? Add(acc, h) : h;
+    users.push_back(acc);
+  }
+  return users;
+}
+
+Tensor Nmtr::Loss(const data::Batch& batch) {
+  std::vector<Tensor> users = CascadedUsers(batch);
+  // Multi-task: every channel predicts the target item, with weight rising
+  // toward the deepest (target) channel.
+  Tensor loss;
+  float weight_sum = 0;
+  for (int32_t beh = 0; beh < num_behaviors_; ++beh) {
+    float w = static_cast<float>(beh + 1) / static_cast<float>(num_behaviors_);
+    Tensor term = MulScalar(
+        CrossEntropyLoss(
+            core::FullCatalogLogits(users[static_cast<size_t>(beh)], item_emb_),
+            batch.targets),
+        w);
+    loss = loss.defined() ? Add(loss, term) : term;
+    weight_sum += w;
+  }
+  return MulScalar(loss, 1.0f / weight_sum);
+}
+
+Tensor Nmtr::ScoreCandidates(const data::Batch& batch,
+                             const std::vector<int32_t>& cand_ids,
+                             int64_t num_cands) {
+  std::vector<Tensor> users = CascadedUsers(batch);
+  return core::ScoreCandidatesSingle(users.back(), item_emb_, cand_ids,
+                                     batch.batch_size, num_cands);
+}
+
+}  // namespace missl::baselines

@@ -1,0 +1,54 @@
+// NMTR-lite (Gao et al., ICDE 2019): neural multi-task recommendation with
+// cascaded behavior prediction. A shared GRU encodes the behavior-tagged
+// stream; per-behavior heads produce cascaded logits (each channel's logit
+// is the previous channel's plus its own head), trained multi-task with
+// weights increasing toward the target channel. Adapted to this repo's
+// next-item protocol (the original is rating-style).
+#ifndef MISSL_BASELINES_NMTR_H_
+#define MISSL_BASELINES_NMTR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "nn/embedding.h"
+#include "nn/gru.h"
+#include "nn/linear.h"
+
+namespace missl::baselines {
+
+struct NmtrConfig {
+  int64_t dim = 48;
+  float dropout = 0.1f;
+  uint64_t seed = 17;
+};
+
+class Nmtr : public core::SeqRecModel {
+ public:
+  Nmtr(int32_t num_items, int32_t num_behaviors, int64_t max_len,
+       const NmtrConfig& config);
+
+  std::string Name() const override { return "NMTR"; }
+  Tensor Loss(const data::Batch& batch) override;
+  Tensor ScoreCandidates(const data::Batch& batch,
+                         const std::vector<int32_t>& cand_ids,
+                         int64_t num_cands) override;
+
+ private:
+  /// Per-behavior cascaded user vectors; element b is the representation
+  /// used to predict under channel b (cumulative over heads 0..b).
+  std::vector<Tensor> CascadedUsers(const data::Batch& batch);
+
+  NmtrConfig config_;
+  int32_t num_behaviors_;
+  Rng rng_;
+  nn::Embedding item_emb_;
+  nn::Embedding beh_emb_;
+  nn::GRU gru_;
+  std::vector<std::unique_ptr<nn::Linear>> heads_;
+};
+
+}  // namespace missl::baselines
+
+#endif  // MISSL_BASELINES_NMTR_H_

@@ -1,0 +1,124 @@
+#include "baselines/pop.h"
+
+#include <cmath>
+
+#include "utils/check.h"
+
+namespace missl::baselines {
+
+namespace {
+
+// Visits every training-visible event: all events of each user strictly
+// before that user's validation cut (or the whole stream for users excluded
+// from evaluation, whose last two target events were never split off).
+template <typename Fn>
+void ForEachTrainEvent(const data::Dataset& ds, Fn&& fn) {
+  data::SplitView split(ds);
+  for (int32_t u = 0; u < ds.num_users(); ++u) {
+    const auto& events = ds.user(u).events;
+    int64_t limit = split.valid_pos[static_cast<size_t>(u)];
+    if (limit < 0) limit = static_cast<int64_t>(events.size());
+    for (int64_t i = 0; i < limit; ++i) {
+      fn(u, i, events[static_cast<size_t>(i)]);
+    }
+  }
+}
+
+}  // namespace
+
+Pop::Pop(const data::Dataset& ds) {
+  popularity_.assign(static_cast<size_t>(ds.num_items()), 0.0f);
+  ForEachTrainEvent(ds, [this](int32_t, int64_t, const data::Interaction& e) {
+    popularity_[static_cast<size_t>(e.item)] += 1.0f;
+  });
+  for (auto& p : popularity_) p = std::log1p(p);
+}
+
+Tensor Pop::Loss(const data::Batch& batch) {
+  (void)batch;
+  return Tensor::Scalar(0.0f);
+}
+
+Tensor Pop::ScoreCandidates(const data::Batch& batch,
+                            const std::vector<int32_t>& cand_ids,
+                            int64_t num_cands) {
+  MISSL_CHECK(static_cast<int64_t>(cand_ids.size()) ==
+              batch.batch_size * num_cands)
+      << "cand ids size";
+  Tensor s = Tensor::Zeros({batch.batch_size, num_cands});
+  for (size_t i = 0; i < cand_ids.size(); ++i) {
+    s.data()[i] = popularity_[static_cast<size_t>(cand_ids[i])];
+  }
+  return s;
+}
+
+ItemKnn::ItemKnn(const data::Dataset& ds, int64_t window, int64_t recent)
+    : recent_(recent) {
+  MISSL_CHECK(window > 0 && recent > 0);
+  sim_.resize(static_cast<size_t>(ds.num_items()));
+  std::vector<float> count(static_cast<size_t>(ds.num_items()), 0.0f);
+  // Raw windowed co-occurrence counts.
+  data::SplitView split(ds);
+  for (int32_t u = 0; u < ds.num_users(); ++u) {
+    const auto& events = ds.user(u).events;
+    int64_t limit = split.valid_pos[static_cast<size_t>(u)];
+    if (limit < 0) limit = static_cast<int64_t>(events.size());
+    for (int64_t i = 0; i < limit; ++i) {
+      int32_t a = events[static_cast<size_t>(i)].item;
+      count[static_cast<size_t>(a)] += 1.0f;
+      for (int64_t j = i + 1; j < std::min(limit, i + 1 + window); ++j) {
+        int32_t b = events[static_cast<size_t>(j)].item;
+        if (a == b) continue;
+        sim_[static_cast<size_t>(a)][b] += 1.0f;
+        sim_[static_cast<size_t>(b)][a] += 1.0f;
+      }
+    }
+  }
+  // Cosine normalization: c(a,b) / sqrt(c(a) * c(b)).
+  for (int32_t a = 0; a < ds.num_items(); ++a) {
+    for (auto& [b, v] : sim_[static_cast<size_t>(a)]) {
+      float denom = std::sqrt(count[static_cast<size_t>(a)] *
+                              count[static_cast<size_t>(b)]);
+      if (denom > 0) v /= denom;
+    }
+  }
+}
+
+float ItemKnn::Similarity(int32_t a, int32_t b) const {
+  const auto& row = sim_[static_cast<size_t>(a)];
+  auto it = row.find(b);
+  return it == row.end() ? 0.0f : it->second;
+}
+
+Tensor ItemKnn::Loss(const data::Batch& batch) {
+  (void)batch;
+  return Tensor::Scalar(0.0f);
+}
+
+Tensor ItemKnn::ScoreCandidates(const data::Batch& batch,
+                                const std::vector<int32_t>& cand_ids,
+                                int64_t num_cands) {
+  MISSL_CHECK(static_cast<int64_t>(cand_ids.size()) ==
+              batch.batch_size * num_cands)
+      << "cand ids size";
+  Tensor s = Tensor::Zeros({batch.batch_size, num_cands});
+  int64_t t = batch.max_len;
+  for (int64_t row = 0; row < batch.batch_size; ++row) {
+    // Most recent `recent_` history items (front-padded layout).
+    std::vector<int32_t> hist;
+    for (int64_t i = t - 1; i >= 0 && static_cast<int64_t>(hist.size()) < recent_;
+         --i) {
+      int32_t id = batch.merged_items[static_cast<size_t>(row * t + i)];
+      if (id >= 0) hist.push_back(id);
+    }
+    for (int64_t c = 0; c < num_cands; ++c) {
+      int32_t cand = cand_ids[static_cast<size_t>(row * num_cands + c)];
+      float acc = 0;
+      for (int32_t h : hist) acc += Similarity(h, cand);
+      s.data()[row * num_cands + c] = acc;
+    }
+  }
+  return s;
+}
+
+}  // namespace missl::baselines

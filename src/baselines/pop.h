@@ -1,0 +1,57 @@
+// Non-learned reference models: global popularity (POP) and item-item
+// co-occurrence (ItemKNN). Classic table rows that anchor the learned
+// models' gains. Both are fitted from training-visible events only (every
+// event strictly before each user's validation cut) to avoid label leakage.
+#ifndef MISSL_BASELINES_POP_H_
+#define MISSL_BASELINES_POP_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/model.h"
+#include "data/dataset.h"
+
+namespace missl::baselines {
+
+/// Ranks every candidate by its global interaction count.
+class Pop : public core::SeqRecModel {
+ public:
+  explicit Pop(const data::Dataset& ds);
+
+  std::string Name() const override { return "POP"; }
+  /// Constant zero — POP has nothing to learn.
+  Tensor Loss(const data::Batch& batch) override;
+  Tensor ScoreCandidates(const data::Batch& batch,
+                         const std::vector<int32_t>& cand_ids,
+                         int64_t num_cands) override;
+
+ private:
+  std::vector<float> popularity_;  ///< per item, log-scaled count
+};
+
+/// Item-to-item collaborative filtering: cosine-normalized co-occurrence
+/// counts within user histories; a candidate scores by its summed
+/// similarity to the user's most recent items.
+class ItemKnn : public core::SeqRecModel {
+ public:
+  /// `window`: events co-occur when within this many positions of each
+  /// other; `recent`: history items used at scoring time.
+  ItemKnn(const data::Dataset& ds, int64_t window = 10, int64_t recent = 10);
+
+  std::string Name() const override { return "ItemKNN"; }
+  Tensor Loss(const data::Batch& batch) override;
+  Tensor ScoreCandidates(const data::Batch& batch,
+                         const std::vector<int32_t>& cand_ids,
+                         int64_t num_cands) override;
+
+ private:
+  float Similarity(int32_t a, int32_t b) const;
+
+  int64_t recent_;
+  std::vector<std::unordered_map<int32_t, float>> sim_;  ///< per item
+};
+
+}  // namespace missl::baselines
+
+#endif  // MISSL_BASELINES_POP_H_

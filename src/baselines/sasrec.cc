@@ -1,0 +1,58 @@
+#include "baselines/sasrec.h"
+
+#include "core/common.h"
+#include "nn/attention.h"
+
+namespace missl::baselines {
+
+namespace {
+nn::TransformerConfig EncoderConfig(const SasRecConfig& cfg) {
+  nn::TransformerConfig tc;
+  tc.dim = cfg.dim;
+  tc.heads = cfg.heads;
+  tc.layers = cfg.layers;
+  tc.ffn_hidden = 2 * cfg.dim;
+  tc.dropout = cfg.dropout;
+  tc.causal = true;
+  return tc;
+}
+}  // namespace
+
+SasRec::SasRec(int32_t num_items, int64_t max_len, const SasRecConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      item_emb_(num_items, config.dim, &rng_),
+      pos_emb_(max_len, config.dim, &rng_),
+      encoder_(EncoderConfig(config), &rng_) {
+  RegisterModule("item_emb", &item_emb_);
+  RegisterModule("pos_emb", &pos_emb_);
+  RegisterModule("encoder", &encoder_);
+}
+
+Tensor SasRec::EncodeIds(const std::vector<int32_t>& ids, int64_t b, int64_t t) {
+  Tensor h = core::EmbedWithPositions(item_emb_, pos_emb_, ids, b, t);
+  h = Dropout(h, config_.dropout, training(), &rng_);
+  Tensor mask = nn::KeyPaddingMask(ids, b, t);
+  h = encoder_.Forward(h, mask);
+  return core::LastPosition(h);
+}
+
+Tensor SasRec::Encode(const data::Batch& batch) {
+  return EncodeIds(batch.merged_items, batch.batch_size, batch.max_len);
+}
+
+Tensor SasRec::Loss(const data::Batch& batch) {
+  Tensor user = Encode(batch);
+  return CrossEntropyLoss(core::FullCatalogLogits(user, item_emb_),
+                          batch.targets);
+}
+
+Tensor SasRec::ScoreCandidates(const data::Batch& batch,
+                               const std::vector<int32_t>& cand_ids,
+                               int64_t num_cands) {
+  Tensor user = Encode(batch);
+  return core::ScoreCandidatesSingle(user, item_emb_, cand_ids,
+                                     batch.batch_size, num_cands);
+}
+
+}  // namespace missl::baselines

@@ -1,0 +1,49 @@
+// SASRec (Kang & McAuley, 2018): causal self-attention over the merged
+// stream, last-position readout.
+#ifndef MISSL_BASELINES_SASREC_H_
+#define MISSL_BASELINES_SASREC_H_
+
+#include <string>
+
+#include "core/model.h"
+#include "nn/embedding.h"
+#include "nn/transformer.h"
+
+namespace missl::baselines {
+
+struct SasRecConfig {
+  int64_t dim = 48;
+  int64_t heads = 2;
+  int64_t layers = 2;
+  float dropout = 0.1f;
+  uint64_t seed = 17;
+};
+
+class SasRec : public core::SeqRecModel {
+ public:
+  SasRec(int32_t num_items, int64_t max_len, const SasRecConfig& config);
+
+  std::string Name() const override { return "SASRec"; }
+  Tensor Loss(const data::Batch& batch) override;
+  Tensor ScoreCandidates(const data::Batch& batch,
+                         const std::vector<int32_t>& cand_ids,
+                         int64_t num_cands) override;
+
+ protected:
+  /// Final user representation [B, d] (overridable readout for variants).
+  virtual Tensor Encode(const data::Batch& batch);
+
+  /// Causal encoding of an arbitrary id sequence, last-position readout
+  /// [B, d]; shared with augmentation-based variants (CL4SRec).
+  Tensor EncodeIds(const std::vector<int32_t>& ids, int64_t b, int64_t t);
+
+  SasRecConfig config_;
+  Rng rng_;
+  nn::Embedding item_emb_;
+  nn::Embedding pos_emb_;
+  nn::TransformerEncoder encoder_;
+};
+
+}  // namespace missl::baselines
+
+#endif  // MISSL_BASELINES_SASREC_H_

@@ -1,0 +1,103 @@
+#include "baselines/stosa.h"
+
+#include <cmath>
+
+#include "core/common.h"
+#include "nn/attention.h"
+#include "tensor/ops.h"
+
+namespace missl::baselines {
+
+namespace {
+
+// Numerically-safe softplus built from primitive ops.
+Tensor Softplus(const Tensor& x) {
+  return Log(AddScalar(Exp(Clamp(x, -15.0f, 15.0f)), 1.0f));
+}
+
+// Pairwise squared distances between row sets: a [B, T, d], b [B, T, d]
+// -> [B, T, T] with entry ||a_i - b_j||^2.
+Tensor PairwiseSq(const Tensor& a, const Tensor& b) {
+  Tensor an = Sum(Square(a), -1, true);          // [B, T, 1]
+  Tensor bn = Transpose(Sum(Square(b), -1, true));  // [B, 1, T]
+  Tensor cross = MatMul(a, Transpose(b));        // [B, T, T]
+  return Sub(Add(an, bn), MulScalar(cross, 2.0f));
+}
+
+}  // namespace
+
+Stosa::Stosa(int32_t num_items, int64_t max_len, const StosaConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      mean_emb_(num_items, config.dim, &rng_),
+      std_emb_(num_items, config.dim, &rng_),
+      pos_emb_(max_len, config.dim, &rng_),
+      vm_(config.dim, config.dim, &rng_),
+      vs_(config.dim, config.dim, &rng_),
+      ln_m_(config.dim) {
+  RegisterModule("mean_emb", &mean_emb_);
+  RegisterModule("std_emb", &std_emb_);
+  RegisterModule("pos_emb", &pos_emb_);
+  RegisterModule("vm", &vm_);
+  RegisterModule("vs", &vs_);
+  RegisterModule("ln_m", &ln_m_);
+}
+
+void Stosa::Encode(const data::Batch& batch, Tensor* mean, Tensor* stddev) {
+  int64_t b = batch.batch_size, t = batch.max_len;
+  Tensor m = core::EmbedWithPositions(mean_emb_, pos_emb_, batch.merged_items,
+                                      b, t);
+  Tensor s_raw = std_emb_.Forward(batch.merged_items, {b, t});
+  Tensor s = Softplus(s_raw);
+  m = Dropout(m, config_.dropout, training(), &rng_);
+
+  // Wasserstein self-attention: w_ij ∝ exp(-(||μi-μj||² + ||σi-σj||²)/√d).
+  float scale = 1.0f / std::sqrt(static_cast<float>(config_.dim));
+  Tensor dist = MulScalar(Add(PairwiseSq(m, m), PairwiseSq(s, s)), scale);
+  Tensor scores = Neg(dist);
+  Tensor mask = Add(nn::KeyPaddingMask(batch.merged_items, b, t),
+                    nn::CausalMask(t));
+  Tensor probs = Softmax(Add(scores, mask));
+  Tensor m_out = ln_m_.Forward(Add(m, MatMul(probs, vm_.Forward(m))));
+  Tensor s_out = Softplus(Add(s, MatMul(probs, vs_.Forward(s))));
+  *mean = core::LastPosition(m_out);
+  *stddev = core::LastPosition(s_out);
+}
+
+Tensor Stosa::Loss(const data::Batch& batch) {
+  Tensor mu, sd;
+  Encode(batch, &mu, &sd);
+  // Full-catalog logits = negative W2² distance to every item distribution.
+  Tensor item_mu = mean_emb_.weight();              // [V, d]
+  Tensor item_sd = Softplus(std_emb_.weight());     // [V, d]
+  Tensor mu_n = Sum(Square(mu), -1, true);          // [B, 1]
+  Tensor it_n = Sum(Square(item_mu), -1, false);    // [V]
+  Tensor dm = Sub(Add(mu_n, it_n),
+                  MulScalar(MatMul(mu, Transpose(item_mu)), 2.0f));
+  Tensor sd_n = Sum(Square(sd), -1, true);
+  Tensor is_n = Sum(Square(item_sd), -1, false);
+  Tensor dsd = Sub(Add(sd_n, is_n),
+                   MulScalar(MatMul(sd, Transpose(item_sd)), 2.0f));
+  Tensor logits = Neg(Add(dm, dsd));
+  return CrossEntropyLoss(logits, batch.targets);
+}
+
+Tensor Stosa::ScoreCandidates(const data::Batch& batch,
+                              const std::vector<int32_t>& cand_ids,
+                              int64_t num_cands) {
+  Tensor mu, sd;
+  Encode(batch, &mu, &sd);
+  int64_t b = batch.batch_size, d = config_.dim;
+  Tensor cmu = mean_emb_.Forward(cand_ids, {b, num_cands});          // [B,C,d]
+  Tensor csd = Softplus(std_emb_.Forward(cand_ids, {b, num_cands}));
+  auto dist = [&](const Tensor& u, const Tensor& c) {
+    Tensor un = Sum(Square(u), -1, true);                    // [B, 1]
+    Tensor cn = Sum(Square(c), -1, false);                   // [B, C]
+    Tensor cross = Reshape(
+        MatMul(Reshape(u, {b, 1, d}), Transpose(c)), {b, num_cands});
+    return Sub(Add(un, cn), MulScalar(cross, 2.0f));
+  };
+  return Neg(Add(dist(mu, cmu), dist(sd, csd)));
+}
+
+}  // namespace missl::baselines

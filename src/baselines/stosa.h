@@ -1,0 +1,49 @@
+// STOSA-lite (Fan et al., 2022): stochastic self-attention. Items embed as
+// Gaussians (mean + uncertainty); attention weights and candidate scores
+// come from negative 2-Wasserstein distances between distributions instead
+// of dot products.
+#ifndef MISSL_BASELINES_STOSA_H_
+#define MISSL_BASELINES_STOSA_H_
+
+#include <string>
+
+#include "core/model.h"
+#include "nn/embedding.h"
+#include "nn/layernorm.h"
+#include "nn/linear.h"
+
+namespace missl::baselines {
+
+struct StosaConfig {
+  int64_t dim = 48;
+  float dropout = 0.1f;
+  uint64_t seed = 17;
+};
+
+class Stosa : public core::SeqRecModel {
+ public:
+  Stosa(int32_t num_items, int64_t max_len, const StosaConfig& config);
+
+  std::string Name() const override { return "STOSA"; }
+  Tensor Loss(const data::Batch& batch) override;
+  Tensor ScoreCandidates(const data::Batch& batch,
+                         const std::vector<int32_t>& cand_ids,
+                         int64_t num_cands) override;
+
+ private:
+  /// Encodes the merged stream into a user distribution: mean and
+  /// (softplus-positive) std, both [B, d].
+  void Encode(const data::Batch& batch, Tensor* mean, Tensor* std);
+
+  StosaConfig config_;
+  Rng rng_;
+  nn::Embedding mean_emb_;
+  nn::Embedding std_emb_;  ///< raw; softplus applied at use sites
+  nn::Embedding pos_emb_;
+  nn::Linear vm_, vs_;     ///< value projections for the two streams
+  nn::LayerNormM ln_m_;
+};
+
+}  // namespace missl::baselines
+
+#endif  // MISSL_BASELINES_STOSA_H_

@@ -1,0 +1,118 @@
+#include "baselines/zoo.h"
+
+#include "baselines/bert4rec.h"
+#include "baselines/cl4srec.h"
+#include "baselines/comirec.h"
+#include "baselines/ebm.h"
+#include "baselines/gru4rec.h"
+#include "baselines/mb_gru.h"
+#include "baselines/mb_str.h"
+#include "baselines/mbht.h"
+#include "baselines/nmtr.h"
+#include "baselines/pop.h"
+#include "baselines/sasrec.h"
+#include "baselines/stosa.h"
+#include "core/missl.h"
+#include "utils/check.h"
+
+namespace missl::baselines {
+
+const std::vector<std::string>& ModelZooNames() {
+  static const std::vector<std::string> kNames = {
+      "POP",     "ItemKNN",                       // non-learned references
+      "GRU4Rec", "SASRec",  "BERT4Rec", "STOSA",  // traditional sequential
+      "CL4SRec", "ComiRec",                       // SSL / multi-interest
+      "NMTR",    "MB-GRU",  "MB-STR",   "MBHT",   // multi-behavior
+      "EBM",                                      // denoising multi-behavior
+      "MISSL",                                    // ours
+  };
+  return kNames;
+}
+
+std::unique_ptr<core::SeqRecModel> CreateModel(const std::string& name,
+                                               const data::Dataset& ds,
+                                               const ZooConfig& zc) {
+  int32_t num_items = ds.num_items();
+  int32_t num_behaviors = ds.num_behaviors();
+  if (name == "POP") return std::make_unique<Pop>(ds);
+  if (name == "ItemKNN") return std::make_unique<ItemKnn>(ds);
+  if (name == "GRU4Rec") {
+    Gru4RecConfig cfg;
+    cfg.dim = zc.dim;
+    cfg.hidden = zc.dim;
+    cfg.seed = zc.seed;
+    return std::make_unique<Gru4Rec>(num_items, zc.max_len, cfg);
+  }
+  if (name == "SASRec") {
+    SasRecConfig cfg;
+    cfg.dim = zc.dim;
+    cfg.seed = zc.seed;
+    return std::make_unique<SasRec>(num_items, zc.max_len, cfg);
+  }
+  if (name == "BERT4Rec") {
+    Bert4RecConfig cfg;
+    cfg.dim = zc.dim;
+    cfg.seed = zc.seed;
+    return std::make_unique<Bert4Rec>(num_items, zc.max_len, cfg);
+  }
+  if (name == "STOSA") {
+    StosaConfig cfg;
+    cfg.dim = zc.dim;
+    cfg.seed = zc.seed;
+    return std::make_unique<Stosa>(num_items, zc.max_len, cfg);
+  }
+  if (name == "CL4SRec") {
+    Cl4SRecConfig cfg;
+    cfg.base.dim = zc.dim;
+    cfg.base.seed = zc.seed;
+    return std::make_unique<Cl4SRec>(num_items, zc.max_len, cfg);
+  }
+  if (name == "ComiRec") {
+    ComiRecConfig cfg;
+    cfg.dim = zc.dim;
+    cfg.num_interests = zc.num_interests;
+    cfg.seed = zc.seed;
+    return std::make_unique<ComiRec>(num_items, zc.max_len, cfg);
+  }
+  if (name == "NMTR") {
+    NmtrConfig cfg;
+    cfg.dim = zc.dim;
+    cfg.seed = zc.seed;
+    return std::make_unique<Nmtr>(num_items, num_behaviors, zc.max_len, cfg);
+  }
+  if (name == "MB-GRU") {
+    MbGruConfig cfg;
+    cfg.dim = zc.dim;
+    cfg.seed = zc.seed;
+    return std::make_unique<MbGru>(num_items, num_behaviors, zc.max_len, cfg);
+  }
+  if (name == "MB-STR") {
+    MbStrConfig cfg;
+    cfg.dim = zc.dim;
+    cfg.seed = zc.seed;
+    return std::make_unique<MbStr>(num_items, num_behaviors, zc.max_len, cfg);
+  }
+  if (name == "MBHT") {
+    MbhtConfig cfg;
+    cfg.dim = zc.dim;
+    cfg.seed = zc.seed;
+    return std::make_unique<Mbht>(num_items, num_behaviors, zc.max_len, cfg);
+  }
+  if (name == "EBM") {
+    EbmConfig cfg;
+    cfg.dim = zc.dim;
+    cfg.seed = zc.seed;
+    return std::make_unique<Ebm>(num_items, num_behaviors, zc.max_len, cfg);
+  }
+  if (name == "MISSL") {
+    core::MisslConfig cfg;
+    cfg.dim = zc.dim;
+    cfg.num_interests = zc.num_interests;
+    cfg.seed = zc.seed;
+    return std::make_unique<core::MisslModel>(num_items, num_behaviors,
+                                              zc.max_len, cfg);
+  }
+  MISSL_CHECK(false) << "unknown model name: " << name;
+}
+
+}  // namespace missl::baselines

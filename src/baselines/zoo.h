@@ -1,0 +1,36 @@
+// Model factory: creates any model in the library by name with a shared
+// budget (embedding dim, seed), so bench harnesses can sweep the whole zoo.
+#ifndef MISSL_BASELINES_ZOO_H_
+#define MISSL_BASELINES_ZOO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "data/dataset.h"
+
+namespace missl::baselines {
+
+/// Common knobs shared by every model created through the zoo.
+struct ZooConfig {
+  int64_t dim = 48;
+  int64_t max_len = 50;
+  uint64_t seed = 17;
+  int64_t num_interests = 4;  ///< for multi-interest models
+};
+
+/// Names accepted by CreateModel, in table order: non-learned references,
+/// traditional sequential, SSL / multi-interest, multi-behavior, then MISSL.
+const std::vector<std::string>& ModelZooNames();
+
+/// Creates a model by name. Statistics-based references (POP, ItemKNN) fit
+/// themselves from the dataset's training-visible events; learned models
+/// only read its dimensions. CHECK-fails on unknown names.
+std::unique_ptr<core::SeqRecModel> CreateModel(const std::string& name,
+                                               const data::Dataset& ds,
+                                               const ZooConfig& config);
+
+}  // namespace missl::baselines
+
+#endif  // MISSL_BASELINES_ZOO_H_

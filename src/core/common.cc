@@ -1,0 +1,125 @@
+#include "core/common.h"
+
+#include "utils/check.h"
+
+namespace missl::core {
+
+Tensor EmbedWithPositions(const nn::Embedding& item_emb,
+                          const nn::Embedding& pos_emb,
+                          const std::vector<int32_t>& ids, int64_t batch,
+                          int64_t t) {
+  MISSL_CHECK(static_cast<int64_t>(ids.size()) == batch * t) << "ids size";
+  MISSL_CHECK(pos_emb.vocab() >= t) << "position table smaller than sequence";
+  Tensor items = item_emb.Forward(ids, {batch, t});
+  // Positions are assigned only to valid slots so the padded prefix stays 0.
+  std::vector<int32_t> pos(ids.size(), -1);
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t i = 0; i < t; ++i) {
+      if (ids[static_cast<size_t>(b * t + i)] >= 0) {
+        pos[static_cast<size_t>(b * t + i)] = static_cast<int32_t>(i);
+      }
+    }
+  }
+  return Add(items, pos_emb.Forward(pos, {batch, t}));
+}
+
+Tensor LastPosition(const Tensor& h) {
+  MISSL_CHECK(h.dim() == 3) << "LastPosition expects [B, T, d]";
+  int64_t t = h.size(1);
+  return Reshape(Slice(h, 1, t - 1, t), {h.size(0), h.size(2)});
+}
+
+Tensor ValidMask3d(const std::vector<int32_t>& ids, int64_t batch, int64_t t) {
+  MISSL_CHECK(static_cast<int64_t>(ids.size()) == batch * t) << "ids size";
+  Tensor m = Tensor::Zeros({batch, t, 1});
+  float* p = m.data();
+  for (int64_t i = 0; i < batch * t; ++i) {
+    if (ids[static_cast<size_t>(i)] >= 0) p[i] = 1.0f;
+  }
+  return m;
+}
+
+Tensor MaskedMeanPool(const Tensor& h, const std::vector<int32_t>& ids,
+                      int64_t batch, int64_t t) {
+  MISSL_CHECK(h.dim() == 3 && h.size(0) == batch && h.size(1) == t)
+      << "MaskedMeanPool shape";
+  Tensor mask = ValidMask3d(ids, batch, t);          // [B, T, 1]
+  Tensor summed = Sum(Mul(h, mask), 1, false);       // [B, d]
+  Tensor counts = AddScalar(Sum(Reshape(mask, {batch, t}), 1, true), 1e-9f);
+  return Div(summed, counts);                        // [B, d] / [B, 1]
+}
+
+Tensor ScoreCandidatesSingle(const Tensor& user, const nn::Embedding& item_emb,
+                             const std::vector<int32_t>& cand_ids, int64_t batch,
+                             int64_t num_cands) {
+  MISSL_CHECK(user.dim() == 2 && user.size(0) == batch) << "user shape";
+  MISSL_CHECK(static_cast<int64_t>(cand_ids.size()) == batch * num_cands)
+      << "cand ids size";
+  Tensor cand = item_emb.Forward(cand_ids, {batch, num_cands});  // [B, C, d]
+  Tensor u = Reshape(user, {batch, 1, user.size(1)});            // [B, 1, d]
+  return Reshape(MatMul(u, Transpose(cand)), {batch, num_cands});
+}
+
+Tensor ScoreCandidatesMultiInterest(const Tensor& interests,
+                                    const nn::Embedding& item_emb,
+                                    const std::vector<int32_t>& cand_ids,
+                                    int64_t batch, int64_t num_cands) {
+  MISSL_CHECK(interests.dim() == 3 && interests.size(0) == batch)
+      << "interests shape";
+  Tensor cand = item_emb.Forward(cand_ids, {batch, num_cands});   // [B, C, d]
+  Tensor scores = MatMul(interests, Transpose(cand));             // [B, K, C]
+  return Max(scores, 1, /*keepdim=*/false);                       // [B, C]
+}
+
+Tensor FullCatalogLogits(const Tensor& user, const nn::Embedding& item_emb) {
+  MISSL_CHECK(user.dim() == 2) << "FullCatalogLogits expects [B, d]";
+  return MatMul(user, Transpose(item_emb.weight()));  // [B, V]
+}
+
+Tensor SampledLogits(const Tensor& user, const nn::Embedding& item_emb,
+                     const data::Batch& batch) {
+  MISSL_CHECK(batch.num_train_negatives > 0 &&
+              static_cast<int64_t>(batch.train_negatives.size()) ==
+                  batch.batch_size * batch.num_train_negatives)
+      << "batch carries no sampled negatives";
+  int64_t c = batch.num_train_negatives + 1;
+  std::vector<int32_t> cand_ids;
+  cand_ids.reserve(static_cast<size_t>(batch.batch_size * c));
+  for (int64_t row = 0; row < batch.batch_size; ++row) {
+    cand_ids.push_back(batch.targets[static_cast<size_t>(row)]);
+    for (int32_t j = 0; j < batch.num_train_negatives; ++j) {
+      cand_ids.push_back(batch.train_negatives[static_cast<size_t>(
+          row * batch.num_train_negatives + j)]);
+    }
+  }
+  return ScoreCandidatesSingle(user, item_emb, cand_ids, batch.batch_size, c);
+}
+
+Tensor SelectInterestByTarget(const Tensor& interests,
+                              const nn::Embedding& item_emb,
+                              const std::vector<int32_t>& targets) {
+  MISSL_CHECK(interests.dim() == 3) << "interests must be [B, K, d]";
+  int64_t b = interests.size(0), k = interests.size(1), d = interests.size(2);
+  MISSL_CHECK(static_cast<int64_t>(targets.size()) == b) << "targets size";
+  // Hard routing: pick argmax_k <v_k, e_target> without tracking gradients
+  // through the selection itself.
+  Tensor onehot = Tensor::Zeros({b, k, 1});
+  {
+    NoGradGuard ng;
+    Tensor tgt = item_emb.Forward(targets, {b});           // [B, d]
+    Tensor tgt3 = Reshape(tgt, {b, d, 1});                 // [B, d, 1]
+    Tensor s = MatMul(interests.Detach(), tgt3);           // [B, K, 1]
+    const float* sp = s.data();
+    float* oh = onehot.data();
+    for (int64_t row = 0; row < b; ++row) {
+      int64_t best = 0;
+      for (int64_t j = 1; j < k; ++j) {
+        if (sp[row * k + j] > sp[row * k + best]) best = j;
+      }
+      oh[row * k + best] = 1.0f;
+    }
+  }
+  return Sum(Mul(interests, onehot), 1, /*keepdim=*/false);  // [B, d]
+}
+
+}  // namespace missl::core

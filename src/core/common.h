@@ -1,0 +1,65 @@
+// Building blocks shared by the MISSL core model and the baselines:
+// sequence embedding with positions, pooling/readout, and scoring helpers.
+#ifndef MISSL_CORE_COMMON_H_
+#define MISSL_CORE_COMMON_H_
+
+#include <vector>
+
+#include "data/batch.h"
+#include "nn/embedding.h"
+#include "tensor/ops.h"
+
+namespace missl::core {
+
+/// Item + positional embedding of a front-padded id sequence:
+/// returns [B, T, d]. Padded ids (-1) embed to zero and get no position.
+Tensor EmbedWithPositions(const nn::Embedding& item_emb,
+                          const nn::Embedding& pos_emb,
+                          const std::vector<int32_t>& ids, int64_t batch,
+                          int64_t t);
+
+/// Reads out the representation at the last position: [B, T, d] -> [B, d].
+/// With front padding the last position always holds the most recent event.
+Tensor LastPosition(const Tensor& h);
+
+/// Mean over non-padded positions: [B, T, d] -> [B, d]. Rows with no valid
+/// position yield zeros.
+Tensor MaskedMeanPool(const Tensor& h, const std::vector<int32_t>& ids,
+                      int64_t batch, int64_t t);
+
+/// Scores user vectors [B, d] against explicit candidates (flattened
+/// [B * C] ids): returns [B, C].
+Tensor ScoreCandidatesSingle(const Tensor& user, const nn::Embedding& item_emb,
+                             const std::vector<int32_t>& cand_ids, int64_t batch,
+                             int64_t num_cands);
+
+/// Scores interest matrices [B, K, d] against candidates with max-over-
+/// interest routing: returns [B, C].
+Tensor ScoreCandidatesMultiInterest(const Tensor& interests,
+                                    const nn::Embedding& item_emb,
+                                    const std::vector<int32_t>& cand_ids,
+                                    int64_t batch, int64_t num_cands);
+
+/// Full-catalog logits for a single user vector: [B, d] -> [B, V].
+Tensor FullCatalogLogits(const Tensor& user, const nn::Embedding& item_emb);
+
+/// Selects, per row, the interest whose dot product with the target item is
+/// highest (ComiRec-style hard routing; selection itself is not
+/// differentiated) and returns the selected vectors [B, d].
+Tensor SelectInterestByTarget(const Tensor& interests,
+                              const nn::Embedding& item_emb,
+                              const std::vector<int32_t>& targets);
+
+/// 0/1 validity mask [B, T, 1] for front-padded ids (1 where id >= 0).
+Tensor ValidMask3d(const std::vector<int32_t>& ids, int64_t batch, int64_t t);
+
+/// Sampled-softmax logits: scores the user vectors against
+/// [target, negatives...] per row using the batch's train_negatives (which
+/// must be present). Returns [B, 1 + num_train_negatives]; the target is
+/// always column 0, so CE targets are all-zero.
+Tensor SampledLogits(const Tensor& user, const nn::Embedding& item_emb,
+                     const data::Batch& batch);
+
+}  // namespace missl::core
+
+#endif  // MISSL_CORE_COMMON_H_

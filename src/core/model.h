@@ -1,0 +1,37 @@
+// Common interface every sequential recommender in this library implements
+// (the MISSL core model and all baselines), so the trainer, evaluator and
+// bench harnesses treat them uniformly.
+#ifndef MISSL_CORE_MODEL_H_
+#define MISSL_CORE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "data/batch.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace missl::core {
+
+/// Abstract sequential recommendation model.
+class SeqRecModel : public nn::Module {
+ public:
+  ~SeqRecModel() override = default;
+
+  /// Short model name for tables ("MISSL", "SASRec", ...).
+  virtual std::string Name() const = 0;
+
+  /// Training loss for one batch (includes any auxiliary/SSL terms).
+  virtual Tensor Loss(const data::Batch& batch) = 0;
+
+  /// Scores for explicit candidate lists: `cand_ids` is flattened
+  /// [batch_size * num_cands]; returns a [batch_size, num_cands] tensor.
+  /// Used by the 1-plus-99-negatives evaluation protocol.
+  virtual Tensor ScoreCandidates(const data::Batch& batch,
+                                 const std::vector<int32_t>& cand_ids,
+                                 int64_t num_cands) = 0;
+};
+
+}  // namespace missl::core
+
+#endif  // MISSL_CORE_MODEL_H_

@@ -1,0 +1,46 @@
+// Top-N recommendation API on top of any SeqRecModel: full-catalog scoring
+// with seen-item exclusion, plus beyond-accuracy list metrics (coverage,
+// intra-list diversity, popularity bias) used in recommendation audits.
+#ifndef MISSL_CORE_RECOMMEND_H_
+#define MISSL_CORE_RECOMMEND_H_
+
+#include <vector>
+
+#include "core/model.h"
+#include "data/dataset.h"
+
+namespace missl::core {
+
+/// One recommendation list.
+struct Recommendation {
+  int32_t user = 0;
+  std::vector<int32_t> items;   ///< top-N, best first
+  std::vector<float> scores;    ///< parallel to items
+};
+
+/// Scores the full catalog [0, num_items) for every example in `batch` and
+/// returns the top-N unseen items per row. `seen` gives, per row, the
+/// SORTED item set to exclude; pass an empty outer vector to disable
+/// exclusion.
+std::vector<Recommendation> RecommendTopN(
+    SeqRecModel* model, const data::Batch& batch,
+    const std::vector<std::vector<int32_t>>& seen, int32_t n,
+    int32_t num_items);
+
+/// Beyond-accuracy statistics of a set of recommendation lists.
+struct ListStats {
+  double item_coverage = 0;    ///< distinct recommended items / catalog size
+  double mean_intra_list_distance = 0;  ///< 1 - mean pairwise cosine (needs emb)
+  double mean_popularity = 0;  ///< mean log-popularity of recommended items
+};
+
+/// Computes list statistics. `item_embedding` ([V, d]) may be undefined, in
+/// which case intra-list distance is reported as 0. `popularity` is a per-
+/// item count vector (raw counts; log1p applied internally); may be empty.
+ListStats ComputeListStats(const std::vector<Recommendation>& recs,
+                           int32_t num_items, const Tensor& item_embedding,
+                           const std::vector<int64_t>& popularity);
+
+}  // namespace missl::core
+
+#endif  // MISSL_CORE_RECOMMEND_H_

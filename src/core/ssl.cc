@@ -1,0 +1,38 @@
+#include "core/ssl.h"
+
+#include "utils/check.h"
+
+namespace missl::core {
+
+Tensor InfoNce(const Tensor& a, const Tensor& b, float temperature) {
+  MISSL_CHECK(a.dim() == 2 && b.dim() == 2 && a.shape() == b.shape())
+      << "InfoNce expects matching [N, d] views";
+  MISSL_CHECK(temperature > 0.0f) << "temperature must be positive";
+  int64_t n = a.size(0);
+  Tensor an = L2Normalize(a);
+  Tensor bn = L2Normalize(b);
+  Tensor logits = MulScalar(MatMul(an, Transpose(bn)), 1.0f / temperature);
+  std::vector<int32_t> diag(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) diag[static_cast<size_t>(i)] = static_cast<int32_t>(i);
+  Tensor l1 = CrossEntropyLoss(logits, diag);
+  Tensor l2 = CrossEntropyLoss(Transpose(logits), diag);
+  return MulScalar(Add(l1, l2), 0.5f);
+}
+
+Tensor DisentanglePenalty(const Tensor& interests) {
+  MISSL_CHECK(interests.dim() == 3) << "DisentanglePenalty expects [B, K, d]";
+  int64_t k = interests.size(1);
+  if (k <= 1) return Tensor::Scalar(0.0f);
+  Tensor vn = L2Normalize(interests);          // [B, K, d]
+  Tensor gram = MatMul(vn, Transpose(vn));     // [B, K, K]
+  // Zero the diagonal with a constant mask, square, and average over the
+  // K(K-1) off-diagonal entries per user.
+  Tensor off_mask = Tensor::Ones({k, k});
+  for (int64_t i = 0; i < k; ++i) off_mask.data()[i * k + i] = 0.0f;
+  Tensor off = Mul(gram, off_mask);
+  float denom = static_cast<float>(k * (k - 1));
+  return MulScalar(Mean(Sum(Sum(Square(off), -1, false), -1, false)),
+                   1.0f / denom);
+}
+
+}  // namespace missl::core

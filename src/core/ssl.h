@@ -1,0 +1,22 @@
+// Self-supervised objectives: cross-view InfoNCE and interest
+// disentanglement.
+#ifndef MISSL_CORE_SSL_H_
+#define MISSL_CORE_SSL_H_
+
+#include "tensor/ops.h"
+
+namespace missl::core {
+
+/// Symmetric InfoNCE between two aligned view matrices [N, d]: row i of `a`
+/// and row i of `b` are positives; all other rows are in-batch negatives.
+/// Views are L2-normalized internally; `temperature` scales the similarity.
+Tensor InfoNce(const Tensor& a, const Tensor& b, float temperature);
+
+/// Interest disentanglement penalty for [B, K, d]: mean squared cosine
+/// similarity over the off-diagonal interest pairs of each user. Zero when
+/// K == 1.
+Tensor DisentanglePenalty(const Tensor& interests);
+
+}  // namespace missl::core
+
+#endif  // MISSL_CORE_SSL_H_

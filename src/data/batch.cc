@@ -1,0 +1,190 @@
+#include "data/batch.h"
+
+#include <algorithm>
+
+#include "utils/check.h"
+
+namespace missl::data {
+
+BatchBuilder::BatchBuilder(const Dataset& ds, int64_t max_len)
+    : ds_(&ds), max_len_(max_len) {
+  MISSL_CHECK(max_len > 0) << "max_len must be positive";
+}
+
+void BatchBuilder::EnableTrainNegatives(const NegativeSampler* sampler,
+                                        int32_t count, uint64_t seed) {
+  MISSL_CHECK(sampler != nullptr && count > 0);
+  neg_sampler_ = sampler;
+  neg_count_ = count;
+  neg_rng_.Seed(seed);
+}
+
+Batch BatchBuilder::Build(const std::vector<SplitView::TrainExample>& examples) {
+  Batch b;
+  b.batch_size = static_cast<int64_t>(examples.size());
+  b.max_len = max_len_;
+  b.num_behaviors = ds_->num_behaviors();
+  MISSL_CHECK(b.batch_size > 0) << "empty batch";
+  int64_t bt = b.batch_size * max_len_;
+  b.beh_items.assign(static_cast<size_t>(b.num_behaviors),
+                     std::vector<int32_t>(static_cast<size_t>(bt), -1));
+  b.merged_items.assign(static_cast<size_t>(bt), -1);
+  b.merged_behaviors.assign(static_cast<size_t>(bt), -1);
+  b.merged_recency.assign(static_cast<size_t>(bt), -1);
+  b.users.resize(static_cast<size_t>(b.batch_size));
+  b.targets.resize(static_cast<size_t>(b.batch_size));
+  b.target_behavior.resize(static_cast<size_t>(b.batch_size));
+
+  for (int64_t row = 0; row < b.batch_size; ++row) {
+    const auto& ex = examples[static_cast<size_t>(row)];
+    const auto& events = ds_->user(ex.user).events;
+    MISSL_CHECK(ex.cut > 0 && ex.cut < static_cast<int64_t>(events.size()))
+        << "bad cut " << ex.cut << " for user " << ex.user;
+    const Interaction& tgt = events[static_cast<size_t>(ex.cut)];
+    b.users[static_cast<size_t>(row)] = ex.user;
+    b.targets[static_cast<size_t>(row)] = tgt.item;
+    b.target_behavior[static_cast<size_t>(row)] =
+        static_cast<int32_t>(tgt.behavior);
+
+    // Merged stream: last max_len events before the cut, front-padded.
+    int64_t start = std::max<int64_t>(0, ex.cut - max_len_);
+    int64_t n = ex.cut - start;
+    for (int64_t i = 0; i < n; ++i) {
+      const Interaction& e = events[static_cast<size_t>(start + i)];
+      int64_t pos = row * max_len_ + (max_len_ - n + i);
+      b.merged_items[static_cast<size_t>(pos)] = e.item;
+      b.merged_behaviors[static_cast<size_t>(pos)] =
+          static_cast<int32_t>(e.behavior);
+      int64_t gap = tgt.timestamp - e.timestamp;
+      if (gap < 0) gap = 0;
+      int32_t bucket = 0;
+      while (bucket < kNumRecencyBuckets - 1 && (int64_t{1} << (bucket + 1)) <= gap + 1) {
+        ++bucket;
+      }
+      b.merged_recency[static_cast<size_t>(pos)] = bucket;
+    }
+
+    // Per-behavior streams: last max_len events of each channel.
+    for (int32_t beh = 0; beh < b.num_behaviors; ++beh) {
+      std::vector<int32_t> items;
+      for (int64_t i = 0; i < ex.cut; ++i) {
+        const Interaction& e = events[static_cast<size_t>(i)];
+        if (static_cast<int32_t>(e.behavior) == beh) items.push_back(e.item);
+      }
+      int64_t cnt = static_cast<int64_t>(items.size());
+      int64_t keep = std::min(cnt, max_len_);
+      for (int64_t i = 0; i < keep; ++i) {
+        int64_t pos = row * max_len_ + (max_len_ - keep + i);
+        b.beh_items[static_cast<size_t>(beh)][static_cast<size_t>(pos)] =
+            items[static_cast<size_t>(cnt - keep + i)];
+      }
+    }
+
+    if (neg_sampler_ != nullptr) {
+      std::vector<int32_t> negs = neg_sampler_->Sample(
+          ex.user, tgt.item, neg_count_, &neg_rng_);
+      b.train_negatives.insert(b.train_negatives.end(), negs.begin(),
+                               negs.end());
+    }
+  }
+  b.num_train_negatives = neg_sampler_ != nullptr ? neg_count_ : 0;
+  return b;
+}
+
+NegativeSampler::NegativeSampler(const Dataset& ds) : ds_(&ds) {
+  user_items_.resize(static_cast<size_t>(ds.num_users()));
+  std::vector<double> counts(static_cast<size_t>(ds.num_items()), 0.0);
+  for (int32_t u = 0; u < ds.num_users(); ++u) {
+    auto& items = user_items_[static_cast<size_t>(u)];
+    for (const auto& e : ds.user(u).events) {
+      items.push_back(e.item);
+      counts[static_cast<size_t>(e.item)] += 1.0;
+    }
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+  }
+  // Cumulative popularity with +1 smoothing so never-seen items stay
+  // reachable.
+  pop_cdf_.resize(counts.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    acc += counts[i] + 1.0;
+    pop_cdf_[i] = acc;
+  }
+}
+
+const std::vector<int32_t>& NegativeSampler::SeenItems(int32_t user) const {
+  MISSL_CHECK(user >= 0 && user < ds_->num_users());
+  return user_items_[static_cast<size_t>(user)];
+}
+
+std::vector<int32_t> NegativeSampler::SampleImpl(int32_t user, int32_t target,
+                                                 int32_t k, Rng* rng,
+                                                 bool popularity) const {
+  MISSL_CHECK(user >= 0 && user < ds_->num_users());
+  MISSL_CHECK(rng != nullptr);
+  const auto& seen = user_items_[static_cast<size_t>(user)];
+  MISSL_CHECK(static_cast<int64_t>(seen.size()) + k < ds_->num_items())
+      << "not enough unseen items to sample " << k << " negatives";
+  std::vector<int32_t> out;
+  out.reserve(static_cast<size_t>(k));
+  std::vector<int32_t> drawn;  // keep negatives distinct within the set
+  while (static_cast<int32_t>(out.size()) < k) {
+    int32_t cand;
+    if (popularity) {
+      double r = static_cast<double>(rng->Uniform()) * pop_cdf_.back();
+      cand = static_cast<int32_t>(
+          std::lower_bound(pop_cdf_.begin(), pop_cdf_.end(), r) -
+          pop_cdf_.begin());
+      if (cand >= ds_->num_items()) cand = ds_->num_items() - 1;
+    } else {
+      cand = static_cast<int32_t>(
+          rng->UniformInt(static_cast<uint64_t>(ds_->num_items())));
+    }
+    if (cand == target) continue;
+    if (std::binary_search(seen.begin(), seen.end(), cand)) continue;
+    if (std::find(drawn.begin(), drawn.end(), cand) != drawn.end()) continue;
+    drawn.push_back(cand);
+    out.push_back(cand);
+  }
+  return out;
+}
+
+std::vector<int32_t> NegativeSampler::Sample(int32_t user, int32_t target,
+                                             int32_t k, Rng* rng) const {
+  return SampleImpl(user, target, k, rng, /*popularity=*/false);
+}
+
+std::vector<int32_t> NegativeSampler::SamplePopularity(int32_t user,
+                                                       int32_t target, int32_t k,
+                                                       Rng* rng) const {
+  return SampleImpl(user, target, k, rng, /*popularity=*/true);
+}
+
+MiniBatcher::MiniBatcher(std::vector<SplitView::TrainExample> examples,
+                         int64_t batch_size, uint64_t seed)
+    : examples_(std::move(examples)), batch_size_(batch_size), rng_(seed) {
+  MISSL_CHECK(batch_size > 0) << "batch_size must be positive";
+  Reset();
+}
+
+void MiniBatcher::Reset() {
+  rng_.Shuffle(&examples_);
+  pos_ = 0;
+}
+
+bool MiniBatcher::Next(std::vector<SplitView::TrainExample>* out) {
+  MISSL_CHECK(out != nullptr);
+  if (pos_ >= examples_.size()) return false;
+  size_t end = std::min(examples_.size(), pos_ + static_cast<size_t>(batch_size_));
+  out->assign(examples_.begin() + static_cast<int64_t>(pos_),
+              examples_.begin() + static_cast<int64_t>(end));
+  pos_ = end;
+  return true;
+}
+
+int64_t MiniBatcher::batches_per_epoch() const {
+  return (num_examples() + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace missl::data

@@ -1,0 +1,157 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "utils/check.h"
+
+namespace missl::data {
+
+Dataset::Dataset(int32_t num_users, int32_t num_items, int32_t num_behaviors,
+                 std::string name)
+    : num_users_(num_users),
+      num_items_(num_items),
+      num_behaviors_(num_behaviors),
+      name_(std::move(name)) {
+  MISSL_CHECK(num_users > 0 && num_items > 0) << "empty dataset dims";
+  MISSL_CHECK(num_behaviors >= 2 && num_behaviors <= kMaxBehaviors)
+      << "num_behaviors must be in [2, " << kMaxBehaviors << "]";
+  users_.resize(static_cast<size_t>(num_users));
+  for (int32_t u = 0; u < num_users; ++u) users_[static_cast<size_t>(u)].user = u;
+}
+
+void Dataset::Add(const Interaction& inter) {
+  MISSL_CHECK(inter.user >= 0 && inter.user < num_users_)
+      << "user id " << inter.user << " out of range";
+  MISSL_CHECK(inter.item >= 0 && inter.item < num_items_)
+      << "item id " << inter.item << " out of range";
+  MISSL_CHECK(static_cast<int32_t>(inter.behavior) >= 0 &&
+              static_cast<int32_t>(inter.behavior) < num_behaviors_)
+      << "behavior out of range";
+  users_[static_cast<size_t>(inter.user)].events.push_back(inter);
+  finalized_ = false;
+}
+
+void Dataset::Finalize() {
+  for (auto& us : users_) {
+    std::stable_sort(us.events.begin(), us.events.end(),
+                     [](const Interaction& a, const Interaction& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+  }
+  finalized_ = true;
+}
+
+const UserSequence& Dataset::user(int32_t u) const {
+  MISSL_CHECK(u >= 0 && u < num_users_) << "user id out of range";
+  MISSL_CHECK(finalized_) << "Dataset::Finalize() not called";
+  return users_[static_cast<size_t>(u)];
+}
+
+DatasetStats Dataset::Stats() const {
+  DatasetStats s;
+  s.num_users = num_users_;
+  s.num_items = num_items_;
+  for (const auto& us : users_) {
+    s.num_interactions += static_cast<int64_t>(us.events.size());
+    for (const auto& e : us.events) {
+      s.per_behavior[static_cast<int32_t>(e.behavior)]++;
+    }
+  }
+  s.avg_seq_len = num_users_ > 0
+                      ? static_cast<double>(s.num_interactions) / num_users_
+                      : 0.0;
+  return s;
+}
+
+Status Dataset::LoadTsv(const std::string& path, Dataset* out) {
+  MISSL_CHECK(out != nullptr);
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "r"), &std::fclose);
+  if (!f) return Status::IOError("cannot open " + path);
+  std::vector<Interaction> rows;
+  int32_t max_user = -1, max_item = -1, max_beh = -1;
+  char line[256];
+  int64_t lineno = 0;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    ++lineno;
+    if (line[0] == '#' || line[0] == '\n') continue;
+    long long u, i, b, t;
+    if (std::sscanf(line, "%lld\t%lld\t%lld\t%lld", &u, &i, &b, &t) != 4) {
+      return Status::Corruption("bad TSV line " + std::to_string(lineno) + " in " +
+                                path);
+    }
+    if (u < 0 || i < 0 || b < 0 || b >= kMaxBehaviors) {
+      return Status::Corruption("out-of-range field at line " +
+                                std::to_string(lineno));
+    }
+    Interaction inter;
+    inter.user = static_cast<int32_t>(u);
+    inter.item = static_cast<int32_t>(i);
+    inter.behavior = static_cast<Behavior>(b);
+    inter.timestamp = t;
+    rows.push_back(inter);
+    max_user = std::max(max_user, inter.user);
+    max_item = std::max(max_item, inter.item);
+    max_beh = std::max(max_beh, static_cast<int32_t>(b));
+  }
+  if (rows.empty()) return Status::InvalidArgument("empty dataset file " + path);
+  *out = Dataset(max_user + 1, max_item + 1, std::max(max_beh + 1, 2), path);
+  for (const auto& r : rows) out->Add(r);
+  out->Finalize();
+  return Status::OK();
+}
+
+Status Dataset::SaveTsv(const std::string& path) const {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "w"), &std::fclose);
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  for (const auto& us : users_) {
+    for (const auto& e : us.events) {
+      if (std::fprintf(f.get(), "%d\t%d\t%d\t%lld\n", e.user, e.item,
+                       static_cast<int32_t>(e.behavior),
+                       static_cast<long long>(e.timestamp)) < 0) {
+        return Status::IOError("write failed: " + path);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+SplitView::SplitView(const Dataset& ds, int32_t min_target_events) : dataset(&ds) {
+  Behavior target = ds.target_behavior();
+  test_pos.assign(static_cast<size_t>(ds.num_users()), -1);
+  valid_pos.assign(static_cast<size_t>(ds.num_users()), -1);
+  for (int32_t u = 0; u < ds.num_users(); ++u) {
+    const auto& events = ds.user(u).events;
+    std::vector<int64_t> targets;
+    for (int64_t i = 0; i < static_cast<int64_t>(events.size()); ++i) {
+      if (events[static_cast<size_t>(i)].behavior == target) targets.push_back(i);
+    }
+    if (static_cast<int32_t>(targets.size()) >= min_target_events) {
+      test_pos[static_cast<size_t>(u)] = targets[targets.size() - 1];
+      valid_pos[static_cast<size_t>(u)] = targets[targets.size() - 2];
+    }
+    // Training cuts: all target events strictly before the validation one
+    // (or all but the last two when the user is excluded from eval).
+    int64_t limit = valid_pos[static_cast<size_t>(u)] >= 0
+                        ? valid_pos[static_cast<size_t>(u)]
+                        : static_cast<int64_t>(events.size());
+    for (int64_t cut : targets) {
+      if (cut >= limit) break;
+      if (cut == 0) continue;  // no history
+      train_examples.push_back({u, cut});
+    }
+  }
+}
+
+int64_t SplitView::NumEvalUsers() const {
+  int64_t n = 0;
+  for (int64_t p : test_pos) {
+    if (p >= 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace missl::data

@@ -1,0 +1,100 @@
+// Multi-behavior interaction dataset: storage, TSV I/O, statistics, and the
+// leave-one-out split over the target behavior.
+#ifndef MISSL_DATA_DATASET_H_
+#define MISSL_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "data/types.h"
+#include "utils/status.h"
+
+namespace missl::data {
+
+/// Per-behavior interaction counts and averages.
+struct DatasetStats {
+  int32_t num_users = 0;
+  int32_t num_items = 0;
+  int64_t num_interactions = 0;
+  int64_t per_behavior[kMaxBehaviors] = {0, 0, 0, 0};
+  double avg_seq_len = 0.0;
+};
+
+/// A complete multi-behavior dataset. Users/items are dense ids
+/// [0, num_users) / [0, num_items). Events within a user are sorted by
+/// timestamp.
+class Dataset {
+ public:
+  Dataset(int32_t num_users, int32_t num_items, int32_t num_behaviors,
+          std::string name = "dataset");
+
+  /// Appends an interaction. Events may arrive unsorted; call Finalize()
+  /// before using the dataset.
+  void Add(const Interaction& inter);
+
+  /// Sorts each user's events by timestamp (stable). Must be called once
+  /// after the last Add and before reads.
+  void Finalize();
+
+  int32_t num_users() const { return num_users_; }
+  int32_t num_items() const { return num_items_; }
+  int32_t num_behaviors() const { return num_behaviors_; }
+  const std::string& name() const { return name_; }
+  /// The deepest behavior channel present — the prediction target.
+  Behavior target_behavior() const {
+    return static_cast<Behavior>(num_behaviors_ - 1);
+  }
+
+  const UserSequence& user(int32_t u) const;
+  const std::vector<UserSequence>& users() const { return users_; }
+
+  /// Aggregate statistics (for the dataset-statistics table).
+  DatasetStats Stats() const;
+
+  /// Loads "user\titem\tbehavior\ttimestamp" lines; `behavior` is the
+  /// integer channel. Infers user/item/behavior counts from the data.
+  static Status LoadTsv(const std::string& path, Dataset* out);
+
+  /// Writes the dataset in the TSV format accepted by LoadTsv.
+  Status SaveTsv(const std::string& path) const;
+
+ private:
+  int32_t num_users_;
+  int32_t num_items_;
+  int32_t num_behaviors_;
+  std::string name_;
+  std::vector<UserSequence> users_;
+  bool finalized_ = false;
+
+  friend class SplitView;
+};
+
+/// Leave-one-out split over the target behavior:
+///  - test: the index (into the user's event stream) of the LAST
+///    target-behavior event;
+///  - valid: the index of the SECOND-TO-LAST target-behavior event;
+///  - train: any earlier target-behavior event with non-empty history.
+/// Users with fewer than `min_target_events` target events are excluded
+/// from evaluation (index -1).
+struct SplitView {
+  explicit SplitView(const Dataset& ds, int32_t min_target_events = 3);
+
+  const Dataset* dataset;
+  std::vector<int64_t> test_pos;   ///< per user; -1 when excluded
+  std::vector<int64_t> valid_pos;  ///< per user; -1 when excluded
+
+  /// (user, cut) training examples: events[cut] is a target-behavior event
+  /// strictly before valid_pos with at least one preceding event.
+  struct TrainExample {
+    int32_t user;
+    int64_t cut;
+  };
+  std::vector<TrainExample> train_examples;
+
+  /// Number of users with a usable test position.
+  int64_t NumEvalUsers() const;
+};
+
+}  // namespace missl::data
+
+#endif  // MISSL_DATA_DATASET_H_

@@ -1,0 +1,159 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+
+#include "utils/check.h"
+#include "utils/rng.h"
+
+namespace missl::data {
+
+int32_t ItemCluster(int32_t item, int32_t num_clusters) {
+  MISSL_CHECK(num_clusters > 0);
+  return item % num_clusters;
+}
+
+namespace {
+
+// Item for within-cluster rank j of cluster c under round-robin assignment.
+int32_t ClusterItem(int32_t cluster, int64_t rank, int32_t num_clusters) {
+  return static_cast<int32_t>(rank) * num_clusters + cluster;
+}
+
+}  // namespace
+
+Dataset GenerateSynthetic(const SyntheticConfig& cfg) {
+  MISSL_CHECK(cfg.num_clusters > 0 && cfg.num_clusters <= cfg.num_items)
+      << "bad cluster count";
+  MISSL_CHECK(cfg.interests_per_user > 0 &&
+              cfg.interests_per_user <= cfg.num_clusters)
+      << "bad interests_per_user";
+  MISSL_CHECK(cfg.min_events > 0 && cfg.min_events <= cfg.max_events)
+      << "bad event range";
+  MISSL_CHECK(cfg.num_behaviors >= 2 && cfg.num_behaviors <= kMaxBehaviors);
+
+  Dataset ds(cfg.num_users, cfg.num_items, cfg.num_behaviors, cfg.name);
+  Rng rng(cfg.seed);
+  int32_t target = cfg.num_behaviors - 1;
+
+  std::vector<float> freq(cfg.freq, cfg.freq + cfg.num_behaviors);
+
+  for (int32_t u = 0; u < cfg.num_users; ++u) {
+    // Draw K_true distinct interest clusters with decreasing affinity.
+    std::vector<int32_t> clusters(static_cast<size_t>(cfg.num_clusters));
+    for (int32_t c = 0; c < cfg.num_clusters; ++c)
+      clusters[static_cast<size_t>(c)] = c;
+    rng.Shuffle(&clusters);
+    clusters.resize(static_cast<size_t>(cfg.interests_per_user));
+    std::vector<float> affinity(clusters.size());
+    for (size_t k = 0; k < clusters.size(); ++k) {
+      float harmonic = 1.0f / static_cast<float>(k + 1);
+      affinity[k] =
+          (1.0f - cfg.interest_balance) * harmonic + cfg.interest_balance;
+    }
+
+    int64_t items_per_cluster = cfg.num_items / cfg.num_clusters;
+    int32_t n_events =
+        cfg.min_events +
+        static_cast<int32_t>(rng.UniformInt(
+            static_cast<uint64_t>(cfg.max_events - cfg.min_events + 1)));
+
+    size_t active = 0;  // index into `clusters`: the session's live interest
+    std::vector<int32_t> recent_clicks;
+    int64_t ts = 0;
+    int32_t target_count = 0;
+
+    auto draw_interest_item = [&]() {
+      int32_t cluster = clusters[active];
+      int64_t rank = static_cast<int64_t>(
+          rng.Zipf(static_cast<size_t>(items_per_cluster), cfg.zipf_s));
+      return ClusterItem(cluster, rank, cfg.num_clusters);
+    };
+
+    auto emit = [&](int32_t beh) {
+      // Session dynamics: occasionally switch the active interest.
+      if (rng.Bernoulli(cfg.interest_switch)) {
+        active = rng.Categorical(affinity);
+      }
+      int32_t item;
+      bool reused = false;
+      if (beh != 0 && !recent_clicks.empty() && rng.Bernoulli(cfg.funnel_reuse)) {
+        // Deep behavior re-uses a recently clicked item (funnel).
+        size_t pick = rng.UniformInt(
+            std::min<uint64_t>(recent_clicks.size(), 10));
+        item = recent_clicks[recent_clicks.size() - 1 - pick];
+        reused = true;
+      } else if (rng.Bernoulli(cfg.noise[beh])) {
+        item = static_cast<int32_t>(
+            rng.UniformInt(static_cast<uint64_t>(cfg.num_items)));
+      } else {
+        item = draw_interest_item();
+      }
+      (void)reused;
+      Interaction e;
+      e.user = u;
+      e.item = item;
+      e.behavior = static_cast<Behavior>(beh);
+      e.timestamp = ts++;
+      ds.Add(e);
+      if (beh == 0) {
+        recent_clicks.push_back(item);
+        if (recent_clicks.size() > 32) {
+          recent_clicks.erase(recent_clicks.begin());
+        }
+      }
+      if (beh == target) ++target_count;
+    };
+
+    for (int32_t i = 0; i < n_events; ++i) {
+      emit(static_cast<int32_t>(rng.Categorical(freq)));
+    }
+    // Guarantee leave-one-out eligibility: at least 3 target events, each
+    // preceded by at least one event.
+    while (target_count < 3) emit(target);
+  }
+  ds.Finalize();
+  return ds;
+}
+
+SyntheticConfig TaobaoSimConfig() {
+  SyntheticConfig cfg;
+  cfg.name = "TaobaoSim";
+  return cfg;
+}
+
+SyntheticConfig TmallSimConfig() {
+  SyntheticConfig cfg;
+  cfg.name = "TmallSim";
+  cfg.num_users = 800;
+  cfg.num_items = 1000;
+  cfg.num_clusters = 20;
+  cfg.interests_per_user = 4;
+  cfg.min_events = 40;
+  cfg.max_events = 110;
+  cfg.funnel_reuse = 0.75f;
+  cfg.noise[0] = 0.40f;
+  cfg.seed = 11;
+  return cfg;
+}
+
+SyntheticConfig YelpSimConfig() {
+  SyntheticConfig cfg;
+  cfg.name = "YelpSim";
+  cfg.num_users = 700;
+  cfg.num_items = 900;
+  cfg.num_behaviors = 3;  // e.g. view / tip / like
+  cfg.num_clusters = 18;
+  cfg.interests_per_user = 2;
+  cfg.min_events = 20;
+  cfg.max_events = 60;
+  cfg.freq[0] = 1.0f;
+  cfg.freq[1] = 0.35f;
+  cfg.freq[2] = 0.25f;
+  cfg.noise[0] = 0.30f;
+  cfg.noise[1] = 0.15f;
+  cfg.noise[2] = 0.08f;
+  cfg.seed = 13;
+  return cfg;
+}
+
+}  // namespace missl::data

@@ -1,0 +1,112 @@
+#include "data/transforms.h"
+
+#include <algorithm>
+
+#include "utils/check.h"
+
+namespace missl::data {
+
+TransformResult KCoreFilter(const Dataset& ds, int32_t user_core,
+                            int32_t item_core) {
+  MISSL_CHECK(user_core >= 0 && item_core >= 0);
+  std::vector<bool> keep_user(static_cast<size_t>(ds.num_users()), true);
+  std::vector<bool> keep_item(static_cast<size_t>(ds.num_items()), true);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Count surviving events per user and per item.
+    std::vector<int64_t> ucount(static_cast<size_t>(ds.num_users()), 0);
+    std::vector<int64_t> icount(static_cast<size_t>(ds.num_items()), 0);
+    for (int32_t u = 0; u < ds.num_users(); ++u) {
+      if (!keep_user[static_cast<size_t>(u)]) continue;
+      for (const auto& e : ds.user(u).events) {
+        if (!keep_item[static_cast<size_t>(e.item)]) continue;
+        ucount[static_cast<size_t>(u)]++;
+        icount[static_cast<size_t>(e.item)]++;
+      }
+    }
+    for (int32_t u = 0; u < ds.num_users(); ++u) {
+      if (keep_user[static_cast<size_t>(u)] &&
+          ucount[static_cast<size_t>(u)] < user_core) {
+        keep_user[static_cast<size_t>(u)] = false;
+        changed = true;
+      }
+    }
+    for (int32_t i = 0; i < ds.num_items(); ++i) {
+      if (keep_item[static_cast<size_t>(i)] &&
+          icount[static_cast<size_t>(i)] < item_core) {
+        keep_item[static_cast<size_t>(i)] = false;
+        changed = true;
+      }
+    }
+  }
+
+  TransformResult out{Dataset(1, 1, ds.num_behaviors(), ds.name() + "-kcore"),
+                      {}, {}};
+  std::vector<int32_t> user_new(static_cast<size_t>(ds.num_users()), -1);
+  std::vector<int32_t> item_new(static_cast<size_t>(ds.num_items()), -1);
+  for (int32_t u = 0; u < ds.num_users(); ++u) {
+    if (keep_user[static_cast<size_t>(u)]) {
+      user_new[static_cast<size_t>(u)] =
+          static_cast<int32_t>(out.user_map.size());
+      out.user_map.push_back(u);
+    }
+  }
+  for (int32_t i = 0; i < ds.num_items(); ++i) {
+    if (keep_item[static_cast<size_t>(i)]) {
+      item_new[static_cast<size_t>(i)] =
+          static_cast<int32_t>(out.item_map.size());
+      out.item_map.push_back(i);
+    }
+  }
+  MISSL_CHECK(!out.user_map.empty() && !out.item_map.empty())
+      << "k-core filter removed everything (user_core=" << user_core
+      << ", item_core=" << item_core << ")";
+
+  out.dataset = Dataset(static_cast<int32_t>(out.user_map.size()),
+                        static_cast<int32_t>(out.item_map.size()),
+                        ds.num_behaviors(), ds.name() + "-kcore");
+  for (int32_t u = 0; u < ds.num_users(); ++u) {
+    if (!keep_user[static_cast<size_t>(u)]) continue;
+    for (const auto& e : ds.user(u).events) {
+      if (!keep_item[static_cast<size_t>(e.item)]) continue;
+      Interaction ne = e;
+      ne.user = user_new[static_cast<size_t>(u)];
+      ne.item = item_new[static_cast<size_t>(e.item)];
+      out.dataset.Add(ne);
+    }
+  }
+  out.dataset.Finalize();
+  return out;
+}
+
+Dataset TruncateHistories(const Dataset& ds, int64_t max_events) {
+  MISSL_CHECK(max_events > 0);
+  Dataset out(ds.num_users(), ds.num_items(), ds.num_behaviors(),
+              ds.name() + "-trunc");
+  for (int32_t u = 0; u < ds.num_users(); ++u) {
+    const auto& events = ds.user(u).events;
+    int64_t start = std::max<int64_t>(
+        0, static_cast<int64_t>(events.size()) - max_events);
+    for (size_t i = static_cast<size_t>(start); i < events.size(); ++i) {
+      out.Add(events[i]);
+    }
+  }
+  out.Finalize();
+  return out;
+}
+
+Dataset FilterBefore(const Dataset& ds, int64_t cutoff) {
+  Dataset out(ds.num_users(), ds.num_items(), ds.num_behaviors(),
+              ds.name() + "-before");
+  for (int32_t u = 0; u < ds.num_users(); ++u) {
+    for (const auto& e : ds.user(u).events) {
+      if (e.timestamp < cutoff) out.Add(e);
+    }
+  }
+  out.Finalize();
+  return out;
+}
+
+}  // namespace missl::data

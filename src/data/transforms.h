@@ -1,0 +1,35 @@
+// Dataset preparation transforms: k-core filtering, dense id remapping, and
+// per-user history truncation — the preprocessing steps the paper family
+// applies to raw logs before training.
+#ifndef MISSL_DATA_TRANSFORMS_H_
+#define MISSL_DATA_TRANSFORMS_H_
+
+#include "data/dataset.h"
+
+namespace missl::data {
+
+/// Result of a transform: the new dataset plus id mappings back to the
+/// original (index = new id, value = old id).
+struct TransformResult {
+  Dataset dataset;
+  std::vector<int32_t> user_map;
+  std::vector<int32_t> item_map;
+};
+
+/// Iterative k-core filter: repeatedly drops users with fewer than
+/// `user_core` events and items with fewer than `item_core` occurrences
+/// until stable, then remaps ids densely. CHECK-fails if nothing survives.
+TransformResult KCoreFilter(const Dataset& ds, int32_t user_core,
+                            int32_t item_core);
+
+/// Keeps only each user's most recent `max_events` events (the "retain the
+/// 50 most recent records" step).
+Dataset TruncateHistories(const Dataset& ds, int64_t max_events);
+
+/// Drops every event with timestamp >= `cutoff` (global time split; useful
+/// for building temporally-disjoint train/test datasets).
+Dataset FilterBefore(const Dataset& ds, int64_t cutoff);
+
+}  // namespace missl::data
+
+#endif  // MISSL_DATA_TRANSFORMS_H_

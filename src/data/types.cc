@@ -1,0 +1,17 @@
+#include "data/types.h"
+
+#include "utils/check.h"
+
+namespace missl::data {
+
+const char* BehaviorName(Behavior b) {
+  switch (b) {
+    case Behavior::kClick: return "click";
+    case Behavior::kCart: return "cart";
+    case Behavior::kFav: return "fav";
+    case Behavior::kBuy: return "buy";
+  }
+  MISSL_CHECK(false) << "unknown behavior " << static_cast<int32_t>(b);
+}
+
+}  // namespace missl::data

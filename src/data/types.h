@@ -1,0 +1,44 @@
+// Core record types for multi-behavior interaction data.
+#ifndef MISSL_DATA_TYPES_H_
+#define MISSL_DATA_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace missl::data {
+
+/// Behavior channels, ordered from shallow (noisy, dense) to deep (clean,
+/// sparse). Datasets may use a prefix of these (e.g. Yelp-style data has 3).
+/// The *target* behavior — the one evaluation predicts — is the deepest
+/// channel present (kBuy by default).
+enum class Behavior : int32_t {
+  kClick = 0,
+  kCart = 1,
+  kFav = 2,
+  kBuy = 3,
+};
+
+/// Number of defined behavior channels.
+inline constexpr int32_t kMaxBehaviors = 4;
+
+/// Short name for logs and tables ("click", "cart", "fav", "buy").
+const char* BehaviorName(Behavior b);
+
+/// One user-item interaction event.
+struct Interaction {
+  int32_t user = 0;
+  int32_t item = 0;
+  Behavior behavior = Behavior::kClick;
+  int64_t timestamp = 0;
+};
+
+/// A user's full event stream, sorted by (timestamp, insertion order).
+struct UserSequence {
+  int32_t user = 0;
+  std::vector<Interaction> events;
+};
+
+}  // namespace missl::data
+
+#endif  // MISSL_DATA_TYPES_H_

@@ -1,0 +1,71 @@
+// Leave-one-out evaluator with the 1-positive + N-sampled-negatives
+// protocol. Negatives are pre-drawn once per user (deterministically), so
+// every model is ranked against identical candidate lists.
+#ifndef MISSL_EVAL_EVALUATOR_H_
+#define MISSL_EVAL_EVALUATOR_H_
+
+#include <vector>
+
+#include "core/model.h"
+#include "data/batch.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+
+namespace missl::eval {
+
+/// How evaluation candidates are drawn.
+enum class CandidateMode {
+  kUniformNegatives,     ///< 1 positive + N uniformly sampled negatives
+  kPopularityNegatives,  ///< negatives popularity-weighted (harder protocol)
+  kFullRanking,          ///< rank against the entire catalog
+};
+
+struct EvalConfig {
+  int32_t num_negatives = 99;
+  int64_t batch_size = 128;
+  int64_t max_len = 50;
+  uint64_t seed = 20240613;
+  CandidateMode mode = CandidateMode::kUniformNegatives;
+};
+
+/// Averaged metrics over evaluated users.
+struct EvalResult {
+  double hr5 = 0, hr10 = 0, hr20 = 0;
+  double ndcg5 = 0, ndcg10 = 0, ndcg20 = 0;
+  double mrr = 0;
+  int64_t num_users = 0;
+};
+
+class Evaluator {
+ public:
+  Evaluator(const data::Dataset& ds, const data::SplitView& split,
+            const EvalConfig& config);
+
+  /// Evaluates on the test (or validation) cut of every eligible user.
+  EvalResult Evaluate(core::SeqRecModel* model, bool test = true) const;
+
+  /// Evaluates only the given users (for cold-start / bucket analyses).
+  EvalResult EvaluateSubset(core::SeqRecModel* model,
+                            const std::vector<int32_t>& users, bool test) const;
+
+  /// Users eligible for evaluation.
+  const std::vector<int32_t>& eval_users() const { return eval_users_; }
+  const EvalConfig& config() const { return config_; }
+
+ private:
+  const data::Dataset* ds_;
+  const data::SplitView* split_;
+  EvalConfig config_;
+  mutable data::BatchBuilder builder_;  ///< Build() mutates only its neg-rng
+  std::vector<int32_t> eval_users_;
+  /// Pre-drawn negatives: per user, num_negatives ids for test and valid
+  /// (unused in full-ranking mode).
+  std::vector<std::vector<int32_t>> test_negs_;
+  std::vector<std::vector<int32_t>> valid_negs_;
+  /// Per-user seen-item sets (full-ranking mode excludes these from ranks).
+  std::vector<std::vector<int32_t>> seen_;
+};
+
+}  // namespace missl::eval
+
+#endif  // MISSL_EVAL_EVALUATOR_H_

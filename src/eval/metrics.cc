@@ -1,0 +1,48 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "utils/check.h"
+
+namespace missl::eval {
+
+double HitRate(int64_t rank, int64_t k) {
+  MISSL_CHECK(rank >= 0 && k > 0);
+  return rank < k ? 1.0 : 0.0;
+}
+
+double Ndcg(int64_t rank, int64_t k) {
+  MISSL_CHECK(rank >= 0 && k > 0);
+  if (rank >= k) return 0.0;
+  return 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+}
+
+double ReciprocalRank(int64_t rank) {
+  MISSL_CHECK(rank >= 0);
+  return 1.0 / static_cast<double>(rank + 1);
+}
+
+void MetricAccumulator::Add(int64_t rank) {
+  hr5 += HitRate(rank, 5);
+  hr10 += HitRate(rank, 10);
+  hr20 += HitRate(rank, 20);
+  ndcg5 += Ndcg(rank, 5);
+  ndcg10 += Ndcg(rank, 10);
+  ndcg20 += Ndcg(rank, 20);
+  mrr += ReciprocalRank(rank);
+  ++count;
+}
+
+void MetricAccumulator::Finalize() {
+  if (count == 0) return;
+  double inv = 1.0 / static_cast<double>(count);
+  hr5 *= inv;
+  hr10 *= inv;
+  hr20 *= inv;
+  ndcg5 *= inv;
+  ndcg10 *= inv;
+  ndcg20 *= inv;
+  mrr *= inv;
+}
+
+}  // namespace missl::eval

@@ -1,0 +1,33 @@
+// Ranking metrics for leave-one-out evaluation.
+#ifndef MISSL_EVAL_METRICS_H_
+#define MISSL_EVAL_METRICS_H_
+
+#include <cstdint>
+
+namespace missl::eval {
+
+/// Hit rate at K: 1 if the 0-based rank is inside the top K.
+double HitRate(int64_t rank, int64_t k);
+
+/// NDCG at K for a single relevant item: 1/log2(rank+2) inside top K else 0.
+double Ndcg(int64_t rank, int64_t k);
+
+/// Reciprocal rank: 1/(rank+1).
+double ReciprocalRank(int64_t rank);
+
+/// Accumulator for the standard metric set (K in {5, 10, 20} plus MRR).
+struct MetricAccumulator {
+  double hr5 = 0, hr10 = 0, hr20 = 0;
+  double ndcg5 = 0, ndcg10 = 0, ndcg20 = 0;
+  double mrr = 0;
+  int64_t count = 0;
+
+  /// Adds one ranked test case.
+  void Add(int64_t rank);
+  /// Divides all sums by count (no-op when count == 0).
+  void Finalize();
+};
+
+}  // namespace missl::eval
+
+#endif  // MISSL_EVAL_METRICS_H_

@@ -1,0 +1,67 @@
+#include "hypergraph/hgat.h"
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace missl::hypergraph {
+
+namespace {
+
+// Masked softmax over the last dim where `mask` is 0/1: rows whose mask is
+// all-zero yield all-zero weights (not NaN).
+Tensor MaskedNormalize(const Tensor& scores, const Tensor& mask) {
+  // exp of clamped scores keeps the magnitudes tame; multiply by the mask to
+  // zero out non-members, then normalize by the row sum (+eps).
+  Tensor expd = Exp(Clamp(scores, -10.0f, 10.0f));
+  Tensor masked = Mul(expd, mask);
+  Tensor denom = AddScalar(Sum(masked, -1, /*keepdim=*/true), 1e-9f);
+  return Div(masked, denom);
+}
+
+}  // namespace
+
+HypergraphAttentionLayer::HypergraphAttentionLayer(int64_t dim, float dropout,
+                                                   Rng* rng)
+    : wa_(dim, dim, rng),
+      wb_(dim, dim, rng),
+      wo_(dim, dim, rng),
+      ln_(dim),
+      dropout_(dropout),
+      rng_(rng) {
+  RegisterModule("wa", &wa_);
+  RegisterModule("wb", &wb_);
+  RegisterModule("wo", &wo_);
+  RegisterModule("ln", &ln_);
+  wn_ = RegisterParameter("wn", nn::XavierUniform({dim, 1}, rng));
+  we_ = RegisterParameter("we", nn::XavierUniform({dim, 1}, rng));
+}
+
+Tensor HypergraphAttentionLayer::Forward(const Tensor& x,
+                                         const Tensor& incidence) const {
+  MISSL_CHECK(x.dim() == 3) << "HGAT expects node features [B, T, d]";
+  MISSL_CHECK(incidence.dim() == 3 && incidence.size(0) == x.size(0) &&
+              incidence.size(2) == x.size(1))
+      << "incidence " << ShapeToString(incidence.shape()) << " vs x "
+      << ShapeToString(x.shape());
+  int64_t b = x.size(0), t = x.size(1), e = incidence.size(1);
+
+  // Node scores: [B, T, 1] -> [B, 1, T] broadcastable against [B, E, T].
+  Tensor node_scores = MatMul(Tanh(wa_.Forward(x)), wn_);        // [B, T, 1]
+  Tensor node_scores_row = Transpose(node_scores);               // [B, 1, T]
+  Tensor edge_attn = MaskedNormalize(
+      Add(node_scores_row, Tensor::Zeros({b, e, t})), incidence);  // [B, E, T]
+  Tensor edge_feats = MatMul(edge_attn, x);  // [B, E, d]
+
+  // Edge scores: [B, E, 1] -> [B, 1, E] against incidence^T [B, T, E].
+  Tensor edge_scores = MatMul(Tanh(wb_.Forward(edge_feats)), we_);  // [B, E, 1]
+  Tensor edge_scores_row = Transpose(edge_scores);                  // [B, 1, E]
+  Tensor inc_t = Transpose(incidence);                              // [B, T, E]
+  Tensor node_attn = MaskedNormalize(
+      Add(edge_scores_row, Tensor::Zeros({b, t, e})), inc_t);  // [B, T, E]
+  Tensor agg = MatMul(node_attn, edge_feats);                  // [B, T, d]
+
+  agg = Dropout(wo_.Forward(agg), dropout_, training(), rng_);
+  return ln_.Forward(Add(x, agg));
+}
+
+}  // namespace missl::hypergraph

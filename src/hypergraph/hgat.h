@@ -1,0 +1,42 @@
+// Hypergraph attention convolution: node -> hyperedge attention pooling
+// followed by hyperedge -> node attention aggregation, with residual + LN.
+// This is the set-level encoder MISSL alternates with the order-level
+// transformer (see DESIGN.md §Model reconstruction).
+#ifndef MISSL_HYPERGRAPH_HGAT_H_
+#define MISSL_HYPERGRAPH_HGAT_H_
+
+#include "nn/layernorm.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace missl::hypergraph {
+
+/// One hypergraph attention layer.
+///
+/// Given node features X [B, T, d] and incidence M [B, E, T]:
+///   node scores  s = w_n · tanh(X W_a)            [B, T]
+///   edge pooling A_e = softmax over members of e  (masked by M)
+///   edge feats   H_e = A_e X                      [B, E, d]
+///   edge scores  q = w_e · tanh(H_e W_b)          [B, E]
+///   node gather  A_n = softmax over edges owning the node (masked by Mᵀ)
+///   out          LN(X + (A_n H_e) W_o)
+class HypergraphAttentionLayer : public nn::Module {
+ public:
+  HypergraphAttentionLayer(int64_t dim, float dropout, Rng* rng);
+
+  /// x: [B, T, d]; incidence: [B, E, T] with 0/1 entries. Positions in no
+  /// edge (and edges with no member) contribute nothing.
+  Tensor Forward(const Tensor& x, const Tensor& incidence) const;
+
+ private:
+  nn::Linear wa_, wb_, wo_;
+  Tensor wn_;  ///< [d, 1] node-score context
+  Tensor we_;  ///< [d, 1] edge-score context
+  nn::LayerNormM ln_;
+  float dropout_;
+  Rng* rng_;
+};
+
+}  // namespace missl::hypergraph
+
+#endif  // MISSL_HYPERGRAPH_HGAT_H_

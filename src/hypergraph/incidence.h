@@ -1,0 +1,43 @@
+// Per-sequence hypergraph construction. For each batch row we build a fixed
+// layout of hyperedges over the sequence positions:
+//   [0, num_behaviors)              behavior-channel edges (positions whose
+//                                   event carries behavior b)
+//   [B0, B0 + num_windows)          temporal sliding-window edges
+//   [W0, W0 + max_repeat_edges)     repeated-item edges (positions sharing
+//                                   one item id, largest groups first)
+// The incidence is returned dense as a 0/1 tensor [B, E, T] so the
+// attention convolution stays in the rank-3 op set.
+#ifndef MISSL_HYPERGRAPH_INCIDENCE_H_
+#define MISSL_HYPERGRAPH_INCIDENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace missl::hypergraph {
+
+struct HypergraphConfig {
+  bool behavior_edges = true;
+  bool window_edges = true;
+  int64_t window_size = 8;
+  int64_t window_stride = 4;
+  bool repeat_edges = true;
+  int64_t max_repeat_edges = 6;
+};
+
+/// Number of hyperedges per row implied by the config for sequences of
+/// length `t` with `num_behaviors` channels.
+int64_t NumEdges(const HypergraphConfig& config, int64_t t, int32_t num_behaviors);
+
+/// Builds the dense incidence tensor [batch, E, t]. `items`/`behaviors` are
+/// the merged-stream arrays from data::Batch (flattened [batch * t], -1 pad).
+/// Padded positions belong to no hyperedge.
+Tensor BuildIncidence(const std::vector<int32_t>& items,
+                      const std::vector<int32_t>& behaviors, int64_t batch,
+                      int64_t t, int32_t num_behaviors,
+                      const HypergraphConfig& config);
+
+}  // namespace missl::hypergraph
+
+#endif  // MISSL_HYPERGRAPH_INCIDENCE_H_

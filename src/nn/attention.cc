@@ -1,0 +1,72 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace missl::nn {
+
+Tensor KeyPaddingMask(const std::vector<int32_t>& ids, int64_t batch, int64_t t) {
+  MISSL_CHECK(static_cast<int64_t>(ids.size()) == batch * t)
+      << "KeyPaddingMask ids size mismatch";
+  Tensor m = Tensor::Zeros({batch, 1, t});
+  float* p = m.data();
+  for (int64_t i = 0; i < batch * t; ++i) {
+    if (ids[static_cast<size_t>(i)] < 0) p[i] = -1e9f;
+  }
+  return m;
+}
+
+Tensor CausalMask(int64_t t) {
+  Tensor m = Tensor::Zeros({t, t});
+  float* p = m.data();
+  for (int64_t i = 0; i < t; ++i)
+    for (int64_t j = i + 1; j < t; ++j) p[i * t + j] = -1e9f;
+  return m;
+}
+
+MultiHeadAttention::MultiHeadAttention(int64_t dim, int64_t heads, float dropout,
+                                       Rng* rng)
+    : dim_(dim),
+      heads_(heads),
+      dh_(dim / heads),
+      dropout_(dropout),
+      rng_(rng),
+      wq_(dim, dim, rng),
+      wk_(dim, dim, rng),
+      wv_(dim, dim, rng),
+      wo_(dim, dim, rng) {
+  MISSL_CHECK(dim % heads == 0) << "dim " << dim << " not divisible by heads "
+                                << heads;
+  RegisterModule("wq", &wq_);
+  RegisterModule("wk", &wk_);
+  RegisterModule("wv", &wv_);
+  RegisterModule("wo", &wo_);
+}
+
+Tensor MultiHeadAttention::Forward(const Tensor& query, const Tensor& key,
+                                   const Tensor& value, const Tensor& mask) const {
+  MISSL_CHECK(query.dim() == 3 && key.dim() == 3 && value.dim() == 3)
+      << "attention expects [B, T, d] inputs";
+  MISSL_CHECK(key.size(1) == value.size(1)) << "key/value length mismatch";
+  Tensor q = wq_.Forward(query);
+  Tensor k = wk_.Forward(key);
+  Tensor v = wv_.Forward(value);
+  float scale = 1.0f / std::sqrt(static_cast<float>(dh_));
+  std::vector<Tensor> head_outs;
+  head_outs.reserve(static_cast<size_t>(heads_));
+  for (int64_t h = 0; h < heads_; ++h) {
+    Tensor qh = Slice(q, -1, h * dh_, (h + 1) * dh_);  // [B, Tq, dh]
+    Tensor kh = Slice(k, -1, h * dh_, (h + 1) * dh_);  // [B, Tk, dh]
+    Tensor vh = Slice(v, -1, h * dh_, (h + 1) * dh_);
+    Tensor scores = MulScalar(MatMul(qh, Transpose(kh)), scale);  // [B, Tq, Tk]
+    if (mask.defined()) scores = Add(scores, mask);
+    Tensor probs = Softmax(scores);
+    probs = Dropout(probs, dropout_, training(), rng_);
+    head_outs.push_back(MatMul(probs, vh));  // [B, Tq, dh]
+  }
+  Tensor out = heads_ == 1 ? head_outs[0] : Concat(head_outs, -1);
+  return wo_.Forward(out);
+}
+
+}  // namespace missl::nn

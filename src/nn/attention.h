@@ -1,0 +1,48 @@
+// Multi-head scaled dot-product attention plus mask-building helpers.
+#ifndef MISSL_NN_ATTENTION_H_
+#define MISSL_NN_ATTENTION_H_
+
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace missl::nn {
+
+/// Builds an additive key-padding mask of shape [B, 1, T]: 0 where the key is
+/// valid (ids[b*T + t] >= 0), -1e9 where it is padding. Broadcasts against
+/// attention scores [B, Tq, T].
+Tensor KeyPaddingMask(const std::vector<int32_t>& ids, int64_t batch, int64_t t);
+
+/// Builds an additive causal mask of shape [T, T]: 0 on/below the diagonal,
+/// -1e9 above (future positions).
+Tensor CausalMask(int64_t t);
+
+/// Multi-head attention. Query/key/value projections + output projection.
+/// Heads are processed by slicing the projected tensors, which keeps the op
+/// set at rank <= 3.
+class MultiHeadAttention : public Module {
+ public:
+  /// `dim` must be divisible by `heads`. `rng` is used for weight init and
+  /// attention-dropout sampling; it must outlive the module.
+  MultiHeadAttention(int64_t dim, int64_t heads, float dropout, Rng* rng);
+
+  /// query [B, Tq, d]; key/value [B, Tk, d]. `mask` (optional, pass
+  /// undefined Tensor to skip) is additive and broadcastable to [B, Tq, Tk].
+  Tensor Forward(const Tensor& query, const Tensor& key, const Tensor& value,
+                 const Tensor& mask = Tensor()) const;
+
+  int64_t heads() const { return heads_; }
+
+ private:
+  int64_t dim_;
+  int64_t heads_;
+  int64_t dh_;
+  float dropout_;
+  Rng* rng_;
+  Linear wq_, wk_, wv_, wo_;
+};
+
+}  // namespace missl::nn
+
+#endif  // MISSL_NN_ATTENTION_H_

@@ -1,0 +1,18 @@
+#include "nn/embedding.h"
+
+#include "nn/init.h"
+
+namespace missl::nn {
+
+Embedding::Embedding(int64_t vocab, int64_t dim, Rng* rng, float init_std)
+    : vocab_(vocab), dim_(dim) {
+  MISSL_CHECK(vocab > 0 && dim > 0) << "Embedding dims must be positive";
+  weight_ = RegisterParameter("weight", NormalInit({vocab, dim}, rng, init_std));
+}
+
+Tensor Embedding::Forward(const std::vector<int32_t>& ids,
+                          Shape prefix_shape) const {
+  return EmbeddingLookup(weight_, ids, std::move(prefix_shape));
+}
+
+}  // namespace missl::nn

@@ -1,0 +1,35 @@
+// Embedding table with padding-aware lookup (index -1 -> zero vector).
+#ifndef MISSL_NN_EMBEDDING_H_
+#define MISSL_NN_EMBEDDING_H_
+
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "utils/rng.h"
+
+namespace missl::nn {
+
+/// Learnable embedding table [vocab, dim].
+class Embedding : public Module {
+ public:
+  Embedding(int64_t vocab, int64_t dim, Rng* rng, float init_std = 0.02f);
+
+  /// Looks up ids (row-major layout of `prefix_shape`); returns
+  /// prefix_shape + [dim]. Index -1 is padding and yields zeros.
+  Tensor Forward(const std::vector<int32_t>& ids, Shape prefix_shape) const;
+
+  /// The full table (e.g. for scoring against all items).
+  const Tensor& weight() const { return weight_; }
+  int64_t vocab() const { return vocab_; }
+  int64_t dim() const { return dim_; }
+
+ private:
+  int64_t vocab_;
+  int64_t dim_;
+  Tensor weight_;
+};
+
+}  // namespace missl::nn
+
+#endif  // MISSL_NN_EMBEDDING_H_

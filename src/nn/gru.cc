@@ -1,0 +1,44 @@
+#include "nn/gru.h"
+
+#include "nn/init.h"
+
+namespace missl::nn {
+
+GRU::GRU(int64_t input_dim, int64_t hidden_dim, Rng* rng)
+    : input_(input_dim), hidden_(hidden_dim) {
+  MISSL_CHECK(input_dim > 0 && hidden_dim > 0) << "GRU dims must be positive";
+  wx_ = RegisterParameter("wx", XavierUniform({input_dim, 3 * hidden_dim}, rng));
+  wh_ = RegisterParameter("wh", XavierUniform({hidden_dim, 3 * hidden_dim}, rng));
+  bias_ = RegisterParameter("bias", Tensor::Zeros({3 * hidden_dim}));
+}
+
+Tensor GRU::Step(const Tensor& x_t, const Tensor& h) const {
+  MISSL_CHECK(x_t.dim() == 2 && x_t.size(1) == input_) << "GRU step input shape";
+  MISSL_CHECK(h.dim() == 2 && h.size(1) == hidden_) << "GRU step hidden shape";
+  Tensor gx = Add(MatMul(x_t, wx_), bias_);  // [B, 3h]
+  Tensor gh = MatMul(h, wh_);                // [B, 3h]
+  Tensor z = Sigmoid(Add(Slice(gx, 1, 0, hidden_), Slice(gh, 1, 0, hidden_)));
+  Tensor r = Sigmoid(Add(Slice(gx, 1, hidden_, 2 * hidden_),
+                         Slice(gh, 1, hidden_, 2 * hidden_)));
+  Tensor n = Tanh(Add(Slice(gx, 1, 2 * hidden_, 3 * hidden_),
+                      Mul(r, Slice(gh, 1, 2 * hidden_, 3 * hidden_))));
+  // h' = (1 - z) * n + z * h
+  return Add(Mul(Sub(Tensor::Ones({1}), z), n), Mul(z, h));
+}
+
+Tensor GRU::Forward(const Tensor& x, Tensor* last) const {
+  MISSL_CHECK(x.dim() == 3 && x.size(2) == input_) << "GRU expects [B, T, in]";
+  int64_t b = x.size(0), t = x.size(1);
+  Tensor h = Tensor::Zeros({b, hidden_});
+  std::vector<Tensor> outs;
+  outs.reserve(static_cast<size_t>(t));
+  for (int64_t step = 0; step < t; ++step) {
+    Tensor x_t = Reshape(Slice(x, 1, step, step + 1), {b, input_});
+    h = Step(x_t, h);
+    outs.push_back(Reshape(h, {b, 1, hidden_}));
+  }
+  if (last != nullptr) *last = h;
+  return t == 1 ? outs[0] : Concat(outs, 1);
+}
+
+}  // namespace missl::nn

@@ -1,0 +1,37 @@
+// Gated recurrent unit over item sequences (substrate for GRU4Rec-family
+// baselines).
+#ifndef MISSL_NN_GRU_H_
+#define MISSL_NN_GRU_H_
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "utils/rng.h"
+
+namespace missl::nn {
+
+/// Single-layer GRU. Gate weights are stored fused: W_x [in, 3h] and
+/// W_h [h, 3h] with gate order (update z, reset r, candidate n).
+class GRU : public Module {
+ public:
+  GRU(int64_t input_dim, int64_t hidden_dim, Rng* rng);
+
+  /// One recurrence step. x_t: [B, in], h: [B, hidden]. Returns new h.
+  Tensor Step(const Tensor& x_t, const Tensor& h) const;
+
+  /// Full unroll over x [B, T, in]; returns all hidden states [B, T, hidden].
+  /// If `last` is non-null it receives the final hidden state [B, hidden].
+  Tensor Forward(const Tensor& x, Tensor* last = nullptr) const;
+
+  int64_t hidden_dim() const { return hidden_; }
+
+ private:
+  int64_t input_;
+  int64_t hidden_;
+  Tensor wx_;  ///< [in, 3h]
+  Tensor wh_;  ///< [h, 3h]
+  Tensor bias_;  ///< [3h]
+};
+
+}  // namespace missl::nn
+
+#endif  // MISSL_NN_GRU_H_

@@ -1,0 +1,21 @@
+// Weight initialization helpers (Xavier/Glorot and Kaiming/He schemes).
+#ifndef MISSL_NN_INIT_H_
+#define MISSL_NN_INIT_H_
+
+#include "tensor/tensor.h"
+#include "utils/rng.h"
+
+namespace missl::nn {
+
+/// Xavier-uniform initialized [fan_in, fan_out]-shaped matrix.
+Tensor XavierUniform(Shape shape, Rng* rng);
+
+/// Normal(0, stddev) initialization (used for embedding tables).
+Tensor NormalInit(Shape shape, Rng* rng, float stddev = 0.02f);
+
+/// Kaiming-uniform for ReLU fan-in.
+Tensor KaimingUniform(Shape shape, Rng* rng);
+
+}  // namespace missl::nn
+
+#endif  // MISSL_NN_INIT_H_

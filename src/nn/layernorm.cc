@@ -1,0 +1,15 @@
+#include "nn/layernorm.h"
+
+namespace missl::nn {
+
+LayerNormM::LayerNormM(int64_t dim, float eps) : eps_(eps) {
+  MISSL_CHECK(dim > 0) << "LayerNorm dim must be positive";
+  gamma_ = RegisterParameter("gamma", Tensor::Ones({dim}));
+  beta_ = RegisterParameter("beta", Tensor::Zeros({dim}));
+}
+
+Tensor LayerNormM::Forward(const Tensor& x) const {
+  return LayerNorm(x, gamma_, beta_, eps_);
+}
+
+}  // namespace missl::nn

@@ -1,0 +1,25 @@
+// LayerNorm module (affine over the last dimension).
+#ifndef MISSL_NN_LAYERNORM_H_
+#define MISSL_NN_LAYERNORM_H_
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace missl::nn {
+
+/// Layer normalization with learnable gamma/beta over the last dim.
+class LayerNormM : public Module {
+ public:
+  explicit LayerNormM(int64_t dim, float eps = 1e-5f);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  Tensor gamma_;
+  Tensor beta_;
+  float eps_;
+};
+
+}  // namespace missl::nn
+
+#endif  // MISSL_NN_LAYERNORM_H_

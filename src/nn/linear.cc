@@ -1,0 +1,21 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+
+namespace missl::nn {
+
+Linear::Linear(int64_t in, int64_t out, Rng* rng, bool bias) : in_(in), out_(out) {
+  MISSL_CHECK(in > 0 && out > 0) << "Linear dims must be positive";
+  weight_ = RegisterParameter("weight", XavierUniform({in, out}, rng));
+  if (bias) bias_ = RegisterParameter("bias", Tensor::Zeros({out}));
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  MISSL_CHECK(x.size(-1) == in_) << "Linear input dim " << x.size(-1)
+                                 << " != " << in_;
+  Tensor y = MatMul(x, weight_);
+  if (bias_.defined()) y = Add(y, bias_);
+  return y;
+}
+
+}  // namespace missl::nn

@@ -1,0 +1,35 @@
+// Affine layer y = x W + b with W stored [in, out].
+#ifndef MISSL_NN_LINEAR_H_
+#define MISSL_NN_LINEAR_H_
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "utils/rng.h"
+
+namespace missl::nn {
+
+/// Fully-connected layer. Accepts inputs of shape [..., in]; the matmul is
+/// applied over the last dimension.
+class Linear : public Module {
+ public:
+  /// Creates a layer with Xavier-uniform weights; bias optional.
+  Linear(int64_t in, int64_t out, Rng* rng, bool bias = true);
+
+  /// y = x W (+ b). x may be rank 2 or 3.
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t in_features() const { return in_; }
+  int64_t out_features() const { return out_; }
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  int64_t in_;
+  int64_t out_;
+  Tensor weight_;  ///< [in, out]
+  Tensor bias_;    ///< [out] (undefined when bias=false)
+};
+
+}  // namespace missl::nn
+
+#endif  // MISSL_NN_LINEAR_H_

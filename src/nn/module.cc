@@ -1,0 +1,57 @@
+#include "nn/module.h"
+
+#include "utils/check.h"
+
+namespace missl::nn {
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> out;
+  for (const auto& [name, t] : NamedParameters()) out.push_back(t);
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::NamedParameters() const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  CollectNamed("", &out);
+  return out;
+}
+
+void Module::CollectNamed(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Tensor>>* out) const {
+  for (const auto& [name, t] : params_) {
+    out->emplace_back(prefix.empty() ? name : prefix + "." + name, t);
+  }
+  for (const auto& [name, m] : children_) {
+    m->CollectNamed(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+int64_t Module::NumParams() const {
+  int64_t n = 0;
+  for (const auto& t : Parameters()) n += t.numel();
+  return n;
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, m] : children_) m->SetTraining(training);
+}
+
+void Module::ZeroGrad() {
+  for (auto& t : Parameters()) t.ZeroGrad();
+}
+
+Tensor Module::RegisterParameter(const std::string& name, Tensor t) {
+  MISSL_CHECK(t.defined()) << "registering undefined parameter " << name;
+  t.set_requires_grad(true);
+  params_.emplace_back(name, t);
+  return t;
+}
+
+void Module::RegisterModule(const std::string& name, Module* m) {
+  MISSL_CHECK(m != nullptr) << "registering null submodule " << name;
+  children_.emplace_back(name, m);
+}
+
+}  // namespace missl::nn

@@ -1,0 +1,60 @@
+// Module base class: parameter registration, recursive traversal,
+// train/eval mode, and gradient utilities. Submodules are registered as
+// non-owning pointers to member objects of the parent (construct members
+// first, then register them in the parent's constructor body).
+#ifndef MISSL_NN_MODULE_H_
+#define MISSL_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace missl::nn {
+
+/// Base class for all neural-net modules.
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters of this module and its descendants.
+  std::vector<Tensor> Parameters() const;
+
+  /// Parameters with hierarchical dotted names ("encoder.fc.weight").
+  std::vector<std::pair<std::string, Tensor>> NamedParameters() const;
+
+  /// Total number of trainable scalars.
+  int64_t NumParams() const;
+
+  /// Switches this module and all descendants between train and eval mode
+  /// (affects dropout).
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+  /// Zeroes gradients of all parameters.
+  void ZeroGrad();
+
+ protected:
+  /// Registers a trainable parameter; returns the same tensor for storing in
+  /// a member. The tensor is marked requires_grad.
+  Tensor RegisterParameter(const std::string& name, Tensor t);
+
+  /// Registers a submodule (non-owning; must outlive the parent traversals).
+  void RegisterModule(const std::string& name, Module* m);
+
+ private:
+  void CollectNamed(const std::string& prefix,
+                    std::vector<std::pair<std::string, Tensor>>* out) const;
+
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+}  // namespace missl::nn
+
+#endif  // MISSL_NN_MODULE_H_

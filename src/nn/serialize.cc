@@ -1,0 +1,126 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace missl::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'S', 'S', 'L'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool WritePod(std::FILE* f, const T& v) {
+  return std::fwrite(&v, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool ReadPod(std::FILE* f, T* v) {
+  return std::fread(v, sizeof(T), 1, f) == 1;
+}
+
+}  // namespace
+
+Status SaveParameters(const Module& module, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  auto params = module.NamedParameters();
+  if (std::fwrite(kMagic, 1, 4, f.get()) != 4 || !WritePod(f.get(), kVersion) ||
+      !WritePod(f.get(), static_cast<uint64_t>(params.size()))) {
+    return Status::IOError("write header failed: " + path);
+  }
+  for (const auto& [name, t] : params) {
+    uint32_t nlen = static_cast<uint32_t>(name.size());
+    uint32_t rank = static_cast<uint32_t>(t.shape().size());
+    if (!WritePod(f.get(), nlen) ||
+        std::fwrite(name.data(), 1, nlen, f.get()) != nlen ||
+        !WritePod(f.get(), rank)) {
+      return Status::IOError("write param header failed: " + name);
+    }
+    for (int64_t d : t.shape()) {
+      if (!WritePod(f.get(), d)) return Status::IOError("write dims failed");
+    }
+    size_t n = static_cast<size_t>(t.numel());
+    if (std::fwrite(t.data(), sizeof(float), n, f.get()) != n) {
+      return Status::IOError("write data failed: " + name);
+    }
+  }
+  return Status::OK();
+}
+
+Status LoadParameters(Module* module, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open for read: " + path);
+  char magic[4];
+  uint32_t version = 0;
+  uint64_t count = 0;
+  if (std::fread(magic, 1, 4, f.get()) != 4 ||
+      magic[0] != kMagic[0] || magic[1] != kMagic[1] || magic[2] != kMagic[2] ||
+      magic[3] != kMagic[3]) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  if (!ReadPod(f.get(), &version) || version != kVersion) {
+    return Status::Corruption("unsupported checkpoint version");
+  }
+  if (!ReadPod(f.get(), &count)) return Status::Corruption("truncated header");
+
+  std::map<std::string, std::pair<Shape, std::vector<float>>> entries;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t nlen = 0, rank = 0;
+    if (!ReadPod(f.get(), &nlen) || nlen > 4096) {
+      return Status::Corruption("bad name length");
+    }
+    std::string name(nlen, '\0');
+    if (std::fread(name.data(), 1, nlen, f.get()) != nlen) {
+      return Status::Corruption("truncated name");
+    }
+    if (!ReadPod(f.get(), &rank) || rank > 8) {
+      return Status::Corruption("bad rank for " + name);
+    }
+    Shape shape(rank);
+    for (uint32_t d = 0; d < rank; ++d) {
+      if (!ReadPod(f.get(), &shape[d]) || shape[d] < 0) {
+        return Status::Corruption("bad dim for " + name);
+      }
+    }
+    size_t n = static_cast<size_t>(NumElements(shape));
+    std::vector<float> data(n);
+    if (std::fread(data.data(), sizeof(float), n, f.get()) != n) {
+      return Status::Corruption("truncated data for " + name);
+    }
+    entries[name] = {std::move(shape), std::move(data)};
+  }
+
+  auto params = module->NamedParameters();
+  if (params.size() != entries.size()) {
+    return Status::InvalidArgument("parameter count mismatch: module has " +
+                                   std::to_string(params.size()) + ", file has " +
+                                   std::to_string(entries.size()));
+  }
+  for (auto& [name, t] : params) {
+    auto it = entries.find(name);
+    if (it == entries.end()) {
+      return Status::NotFound("missing parameter in file: " + name);
+    }
+    if (it->second.first != t.shape()) {
+      return Status::InvalidArgument("shape mismatch for " + name + ": file " +
+                                     ShapeToString(it->second.first) + " vs module " +
+                                     ShapeToString(t.shape()));
+    }
+    t.vec() = it->second.second;
+  }
+  return Status::OK();
+}
+
+}  // namespace missl::nn

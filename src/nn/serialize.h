@@ -1,0 +1,27 @@
+// Binary checkpointing of module parameters.
+//
+// Format (little-endian):
+//   magic "MSSL" | uint32 version | uint64 param_count |
+//   per param: uint32 name_len | name bytes | uint32 rank | int64 dims[rank] |
+//              float data[numel]
+#ifndef MISSL_NN_SERIALIZE_H_
+#define MISSL_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "nn/module.h"
+#include "utils/status.h"
+
+namespace missl::nn {
+
+/// Writes all named parameters of `module` to `path`.
+Status SaveParameters(const Module& module, const std::string& path);
+
+/// Loads parameters into `module`. Every parameter name present in the
+/// module must exist in the file with matching shape; extra file entries are
+/// an error (checkpoints are model-specific).
+Status LoadParameters(Module* module, const std::string& path);
+
+}  // namespace missl::nn
+
+#endif  // MISSL_NN_SERIALIZE_H_

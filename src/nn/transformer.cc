@@ -1,0 +1,66 @@
+#include "nn/transformer.h"
+
+#include "tensor/ops.h"
+
+namespace missl::nn {
+
+FeedForward::FeedForward(int64_t dim, int64_t hidden, float dropout, Rng* rng)
+    : fc1_(dim, hidden, rng), fc2_(hidden, dim, rng), dropout_(dropout), rng_(rng) {
+  RegisterModule("fc1", &fc1_);
+  RegisterModule("fc2", &fc2_);
+}
+
+Tensor FeedForward::Forward(const Tensor& x) const {
+  Tensor h = Gelu(fc1_.Forward(x));
+  h = Dropout(h, dropout_, training(), rng_);
+  return fc2_.Forward(h);
+}
+
+TransformerEncoderLayer::TransformerEncoderLayer(int64_t dim, int64_t heads,
+                                                 int64_t ffn_hidden, float dropout,
+                                                 Rng* rng)
+    : attn_(dim, heads, dropout, rng),
+      ffn_(dim, ffn_hidden, dropout, rng),
+      ln1_(dim),
+      ln2_(dim),
+      dropout_(dropout),
+      rng_(rng) {
+  RegisterModule("attn", &attn_);
+  RegisterModule("ffn", &ffn_);
+  RegisterModule("ln1", &ln1_);
+  RegisterModule("ln2", &ln2_);
+}
+
+Tensor TransformerEncoderLayer::Forward(const Tensor& x, const Tensor& mask) const {
+  Tensor a = attn_.Forward(x, x, x, mask);
+  a = Dropout(a, dropout_, training(), rng_);
+  Tensor h = ln1_.Forward(Add(x, a));
+  Tensor f = ffn_.Forward(h);
+  f = Dropout(f, dropout_, training(), rng_);
+  return ln2_.Forward(Add(h, f));
+}
+
+TransformerEncoder::TransformerEncoder(const TransformerConfig& config, Rng* rng)
+    : config_(config) {
+  MISSL_CHECK(config.layers > 0) << "encoder needs at least one layer";
+  for (int64_t i = 0; i < config.layers; ++i) {
+    layers_.push_back(std::make_unique<TransformerEncoderLayer>(
+        config.dim, config.heads, config.ffn_hidden, config.dropout, rng));
+    RegisterModule("layer" + std::to_string(i), layers_.back().get());
+  }
+}
+
+Tensor TransformerEncoder::Forward(const Tensor& x,
+                                   const Tensor& padding_mask) const {
+  MISSL_CHECK(x.dim() == 3) << "encoder expects [B, T, d]";
+  Tensor mask = padding_mask;
+  if (config_.causal) {
+    Tensor causal = CausalMask(x.size(1));
+    mask = mask.defined() ? Add(mask, causal) : causal;
+  }
+  Tensor h = x;
+  for (const auto& layer : layers_) h = layer->Forward(h, mask);
+  return h;
+}
+
+}  // namespace missl::nn

@@ -1,0 +1,71 @@
+// Position-wise feed-forward network, transformer encoder layer and stack.
+#ifndef MISSL_NN_TRANSFORMER_H_
+#define MISSL_NN_TRANSFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/layernorm.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace missl::nn {
+
+/// Two-layer position-wise FFN with GeLU activation.
+class FeedForward : public Module {
+ public:
+  FeedForward(int64_t dim, int64_t hidden, float dropout, Rng* rng);
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  Linear fc1_, fc2_;
+  float dropout_;
+  Rng* rng_;
+};
+
+/// Post-LN transformer encoder layer:
+///   x = LN(x + Dropout(MHA(x)));  x = LN(x + Dropout(FFN(x)))
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(int64_t dim, int64_t heads, int64_t ffn_hidden,
+                          float dropout, Rng* rng);
+  /// `mask` is additive, broadcastable to [B, T, T]; pass undefined to skip.
+  Tensor Forward(const Tensor& x, const Tensor& mask = Tensor()) const;
+
+ private:
+  MultiHeadAttention attn_;
+  FeedForward ffn_;
+  LayerNormM ln1_, ln2_;
+  float dropout_;
+  Rng* rng_;
+};
+
+/// Configuration for a transformer encoder stack.
+struct TransformerConfig {
+  int64_t dim = 64;
+  int64_t heads = 2;
+  int64_t layers = 2;
+  int64_t ffn_hidden = 128;
+  float dropout = 0.1f;
+  bool causal = false;  ///< adds a causal mask to every layer
+};
+
+/// Stack of encoder layers with optional causal masking; combines the causal
+/// mask with a caller-provided key-padding mask.
+class TransformerEncoder : public Module {
+ public:
+  TransformerEncoder(const TransformerConfig& config, Rng* rng);
+  /// x: [B, T, d]; padding_mask additive broadcastable to [B, T, T].
+  Tensor Forward(const Tensor& x, const Tensor& padding_mask = Tensor()) const;
+
+  const TransformerConfig& config() const { return config_; }
+
+ private:
+  TransformerConfig config_;
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
+};
+
+}  // namespace missl::nn
+
+#endif  // MISSL_NN_TRANSFORMER_H_

@@ -1,0 +1,55 @@
+#include "tensor/broadcast.h"
+
+namespace missl::internal {
+
+Shape BroadcastShape(const Shape& a, const Shape& b) {
+  size_t ra = a.size(), rb = b.size();
+  size_t r = std::max(ra, rb);
+  Shape out(r, 1);
+  for (size_t i = 0; i < r; ++i) {
+    int64_t da = i < ra ? a[ra - 1 - i] : 1;
+    int64_t db = i < rb ? b[rb - 1 - i] : 1;
+    if (da == db) {
+      out[r - 1 - i] = da;
+    } else if (da == 1) {
+      out[r - 1 - i] = db;
+    } else if (db == 1) {
+      out[r - 1 - i] = da;
+    } else {
+      MISSL_CHECK(false) << "incompatible broadcast " << ShapeToString(a) << " vs "
+                         << ShapeToString(b);
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> BroadcastStrides(const Shape& in, const Shape& out) {
+  size_t r = out.size(), ri = in.size();
+  std::vector<int64_t> strides(r, 0);
+  int64_t s = 1;
+  for (size_t i = 0; i < ri; ++i) {
+    size_t din = ri - 1 - i;   // dim index in `in`
+    size_t dout = r - 1 - i;   // aligned dim index in `out`
+    if (in[din] == out[dout]) {
+      strides[dout] = s;
+    } else {
+      MISSL_CHECK(in[din] == 1) << "bad broadcast stride " << ShapeToString(in)
+                                << " under " << ShapeToString(out);
+      strides[dout] = 0;
+    }
+    s *= in[din];
+  }
+  return strides;
+}
+
+std::vector<float> ReduceGradTo(const float* g, const Shape& out, const Shape& in) {
+  std::vector<float> r(static_cast<size_t>(NumElements(in)), 0.0f);
+  if (NumElements(out) == 0) return r;
+  // Iterate out elements, accumulate into the broadcast-mapped in offset.
+  BroadcastIterate(out, in, in, [&](int64_t i, int64_t oin, int64_t) {
+    r[static_cast<size_t>(oin)] += g[i];
+  });
+  return r;
+}
+
+}  // namespace missl::internal

@@ -1,0 +1,53 @@
+// Internal broadcasting helpers shared by op implementations. Not part of
+// the public API.
+#ifndef MISSL_TENSOR_BROADCAST_H_
+#define MISSL_TENSOR_BROADCAST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace missl::internal {
+
+/// NumPy broadcast of two shapes; CHECKs compatibility.
+Shape BroadcastShape(const Shape& a, const Shape& b);
+
+/// Element strides of `in` when iterated under `out` (0 on broadcast dims).
+/// `in` is right-aligned to `out`'s rank.
+std::vector<int64_t> BroadcastStrides(const Shape& in, const Shape& out);
+
+/// Sums a gradient laid out in `out` shape down to `in` shape (summing the
+/// dimensions that were broadcast). Returns a buffer of NumElements(in).
+std::vector<float> ReduceGradTo(const float* g, const Shape& out, const Shape& in);
+
+/// Calls fn(out_index, a_offset, b_offset) for every element of `out`,
+/// where offsets follow the broadcast strides of the two inputs.
+template <typename Fn>
+void BroadcastIterate(const Shape& out, const Shape& a, const Shape& b, Fn&& fn) {
+  int64_t n = NumElements(out);
+  if (n == 0) return;
+  size_t rank = out.size();
+  std::vector<int64_t> sa = BroadcastStrides(a, out);
+  std::vector<int64_t> sb = BroadcastStrides(b, out);
+  std::vector<int64_t> idx(rank, 0);
+  int64_t oa = 0, ob = 0;
+  for (int64_t i = 0;;) {
+    fn(i, oa, ob);
+    if (++i == n) break;
+    // Odometer increment from the innermost dimension.
+    for (size_t d = rank; d-- > 0;) {
+      ++idx[d];
+      oa += sa[d];
+      ob += sb[d];
+      if (idx[d] < out[d]) break;
+      oa -= sa[d] * out[d];
+      ob -= sb[d] * out[d];
+      idx[d] = 0;
+    }
+  }
+}
+
+}  // namespace missl::internal
+
+#endif  // MISSL_TENSOR_BROADCAST_H_

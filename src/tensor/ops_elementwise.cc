@@ -1,0 +1,215 @@
+#include <cmath>
+
+#include "tensor/broadcast.h"
+#include "tensor/ops.h"
+
+namespace missl {
+
+using internal::AttachGrad;
+using internal::BroadcastIterate;
+using internal::BroadcastShape;
+using internal::MakeResult;
+using internal::ReduceGradTo;
+
+namespace {
+
+// Generic broadcasting binary op. `fwd(x, y)` computes the value;
+// `dfdx(x, y)` / `dfdy(x, y)` compute local partials at the element.
+template <typename F, typename Dx, typename Dy>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, F fwd, Dx dfdx, Dy dfdy) {
+  const Shape& sa = a.shape();
+  const Shape& sb = b.shape();
+  Shape so = BroadcastShape(sa, sb);
+  Tensor out = MakeResult(so);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  if (sa == sb) {
+    int64_t n = out.numel();
+    for (int64_t i = 0; i < n; ++i) po[i] = fwd(pa[i], pb[i]);
+  } else {
+    BroadcastIterate(so, sa, sb, [&](int64_t i, int64_t ia, int64_t ib) {
+      po[i] = fwd(pa[ia], pb[ib]);
+    });
+  }
+  AttachGrad(&out, {a, b}, [a, b, out, dfdx, dfdy]() {
+    const Shape& sa = a.shape();
+    const Shape& sb = b.shape();
+    const Shape& so = out.shape();
+    const float* g = out.impl()->grad.data();
+    const float* pa = a.data();
+    const float* pb = b.data();
+    bool need_a = a.requires_grad();
+    bool need_b = b.requires_grad();
+    if (sa == sb) {
+      int64_t n = out.numel();
+      if (need_a) {
+        a.impl()->EnsureGrad();
+        float* ga = a.impl()->grad.data();
+        for (int64_t i = 0; i < n; ++i) ga[i] += dfdx(pa[i], pb[i]) * g[i];
+      }
+      if (need_b) {
+        b.impl()->EnsureGrad();
+        float* gb = b.impl()->grad.data();
+        for (int64_t i = 0; i < n; ++i) gb[i] += dfdy(pa[i], pb[i]) * g[i];
+      }
+      return;
+    }
+    int64_t n = out.numel();
+    if (need_a) {
+      std::vector<float> full(static_cast<size_t>(n));
+      BroadcastIterate(so, sa, sb, [&](int64_t i, int64_t ia, int64_t ib) {
+        full[static_cast<size_t>(i)] = dfdx(pa[ia], pb[ib]) * g[i];
+      });
+      std::vector<float> red = ReduceGradTo(full.data(), so, sa);
+      a.impl()->AccumGrad(red.data(), static_cast<int64_t>(red.size()));
+    }
+    if (need_b) {
+      std::vector<float> full(static_cast<size_t>(n));
+      BroadcastIterate(so, sa, sb, [&](int64_t i, int64_t ia, int64_t ib) {
+        full[static_cast<size_t>(i)] = dfdy(pa[ia], pb[ib]) * g[i];
+      });
+      std::vector<float> red = ReduceGradTo(full.data(), so, sb);
+      b.impl()->AccumGrad(red.data(), static_cast<int64_t>(red.size()));
+    }
+  });
+  return out;
+}
+
+// Generic unary op: fwd(x) value, dfd(x, y) local derivative given input x
+// and output y (lets tanh/sigmoid reuse the output).
+template <typename F, typename D>
+Tensor UnaryOp(const Tensor& a, F fwd, D dfd) {
+  Tensor out = MakeResult(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = fwd(pa[i]);
+  AttachGrad(&out, {a}, [a, out, dfd]() {
+    const float* g = out.impl()->grad.data();
+    const float* pa = a.data();
+    const float* po = out.data();
+    a.impl()->EnsureGrad();
+    float* ga = a.impl()->grad.data();
+    int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i) ga[i] += dfd(pa[i], po[i]) * g[i];
+  });
+  return out;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x + y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x - y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x * y; },
+      [](float, float y) { return y; }, [](float x, float) { return x; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x / y; },
+      [](float, float y) { return 1.0f / y; },
+      [](float x, float y) { return -x / (y * y); });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; });
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x * s; }, [s](float, float) { return s; });
+}
+
+Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Gelu(const Tensor& a) {
+  // tanh approximation: 0.5 x (1 + tanh(c (x + 0.044715 x^3)))
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  return UnaryOp(
+      a,
+      [](float x) {
+        float u = kC * (x + 0.044715f * x * x * x);
+        return 0.5f * x * (1.0f + std::tanh(u));
+      },
+      [](float x, float) {
+        float u = kC * (x + 0.044715f * x * x * x);
+        float t = std::tanh(u);
+        float du = kC * (1.0f + 3.0f * 0.044715f * x * x);
+        return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+      });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); }, [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::log(x); },
+      [](float x, float) { return 1.0f / x; });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::sqrt(x); },
+      [](float, float y) { return 0.5f / (y > 1e-12f ? y : 1e-12f); });
+}
+
+Tensor Square(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x * x; }, [](float x, float) { return 2.0f * x; });
+}
+
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::fabs(x); },
+      [](float x, float) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
+}
+
+Tensor Clamp(const Tensor& a, float lo, float hi) {
+  MISSL_CHECK(lo <= hi) << "Clamp with lo > hi";
+  return UnaryOp(
+      a, [lo, hi](float x) { return x < lo ? lo : (x > hi ? hi : x); },
+      [lo, hi](float x, float) { return (x >= lo && x <= hi) ? 1.0f : 0.0f; });
+}
+
+Tensor Pow(const Tensor& a, float p) {
+  return UnaryOp(
+      a, [p](float x) { return std::pow(x, p); },
+      [p](float x, float) { return p * std::pow(x, p - 1.0f); });
+}
+
+}  // namespace missl

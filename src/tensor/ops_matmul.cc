@@ -1,0 +1,133 @@
+#include <cstring>
+
+#include "tensor/ops.h"
+
+namespace missl {
+
+using internal::AttachGrad;
+using internal::MakeResult;
+
+namespace {
+
+// C[m,n] += A[m,k] * B[k,n] — ikj ordering keeps the inner loop contiguous.
+void GemmAcc(const float* a, const float* b, float* c, int64_t m, int64_t k,
+             int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + kk * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  int64_t ra = a.dim(), rb = b.dim();
+  MISSL_CHECK((ra == 2 && rb == 2) || (ra == 3 && rb == 3) || (ra == 3 && rb == 2))
+      << "MatMul unsupported ranks " << ShapeToString(a.shape()) << " x "
+      << ShapeToString(b.shape());
+  int64_t batch = ra == 3 ? a.size(0) : 1;
+  int64_t m = a.size(-2), k = a.size(-1);
+  int64_t kb = b.size(-2), n = b.size(-1);
+  MISSL_CHECK(k == kb) << "MatMul inner-dim mismatch " << ShapeToString(a.shape())
+                       << " x " << ShapeToString(b.shape());
+  if (ra == 3 && rb == 3) {
+    MISSL_CHECK(a.size(0) == b.size(0)) << "batched MatMul batch mismatch";
+  }
+  Shape so = ra == 3 ? Shape{batch, m, n} : Shape{m, n};
+  Tensor out = MakeResult(so);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  bool b_batched = (rb == 3);
+  for (int64_t s = 0; s < batch; ++s) {
+    GemmAcc(pa + s * m * k, pb + (b_batched ? s * k * n : 0), po + s * m * n, m, k,
+            n);
+  }
+  AttachGrad(&out, {a, b}, [a, b, out, batch, m, k, n, b_batched]() {
+    const float* g = out.impl()->grad.data();
+    const float* pa = a.data();
+    const float* pb = b.data();
+    if (a.requires_grad()) {
+      a.impl()->EnsureGrad();
+      float* ga = a.impl()->grad.data();
+      // dA = dC * B^T ; B is [k,n] so use the BT kernel with bt = B treated
+      // as [n,k] transposed — i.e. dA[m,k] += g[m,n] * B[k,n]^T.
+      for (int64_t s = 0; s < batch; ++s) {
+        const float* bs = pb + (b_batched ? s * k * n : 0);
+        // dA[i,kk] += sum_j g[i,j] * B[kk,j]
+        const float* gs = g + s * m * n;
+        float* gas = ga + s * m * k;
+        for (int64_t i = 0; i < m; ++i) {
+          const float* grow = gs + i * n;
+          float* garow = gas + i * k;
+          for (int64_t kk = 0; kk < k; ++kk) {
+            const float* brow = bs + kk * n;
+            float acc = 0.0f;
+            for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
+            garow[kk] += acc;
+          }
+        }
+      }
+    }
+    if (b.requires_grad()) {
+      b.impl()->EnsureGrad();
+      float* gb = b.impl()->grad.data();
+      // dB = A^T * dC; when B is shared across the batch, contributions sum.
+      for (int64_t s = 0; s < batch; ++s) {
+        const float* as = pa + s * m * k;
+        const float* gs = g + s * m * n;
+        float* gbs = gb + (b_batched ? s * k * n : 0);
+        // dB[kk,j] += sum_i A[i,kk] * g[i,j]
+        for (int64_t i = 0; i < m; ++i) {
+          const float* arow = as + i * k;
+          const float* grow = gs + i * n;
+          for (int64_t kk = 0; kk < k; ++kk) {
+            float av = arow[kk];
+            if (av == 0.0f) continue;
+            float* gbrow = gbs + kk * n;
+            for (int64_t j = 0; j < n; ++j) gbrow[j] += av * grow[j];
+          }
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  int64_t r = a.dim();
+  MISSL_CHECK(r == 2 || r == 3) << "Transpose supports rank 2/3, got "
+                                << ShapeToString(a.shape());
+  int64_t batch = r == 3 ? a.size(0) : 1;
+  int64_t m = a.size(-2), n = a.size(-1);
+  Shape so = r == 3 ? Shape{batch, n, m} : Shape{n, m};
+  Tensor out = MakeResult(so);
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t s = 0; s < batch; ++s) {
+    const float* as = pa + s * m * n;
+    float* os = po + s * m * n;
+    for (int64_t i = 0; i < m; ++i)
+      for (int64_t j = 0; j < n; ++j) os[j * m + i] = as[i * n + j];
+  }
+  AttachGrad(&out, {a}, [a, out, batch, m, n]() {
+    const float* g = out.impl()->grad.data();
+    a.impl()->EnsureGrad();
+    float* ga = a.impl()->grad.data();
+    for (int64_t s = 0; s < batch; ++s) {
+      const float* gs = g + s * m * n;
+      float* gas = ga + s * m * n;
+      for (int64_t i = 0; i < m; ++i)
+        for (int64_t j = 0; j < n; ++j) gas[i * n + j] += gs[j * m + i];
+    }
+  });
+  return out;
+}
+
+}  // namespace missl

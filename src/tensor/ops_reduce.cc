@@ -1,0 +1,142 @@
+#include <limits>
+
+#include "tensor/ops.h"
+
+namespace missl {
+
+using internal::AttachGrad;
+using internal::MakeResult;
+
+namespace {
+
+// Decomposes `shape` around `dim` into (outer, mid, inner) extents.
+void SplitDims(const Shape& shape, int64_t dim, int64_t* outer, int64_t* mid,
+               int64_t* inner) {
+  *outer = 1;
+  *inner = 1;
+  for (int64_t i = 0; i < dim; ++i) *outer *= shape[static_cast<size_t>(i)];
+  *mid = shape[static_cast<size_t>(dim)];
+  for (size_t i = static_cast<size_t>(dim) + 1; i < shape.size(); ++i)
+    *inner *= shape[i];
+}
+
+Shape ReducedShape(const Shape& shape, int64_t dim, bool keepdim) {
+  Shape so;
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (static_cast<int64_t>(i) == dim) {
+      if (keepdim) so.push_back(1);
+    } else {
+      so.push_back(shape[i]);
+    }
+  }
+  return so;
+}
+
+}  // namespace
+
+Tensor Sum(const Tensor& a) {
+  Tensor out = MakeResult({});
+  const float* pa = a.data();
+  double acc = 0.0;
+  int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) acc += pa[i];
+  out.data()[0] = static_cast<float>(acc);
+  AttachGrad(&out, {a}, [a, out]() {
+    float g = out.impl()->grad[0];
+    a.impl()->EnsureGrad();
+    float* ga = a.impl()->grad.data();
+    int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i) ga[i] += g;
+  });
+  return out;
+}
+
+Tensor Mean(const Tensor& a) {
+  MISSL_CHECK(a.numel() > 0) << "Mean of empty tensor";
+  return MulScalar(Sum(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Tensor Sum(const Tensor& a, int64_t dim, bool keepdim) {
+  int64_t r = a.dim();
+  if (dim < 0) dim += r;
+  MISSL_CHECK(dim >= 0 && dim < r) << "Sum dim out of range";
+  int64_t outer, mid, inner;
+  SplitDims(a.shape(), dim, &outer, &mid, &inner);
+  Tensor out = MakeResult(ReducedShape(a.shape(), dim, keepdim));
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t m = 0; m < mid; ++m) {
+      const float* src = pa + (o * mid + m) * inner;
+      float* dst = po + o * inner;
+      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+    }
+  }
+  AttachGrad(&out, {a}, [a, out, outer, mid, inner]() {
+    const float* g = out.impl()->grad.data();
+    a.impl()->EnsureGrad();
+    float* ga = a.impl()->grad.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      const float* gs = g + o * inner;
+      for (int64_t m = 0; m < mid; ++m) {
+        float* dst = ga + (o * mid + m) * inner;
+        for (int64_t i = 0; i < inner; ++i) dst[i] += gs[i];
+      }
+    }
+  });
+  return out;
+}
+
+Tensor Mean(const Tensor& a, int64_t dim, bool keepdim) {
+  int64_t r = a.dim();
+  int64_t d = dim < 0 ? dim + r : dim;
+  MISSL_CHECK(d >= 0 && d < r) << "Mean dim out of range";
+  int64_t mid = a.size(d);
+  MISSL_CHECK(mid > 0) << "Mean over empty dimension";
+  return MulScalar(Sum(a, dim, keepdim), 1.0f / static_cast<float>(mid));
+}
+
+Tensor Max(const Tensor& a, int64_t dim, bool keepdim,
+           std::vector<int64_t>* argmax) {
+  int64_t r = a.dim();
+  if (dim < 0) dim += r;
+  MISSL_CHECK(dim >= 0 && dim < r) << "Max dim out of range";
+  int64_t outer, mid, inner;
+  SplitDims(a.shape(), dim, &outer, &mid, &inner);
+  MISSL_CHECK(mid > 0) << "Max over empty dimension";
+  Tensor out = MakeResult(ReducedShape(a.shape(), dim, keepdim));
+  const float* pa = a.data();
+  float* po = out.data();
+  auto arg = std::make_shared<std::vector<int64_t>>(
+      static_cast<size_t>(outer * inner), 0);
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t i = 0; i < inner; ++i) {
+      float best = -std::numeric_limits<float>::infinity();
+      int64_t bi = 0;
+      for (int64_t m = 0; m < mid; ++m) {
+        float v = pa[(o * mid + m) * inner + i];
+        if (v > best) {
+          best = v;
+          bi = m;
+        }
+      }
+      po[o * inner + i] = best;
+      (*arg)[static_cast<size_t>(o * inner + i)] = bi;
+    }
+  }
+  if (argmax != nullptr) *argmax = *arg;
+  AttachGrad(&out, {a}, [a, out, arg, outer, mid, inner]() {
+    const float* g = out.impl()->grad.data();
+    a.impl()->EnsureGrad();
+    float* ga = a.impl()->grad.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      for (int64_t i = 0; i < inner; ++i) {
+        int64_t m = (*arg)[static_cast<size_t>(o * inner + i)];
+        ga[(o * mid + m) * inner + i] += g[o * inner + i];
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace missl

@@ -1,0 +1,231 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <unordered_set>
+
+namespace missl {
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    MISSL_CHECK(d >= 0) << "negative dimension in shape " << ShapeToString(shape);
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream ss;
+  ss << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) ss << ", ";
+    ss << shape[i];
+  }
+  ss << "]";
+  return ss.str();
+}
+
+void TensorImpl::EnsureGrad() {
+  if (grad.empty()) grad.assign(data.size(), 0.0f);
+}
+
+void TensorImpl::AccumGrad(const float* g, int64_t n) {
+  MISSL_CHECK(n == numel()) << "gradient size mismatch: " << n << " vs " << numel();
+  EnsureGrad();
+  float* dst = grad.data();
+  for (int64_t i = 0; i < n; ++i) dst[i] += g[i];
+}
+
+namespace {
+bool g_grad_enabled = true;
+}  // namespace
+
+bool GradEnabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
+NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
+
+// ---- Factories --------------------------------------------------------------
+
+Tensor Tensor::Zeros(Shape shape, bool requires_grad) {
+  return Full(std::move(shape), 0.0f, requires_grad);
+}
+
+Tensor Tensor::Ones(Shape shape, bool requires_grad) {
+  return Full(std::move(shape), 1.0f, requires_grad);
+}
+
+Tensor Tensor::Full(Shape shape, float value, bool requires_grad) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->data.assign(static_cast<size_t>(NumElements(shape)), value);
+  impl->shape = std::move(shape);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::FromData(std::vector<float> data, Shape shape, bool requires_grad) {
+  MISSL_CHECK(static_cast<int64_t>(data.size()) == NumElements(shape))
+      << "data size " << data.size() << " does not match shape "
+      << ShapeToString(shape);
+  auto impl = std::make_shared<TensorImpl>();
+  impl->data = std::move(data);
+  impl->shape = std::move(shape);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return FromData({value}, {}, requires_grad);
+}
+
+Tensor Tensor::Randn(Shape shape, Rng* rng, float stddev, bool requires_grad) {
+  MISSL_CHECK(rng != nullptr);
+  Tensor t = Zeros(std::move(shape), requires_grad);
+  for (auto& v : t.vec()) v = rng->Normal(0.0f, stddev);
+  return t;
+}
+
+Tensor Tensor::Rand(Shape shape, Rng* rng, float lo, float hi, bool requires_grad) {
+  MISSL_CHECK(rng != nullptr);
+  Tensor t = Zeros(std::move(shape), requires_grad);
+  for (auto& v : t.vec()) v = rng->Uniform(lo, hi);
+  return t;
+}
+
+// ---- Introspection ----------------------------------------------------------
+
+int64_t Tensor::size(int64_t d) const {
+  int64_t nd = dim();
+  if (d < 0) d += nd;
+  MISSL_CHECK(d >= 0 && d < nd) << "size(" << d << ") on " << ShapeToString(shape());
+  return shape()[static_cast<size_t>(d)];
+}
+
+Tensor& Tensor::set_requires_grad(bool v) {
+  impl()->requires_grad = v;
+  return *this;
+}
+
+float Tensor::item() const {
+  MISSL_CHECK(numel() == 1) << "item() on tensor of shape " << ShapeToString(shape());
+  return impl()->data[0];
+}
+
+float Tensor::at(std::initializer_list<int64_t> idx) const {
+  MISSL_CHECK(static_cast<int64_t>(idx.size()) == dim())
+      << "at() rank mismatch on " << ShapeToString(shape());
+  int64_t off = 0;
+  size_t d = 0;
+  for (int64_t i : idx) {
+    MISSL_CHECK(i >= 0 && i < shape()[d]) << "index " << i << " out of range in dim "
+                                          << d;
+    off = off * shape()[d] + i;
+    ++d;
+  }
+  return impl()->data[static_cast<size_t>(off)];
+}
+
+Tensor Tensor::grad() const {
+  MISSL_CHECK(!impl()->grad.empty()) << "grad() before any backward accumulation";
+  return Tensor::FromData(impl()->grad, shape());
+}
+
+void Tensor::ZeroGrad() {
+  auto& g = impl()->grad;
+  std::fill(g.begin(), g.end(), 0.0f);
+}
+
+void Tensor::Backward() {
+  MISSL_CHECK(numel() == 1) << "Backward() requires a scalar loss; got "
+                            << ShapeToString(shape());
+  TensorImpl* root = impl();
+  root->EnsureGrad();
+  root->grad[0] += 1.0f;
+
+  // Iterative post-order DFS to produce a topological order (children before
+  // parents in the reversed result).
+  std::vector<TensorImpl*> topo;
+  std::unordered_set<TensorImpl*> visited;
+  struct Frame {
+    TensorImpl* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (visited.insert(root).second) stack.push_back({root, 0});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      TensorImpl* p = f.node->parents[f.next_parent++].get();
+      if (visited.insert(p).second) stack.push_back({p, 0});
+    } else {
+      topo.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+  // topo is post-order: parents appear before children; iterate in reverse so
+  // each node's grad is complete before it propagates to its parents.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    TensorImpl* node = *it;
+    if (node->backward_fn && !node->grad.empty()) node->backward_fn();
+  }
+  // Release the graph so intermediate buffers can be freed.
+  for (TensorImpl* node : topo) {
+    node->backward_fn = nullptr;
+    node->parents.clear();
+  }
+}
+
+Tensor Tensor::Detach() const {
+  auto out = std::make_shared<TensorImpl>();
+  out->shape = impl()->shape;
+  out->data = impl()->data;
+  out->requires_grad = false;
+  return Tensor(std::move(out));
+}
+
+Tensor Tensor::Clone() const { return Detach(); }
+
+std::string Tensor::ToString() const {
+  if (!defined()) return "Tensor(undefined)";
+  std::ostringstream ss;
+  ss << "Tensor" << ShapeToString(shape()) << " [";
+  int64_t n = std::min<int64_t>(numel(), 8);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i) ss << ", ";
+    ss << impl()->data[static_cast<size_t>(i)];
+  }
+  if (numel() > n) ss << ", ...";
+  ss << "]";
+  return ss.str();
+}
+
+namespace internal {
+
+Tensor MakeResult(Shape shape) { return Tensor::Zeros(std::move(shape), false); }
+
+bool AttachGrad(Tensor* out, std::vector<Tensor> parents,
+                std::function<void()> backward) {
+  if (!GradEnabled()) return false;
+  bool any = false;
+  for (const auto& p : parents) {
+    if (p.defined() && p.requires_grad()) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return false;
+  TensorImpl* o = out->impl();
+  o->requires_grad = true;
+  o->parents.reserve(parents.size());
+  for (auto& p : parents) {
+    if (p.defined()) o->parents.push_back(p.impl_ptr());
+  }
+  o->backward_fn = std::move(backward);
+  return true;
+}
+
+}  // namespace internal
+
+}  // namespace missl

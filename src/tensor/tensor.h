@@ -1,0 +1,168 @@
+// Dense row-major float tensor with reverse-mode automatic differentiation.
+//
+// This is the computational substrate for the whole library: every model
+// (the MISSL core and all baselines) is built on these ops. Design choices:
+//  - contiguous float32 storage only (no strides/views); ops copy, which at
+//    the experiment scales used here (d <= 128, seq <= 64, batch <= 256) is
+//    dominated by matmul cost anyway;
+//  - the autograd graph is built eagerly: each op records its parent impls
+//    and a closure that pushes gradient from the output into the parents;
+//  - gradient mode is a global flag (the library is single-threaded), see
+//    NoGradGuard.
+#ifndef MISSL_TENSOR_TENSOR_H_
+#define MISSL_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "utils/check.h"
+#include "utils/rng.h"
+
+namespace missl {
+
+class TensorImpl;
+using TensorImplPtr = std::shared_ptr<TensorImpl>;
+
+/// Shape of a tensor; empty vector denotes a scalar (numel == 1).
+using Shape = std::vector<int64_t>;
+
+/// Returns the number of elements implied by a shape.
+int64_t NumElements(const Shape& shape);
+
+/// Renders a shape as "[2, 3, 4]".
+std::string ShapeToString(const Shape& shape);
+
+/// Backing storage + autograd bookkeeping for a tensor. Users interact with
+/// the `Tensor` handle; TensorImpl is exposed only for op implementations.
+class TensorImpl {
+ public:
+  Shape shape;
+  std::vector<float> data;
+  std::vector<float> grad;  ///< lazily allocated, same numel as data
+  bool requires_grad = false;
+
+  /// Parents in the autograd graph (inputs of the op that produced this).
+  std::vector<TensorImplPtr> parents;
+  /// Propagates this->grad into the parents' grad buffers.
+  std::function<void()> backward_fn;
+
+  int64_t numel() const { return static_cast<int64_t>(data.size()); }
+  /// Allocates (zero-filled) the grad buffer if not present.
+  void EnsureGrad();
+  /// Adds `n` values from `g` into the grad buffer (allocating if needed).
+  void AccumGrad(const float* g, int64_t n);
+};
+
+/// Returns true while gradient recording is enabled (default true).
+bool GradEnabled();
+
+/// RAII guard that disables autograd graph construction in its scope; used
+/// by evaluation code so forward passes allocate no graph.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// Value-semantics handle to a TensorImpl. Copying a Tensor aliases the same
+/// storage (like torch). A default-constructed Tensor is "undefined".
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(TensorImplPtr impl) : impl_(std::move(impl)) {}
+
+  // ---- Factories -----------------------------------------------------------
+
+  /// All-zeros tensor of the given shape.
+  static Tensor Zeros(Shape shape, bool requires_grad = false);
+  /// All-ones tensor.
+  static Tensor Ones(Shape shape, bool requires_grad = false);
+  /// Tensor filled with `value`.
+  static Tensor Full(Shape shape, float value, bool requires_grad = false);
+  /// Tensor wrapping the given data (copied); data.size() must match shape.
+  static Tensor FromData(std::vector<float> data, Shape shape,
+                         bool requires_grad = false);
+  /// Scalar tensor.
+  static Tensor Scalar(float value, bool requires_grad = false);
+  /// I.i.d. normal(0, stddev) entries.
+  static Tensor Randn(Shape shape, Rng* rng, float stddev = 1.0f,
+                      bool requires_grad = false);
+  /// I.i.d. uniform [lo, hi) entries.
+  static Tensor Rand(Shape shape, Rng* rng, float lo = 0.0f, float hi = 1.0f,
+                     bool requires_grad = false);
+
+  // ---- Introspection -------------------------------------------------------
+
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const { return impl()->shape; }
+  int64_t dim() const { return static_cast<int64_t>(impl()->shape.size()); }
+  int64_t numel() const { return impl()->numel(); }
+  /// Size along dimension `d`; negative d counts from the end.
+  int64_t size(int64_t d) const;
+  bool requires_grad() const { return impl()->requires_grad; }
+  /// Marks this tensor as a leaf requiring gradient.
+  Tensor& set_requires_grad(bool v);
+
+  float* data() { return impl()->data.data(); }
+  const float* data() const { return impl()->data.data(); }
+  std::vector<float>& vec() { return impl()->data; }
+  const std::vector<float>& vec() const { return impl()->data; }
+
+  /// Value of a scalar (numel()==1) tensor.
+  float item() const;
+  /// Element access by multi-dimensional index (slow; for tests/debug).
+  float at(std::initializer_list<int64_t> idx) const;
+
+  /// Gradient buffer as a (non-differentiable) tensor; CHECKs it exists.
+  Tensor grad() const;
+  /// True if a gradient buffer has been allocated.
+  bool has_grad() const { return !impl()->grad.empty(); }
+  /// Zeroes the gradient buffer (no-op if unallocated).
+  void ZeroGrad();
+
+  /// Runs backpropagation from this scalar tensor (numel()==1). Clears the
+  /// graph references of visited nodes afterwards so memory is released.
+  void Backward();
+
+  /// Returns a copy detached from the autograd graph.
+  Tensor Detach() const;
+  /// Deep copy (data only, detached).
+  Tensor Clone() const;
+
+  /// Human-readable summary (shape + first few values).
+  std::string ToString() const;
+
+  TensorImplPtr impl_ptr() const { return impl_; }
+  TensorImpl* impl() const {
+    MISSL_CHECK(impl_ != nullptr) << "use of undefined Tensor";
+    return impl_.get();
+  }
+
+ private:
+  TensorImplPtr impl_;
+};
+
+namespace internal {
+/// Creates a fresh tensor for op outputs; requires_grad is set if recording
+/// is enabled and any parent requires grad, in which case `parents` and the
+/// backward closure should be attached by the op.
+Tensor MakeResult(Shape shape);
+/// Attaches autograd metadata to `out` if grad mode is on and any parent
+/// requires grad. `backward` must read out.impl()->grad and accumulate into
+/// the parents. Returns true if the graph edge was attached.
+bool AttachGrad(Tensor* out, std::vector<Tensor> parents,
+                std::function<void()> backward);
+}  // namespace internal
+
+}  // namespace missl
+
+#endif  // MISSL_TENSOR_TENSOR_H_

@@ -1,0 +1,114 @@
+#include "train/trainer.h"
+
+#include <chrono>
+#include <memory>
+
+#include "nn/serialize.h"
+#include "optim/optimizer.h"
+#include "utils/logging.h"
+
+namespace missl::train {
+
+namespace {
+
+// Snapshot/restore of parameter values for best-checkpoint tracking.
+std::vector<std::vector<float>> SnapshotParams(const core::SeqRecModel& model) {
+  std::vector<std::vector<float>> snap;
+  for (const auto& p : model.Parameters()) snap.push_back(p.vec());
+  return snap;
+}
+
+void RestoreParams(core::SeqRecModel* model,
+                   const std::vector<std::vector<float>>& snap) {
+  auto params = model->Parameters();
+  MISSL_CHECK(params.size() == snap.size()) << "snapshot size mismatch";
+  for (size_t i = 0; i < params.size(); ++i) params[i].vec() = snap[i];
+}
+
+}  // namespace
+
+TrainResult Fit(core::SeqRecModel* model, const data::Dataset& ds,
+                const data::SplitView& split, const eval::Evaluator& evaluator,
+                const TrainConfig& config) {
+  MISSL_CHECK(model != nullptr);
+  MISSL_CHECK(!split.train_examples.empty()) << "no training examples";
+  if (model->Parameters().empty()) {
+    // Statistics-based models (POP, ItemKNN) have nothing to train.
+    TrainResult r;
+    r.best_valid = evaluator.Evaluate(model, /*test=*/false);
+    r.test = evaluator.Evaluate(model, /*test=*/true);
+    return r;
+  }
+  data::BatchBuilder builder(ds, config.max_len);
+  std::unique_ptr<data::NegativeSampler> neg_sampler;
+  if (config.train_negatives > 0) {
+    neg_sampler = std::make_unique<data::NegativeSampler>(ds);
+    builder.EnableTrainNegatives(neg_sampler.get(), config.train_negatives,
+                                 config.seed ^ 0x5eedbeefULL);
+  }
+  data::MiniBatcher batcher(split.train_examples, config.batch_size, config.seed);
+  optim::Adam opt(model->Parameters(), config.lr, 0.9f, 0.999f, 1e-8f,
+                  config.weight_decay);
+
+  TrainResult result;
+  double best_metric = -1.0;
+  std::vector<std::vector<float>> best_snapshot;
+  int64_t stale_epochs = 0;
+
+  auto t0 = std::chrono::steady_clock::now();
+  for (int64_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    model->SetTraining(true);
+    batcher.Reset();
+    std::vector<data::SplitView::TrainExample> chunk;
+    double loss_sum = 0.0;
+    int64_t batches = 0;
+    while (batcher.Next(&chunk)) {
+      data::Batch batch = builder.Build(chunk);
+      opt.ZeroGrad();
+      Tensor loss = model->Loss(batch);
+      loss.Backward();
+      optim::ClipGradNorm(model->Parameters(), config.clip_norm);
+      opt.Step();
+      loss_sum += loss.item();
+      ++batches;
+      if (config.max_batches_per_epoch > 0 &&
+          batches >= config.max_batches_per_epoch) {
+        break;
+      }
+    }
+    result.final_train_loss =
+        batches > 0 ? static_cast<float>(loss_sum / batches) : 0.0f;
+    ++result.epochs_run;
+
+    eval::EvalResult valid = evaluator.Evaluate(model, /*test=*/false);
+    if (config.verbose) {
+      MISSL_LOG_INFO << model->Name() << " epoch " << epoch
+                     << " loss=" << result.final_train_loss
+                     << " valid NDCG@10=" << valid.ndcg10;
+    }
+    if (valid.ndcg10 > best_metric) {
+      best_metric = valid.ndcg10;
+      result.best_valid = valid;
+      best_snapshot = SnapshotParams(*model);
+      stale_epochs = 0;
+    } else if (++stale_epochs >= config.patience) {
+      break;
+    }
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  result.total_seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.seconds_per_epoch =
+      result.epochs_run > 0 ? result.total_seconds / result.epochs_run : 0.0;
+
+  if (!best_snapshot.empty()) RestoreParams(model, best_snapshot);
+  if (!config.checkpoint_path.empty()) {
+    Status s = nn::SaveParameters(*model, config.checkpoint_path);
+    if (!s.ok()) {
+      MISSL_LOG_WARN << "checkpoint save failed: " << s.ToString();
+    }
+  }
+  result.test = evaluator.Evaluate(model, /*test=*/true);
+  return result;
+}
+
+}  // namespace missl::train

@@ -1,0 +1,55 @@
+// Training loop shared by every model: minibatch epochs with Adam, gradient
+// clipping, early stopping on validation NDCG@10, and best-checkpoint
+// restore before the final test evaluation.
+#ifndef MISSL_TRAIN_TRAINER_H_
+#define MISSL_TRAIN_TRAINER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/model.h"
+#include "data/batch.h"
+#include "data/dataset.h"
+#include "eval/evaluator.h"
+
+namespace missl::train {
+
+struct TrainConfig {
+  int64_t max_epochs = 30;
+  int64_t batch_size = 128;
+  int64_t max_len = 50;
+  float lr = 1e-3f;
+  float weight_decay = 0.0f;
+  float clip_norm = 5.0f;
+  int64_t patience = 5;  ///< epochs without valid NDCG@10 improvement
+  uint64_t seed = 1;
+  /// Cap on batches per epoch (0 = no cap); used by quick bench sweeps.
+  int64_t max_batches_per_epoch = 0;
+  /// Sampled-softmax training with this many uniform negatives per example
+  /// (0 = full-catalog softmax). Supported by models that honor
+  /// Batch::train_negatives (currently MISSL); others ignore it.
+  int32_t train_negatives = 0;
+  /// When non-empty, the best-validation checkpoint is also written here
+  /// (nn::SaveParameters format).
+  std::string checkpoint_path;
+  bool verbose = false;
+};
+
+struct TrainResult {
+  eval::EvalResult test;        ///< at the best-validation checkpoint
+  eval::EvalResult best_valid;  ///< best validation metrics seen
+  int64_t epochs_run = 0;
+  double total_seconds = 0.0;
+  double seconds_per_epoch = 0.0;
+  float final_train_loss = 0.0f;
+};
+
+/// Fits `model` on the split's training examples and returns test metrics at
+/// the best validation checkpoint.
+TrainResult Fit(core::SeqRecModel* model, const data::Dataset& ds,
+                const data::SplitView& split, const eval::Evaluator& evaluator,
+                const TrainConfig& config);
+
+}  // namespace missl::train
+
+#endif  // MISSL_TRAIN_TRAINER_H_

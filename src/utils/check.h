@@ -1,0 +1,52 @@
+// Fatal-check macros for programmer errors (shape mismatches, bad indices).
+// These fire in all build types: a recommender trainer that silently reads
+// out of bounds produces garbage metrics, which is worse than an abort.
+#ifndef MISSL_UTILS_CHECK_H_
+#define MISSL_UTILS_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace missl::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "MISSL_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace missl::internal
+
+/// Aborts with a message when `cond` is false. Usage:
+///   MISSL_CHECK(a.numel() == b.numel()) << "numel mismatch";
+#define MISSL_CHECK(cond)                                              \
+  if (cond) {                                                          \
+  } else                                                               \
+    ::missl::internal::CheckStream(__FILE__, __LINE__, #cond)
+
+namespace missl::internal {
+
+class CheckStream {
+ public:
+  CheckStream(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckStream() { CheckFailed(file_, line_, expr_, ss_.str()); }
+  template <typename T>
+  CheckStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream ss_;
+};
+
+}  // namespace missl::internal
+
+#endif  // MISSL_UTILS_CHECK_H_

@@ -1,0 +1,30 @@
+#include "utils/logging.h"
+
+#include <cstdio>
+
+namespace missl {
+
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+namespace internal {
+
+void LogEmit(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kDebug: tag = "D"; break;
+    case LogLevel::kInfo: tag = "I"; break;
+    case LogLevel::kWarn: tag = "W"; break;
+    case LogLevel::kError: tag = "E"; break;
+    case LogLevel::kOff: return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+}
+
+}  // namespace internal
+}  // namespace missl

@@ -1,0 +1,84 @@
+#include "utils/pca.h"
+
+#include <cmath>
+
+#include "utils/check.h"
+
+namespace missl {
+
+std::vector<float> PcaProject(const std::vector<float>& data, int64_t n,
+                              int64_t d, int64_t k) {
+  MISSL_CHECK(static_cast<int64_t>(data.size()) == n * d) << "PCA size mismatch";
+  MISSL_CHECK(k > 0 && k <= d && n > 1) << "PCA bad dims";
+  // Center.
+  std::vector<double> mean(static_cast<size_t>(d), 0.0);
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < d; ++j)
+      mean[static_cast<size_t>(j)] += data[static_cast<size_t>(i * d + j)];
+  for (auto& m : mean) m /= static_cast<double>(n);
+  std::vector<double> x(static_cast<size_t>(n * d));
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < d; ++j)
+      x[static_cast<size_t>(i * d + j)] =
+          data[static_cast<size_t>(i * d + j)] - mean[static_cast<size_t>(j)];
+
+  // Covariance (d x d).
+  std::vector<double> cov(static_cast<size_t>(d * d), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    const double* xi = x.data() + i * d;
+    for (int64_t a = 0; a < d; ++a) {
+      double va = xi[a];
+      if (va == 0.0) continue;
+      double* row = cov.data() + a * d;
+      for (int64_t b = 0; b < d; ++b) row[b] += va * xi[b];
+    }
+  }
+  for (auto& c : cov) c /= static_cast<double>(n - 1);
+
+  // Power iteration with deflation for top-k eigenvectors.
+  std::vector<std::vector<double>> comps;
+  for (int64_t c = 0; c < k; ++c) {
+    std::vector<double> v(static_cast<size_t>(d));
+    // Deterministic pseudo-random start.
+    for (int64_t j = 0; j < d; ++j)
+      v[static_cast<size_t>(j)] =
+          std::sin(static_cast<double>(j + 1) * (c + 1) * 0.7) + 0.01;
+    double eig = 0.0;
+    for (int iter = 0; iter < 200; ++iter) {
+      std::vector<double> w(static_cast<size_t>(d), 0.0);
+      for (int64_t a = 0; a < d; ++a) {
+        const double* row = cov.data() + a * d;
+        double acc = 0.0;
+        for (int64_t b = 0; b < d; ++b) acc += row[b] * v[static_cast<size_t>(b)];
+        w[static_cast<size_t>(a)] = acc;
+      }
+      double nrm = 0.0;
+      for (double wv : w) nrm += wv * wv;
+      nrm = std::sqrt(nrm);
+      if (nrm < 1e-12) break;  // degenerate direction
+      for (int64_t j = 0; j < d; ++j) w[static_cast<size_t>(j)] /= nrm;
+      eig = nrm;
+      v = std::move(w);
+    }
+    comps.push_back(v);
+    // Deflate: cov -= eig * v v^T.
+    for (int64_t a = 0; a < d; ++a)
+      for (int64_t b = 0; b < d; ++b)
+        cov[static_cast<size_t>(a * d + b)] -=
+            eig * v[static_cast<size_t>(a)] * v[static_cast<size_t>(b)];
+  }
+
+  std::vector<float> out(static_cast<size_t>(n * k));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < k; ++c) {
+      double acc = 0.0;
+      for (int64_t j = 0; j < d; ++j)
+        acc += x[static_cast<size_t>(i * d + j)] *
+               comps[static_cast<size_t>(c)][static_cast<size_t>(j)];
+      out[static_cast<size_t>(i * k + c)] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+}  // namespace missl

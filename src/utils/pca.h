@@ -1,0 +1,21 @@
+// Small principal-component analysis used by the interest-visualization
+// experiment (F8) — the documented substitution for the paper's t-SNE plot
+// (see DESIGN.md): we only need relative cluster separation, which PCA's
+// top-2 projection already exposes, and it is deterministic.
+#ifndef MISSL_UTILS_PCA_H_
+#define MISSL_UTILS_PCA_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace missl {
+
+/// Projects `n` row-major `d`-dimensional points onto their top `k`
+/// principal components (power iteration with deflation on the covariance).
+/// Returns an n x k row-major matrix. Deterministic.
+std::vector<float> PcaProject(const std::vector<float>& data, int64_t n,
+                              int64_t d, int64_t k);
+
+}  // namespace missl
+
+#endif  // MISSL_UTILS_PCA_H_

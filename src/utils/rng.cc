@@ -1,0 +1,43 @@
+#include "utils/rng.h"
+
+#include "utils/check.h"
+
+namespace missl {
+
+size_t Rng::Categorical(const std::vector<float>& weights) {
+  MISSL_CHECK(!weights.empty());
+  double total = 0.0;
+  for (float w : weights) {
+    MISSL_CHECK(w >= 0.0f) << "negative categorical weight";
+    total += w;
+  }
+  MISSL_CHECK(total > 0.0) << "all categorical weights are zero";
+  double r = static_cast<double>(Uniform()) * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+size_t Rng::Zipf(size_t n, double s) {
+  MISSL_CHECK(n > 0);
+  // Inverse-CDF on the continuous approximation, clamped to [0, n).
+  // For s == 1 the CDF is log-shaped; handle separately to avoid 1/(1-s).
+  double u = static_cast<double>(Uniform());
+  double x;
+  if (s > 0.999 && s < 1.001) {
+    x = std::exp(u * std::log(static_cast<double>(n) + 1.0)) - 1.0;
+  } else {
+    double one_minus_s = 1.0 - s;
+    double hi = std::pow(static_cast<double>(n) + 1.0, one_minus_s);
+    x = std::pow(u * (hi - 1.0) + 1.0, 1.0 / one_minus_s) - 1.0;
+  }
+  if (x < 0.0) x = 0.0;
+  size_t idx = static_cast<size_t>(x);
+  if (idx >= n) idx = n - 1;
+  return idx;
+}
+
+}  // namespace missl

@@ -1,0 +1,109 @@
+// Deterministic, seedable random number generation. We use our own PCG64
+// variant rather than std::mt19937 so that every platform and libstdc++
+// version reproduces the exact same streams (std distributions are not
+// portable across standard library implementations).
+#ifndef MISSL_UTILS_RNG_H_
+#define MISSL_UTILS_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace missl {
+
+/// PCG64-style generator (xsl-rr output over a 128-bit LCG emulated with two
+/// 64-bit halves is overkill here; we use the well-tested PCG32 core widened
+/// via two draws). Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  /// Re-seeds the generator; identical seeds give identical streams.
+  void Seed(uint64_t seed) {
+    state_ = 0;
+    inc_ = (seed << 1u) | 1u;
+    Next32();
+    state_ += 0x9e3779b97f4a7c15ULL + seed;
+    Next32();
+  }
+
+  /// Uniform 32-bit draw.
+  uint32_t Next32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform 64-bit draw.
+  uint64_t Next64() {
+    return (static_cast<uint64_t>(Next32()) << 32) | Next32();
+  }
+
+  /// Uniform integer in [0, n). Uses rejection to avoid modulo bias.
+  uint64_t UniformInt(uint64_t n) {
+    if (n <= 1) return 0;
+    uint64_t threshold = (~n + 1) % n;  // = 2^64 mod n
+    for (;;) {
+      uint64_t r = Next64();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform float in [0, 1).
+  float Uniform() { return static_cast<float>(Next32() >> 8) * 0x1.0p-24f; }
+
+  /// Uniform float in [lo, hi).
+  float Uniform(float lo, float hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Standard normal draw (Box–Muller; caches the second value).
+  float Normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    float u1, u2;
+    do {
+      u1 = Uniform();
+    } while (u1 <= 1e-12f);
+    u2 = Uniform();
+    float r = std::sqrt(-2.0f * std::log(u1));
+    float theta = 6.28318530717958647692f * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal draw with given mean / stddev.
+  float Normal(float mean, float stddev) { return mean + stddev * Normal(); }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(float p) { return Uniform() < p; }
+
+  /// Samples an index from unnormalized non-negative weights.
+  size_t Categorical(const std::vector<float>& weights);
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Geometric-ish Zipf sampler over [0, n) with exponent s (used by the
+  /// synthetic data generator for popularity-skewed item draws).
+  size_t Zipf(size_t n, double s);
+
+ private:
+  uint64_t state_ = 0;
+  uint64_t inc_ = 0;
+  float cached_ = 0.0f;
+  bool has_cached_ = false;
+};
+
+}  // namespace missl
+
+#endif  // MISSL_UTILS_RNG_H_

@@ -1,0 +1,20 @@
+#include "utils/status.h"
+
+namespace missl {
+
+std::string Status::ToString() const {
+  const char* name = "UNKNOWN";
+  switch (code_) {
+    case StatusCode::kOk: name = "OK"; break;
+    case StatusCode::kInvalidArgument: name = "INVALID_ARGUMENT"; break;
+    case StatusCode::kNotFound: name = "NOT_FOUND"; break;
+    case StatusCode::kIOError: name = "IO_ERROR"; break;
+    case StatusCode::kCorruption: name = "CORRUPTION"; break;
+    case StatusCode::kOutOfRange: name = "OUT_OF_RANGE"; break;
+    case StatusCode::kInternal: name = "INTERNAL"; break;
+  }
+  if (msg_.empty()) return name;
+  return std::string(name) + ": " + msg_;
+}
+
+}  // namespace missl

@@ -1,0 +1,65 @@
+// Minimal Status / Result types for recoverable errors on I/O and parsing
+// paths. Programmer errors (shape mismatches, out-of-range indices) abort via
+// MISSL_CHECK instead; following the RocksDB idiom, Status is reserved for
+// conditions a caller can meaningfully handle.
+#ifndef MISSL_UTILS_STATUS_H_
+#define MISSL_UTILS_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace missl {
+
+/// Error codes for recoverable failures.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kCorruption,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Lightweight status object carrying a code and message. Cheap to copy when
+/// ok (empty message).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable "CODE: message" string.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+}  // namespace missl
+
+#endif  // MISSL_UTILS_STATUS_H_

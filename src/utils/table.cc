@@ -1,0 +1,65 @@
+#include "utils/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "utils/check.h"
+
+namespace missl {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::Row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::Cell(const std::string& s) {
+  MISSL_CHECK(!rows_.empty()) << "call Row() before Cell()";
+  rows_.back().push_back(s);
+  return *this;
+}
+
+Table& Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return Cell(buf);
+}
+
+Table& Table::Int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return Cell(buf);
+}
+
+std::string Table::ToString() const {
+  size_t ncol = header_.size();
+  std::vector<size_t> width(ncol, 0);
+  for (size_t c = 0; c < ncol; ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < ncol; ++c) {
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+    }
+  }
+  auto rule = [&] {
+    std::string s = "+";
+    for (size_t c = 0; c < ncol; ++c) s += std::string(width[c] + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (size_t c = 0; c < ncol; ++c) {
+      std::string v = c < cells.size() ? cells[c] : "";
+      s += " " + v + std::string(width[c] - v.size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+  std::string out = rule() + line(header_) + rule();
+  for (const auto& row : rows_) out += line(row);
+  out += rule();
+  return out;
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace missl

@@ -1,0 +1,41 @@
+// ASCII table printer used by the bench harnesses to emit paper-style tables.
+#ifndef MISSL_UTILS_TABLE_H_
+#define MISSL_UTILS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace missl {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+/// Numeric helpers format floats with fixed precision so metric tables line
+/// up the way the paper prints them (4 decimal places).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; cells are appended with Cell()/Num().
+  Table& Row();
+  /// Appends a string cell to the current row.
+  Table& Cell(const std::string& s);
+  /// Appends a float cell formatted with `precision` decimals.
+  Table& Num(double v, int precision = 4);
+  /// Appends an integer cell.
+  Table& Int(long long v);
+
+  /// Renders the table (with +--+ rules) to a string.
+  std::string ToString() const;
+  /// Renders and prints to stdout.
+  void Print() const;
+
+  /// Number of data rows added so far.
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace missl
+
+#endif  // MISSL_UTILS_TABLE_H_

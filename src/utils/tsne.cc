@@ -1,0 +1,168 @@
+#include "utils/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "utils/check.h"
+#include "utils/rng.h"
+
+namespace missl {
+
+namespace {
+
+// Binary-searches the Gaussian bandwidth of row i so the conditional
+// distribution's perplexity matches the target; writes p_{j|i} into `row`.
+void FitRowAffinities(const std::vector<double>& sqdist, int64_t n, int64_t i,
+                      double perplexity, double* row) {
+  double lo = 1e-20, hi = 1e20, beta = 1.0;
+  double target_entropy = std::log(perplexity);
+  for (int iter = 0; iter < 60; ++iter) {
+    double sum = 0.0, esum = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      if (j == i) {
+        row[j] = 0.0;
+        continue;
+      }
+      row[j] = std::exp(-beta * sqdist[static_cast<size_t>(i * n + j)]);
+      sum += row[j];
+    }
+    if (sum < 1e-300) sum = 1e-300;
+    for (int64_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      double p = row[j] / sum;
+      if (p > 1e-12) esum -= p * std::log(p);
+    }
+    if (std::fabs(esum - target_entropy) < 1e-5) break;
+    if (esum > target_entropy) {
+      lo = beta;
+      beta = hi > 1e19 ? beta * 2.0 : (beta + hi) / 2.0;
+    } else {
+      hi = beta;
+      beta = lo < 1e-19 ? beta / 2.0 : (beta + lo) / 2.0;
+    }
+  }
+  double sum = 0.0;
+  for (int64_t j = 0; j < n; ++j) sum += row[j];
+  if (sum < 1e-300) sum = 1e-300;
+  for (int64_t j = 0; j < n; ++j) row[j] /= sum;
+}
+
+}  // namespace
+
+std::vector<float> TsneProject(const std::vector<float>& data, int64_t n,
+                               int64_t d, const TsneConfig& cfg) {
+  MISSL_CHECK(static_cast<int64_t>(data.size()) == n * d) << "t-SNE size";
+  MISSL_CHECK(n >= 4) << "t-SNE needs at least 4 points";
+  MISSL_CHECK(cfg.perplexity > 1.0 && cfg.perplexity < static_cast<double>(n))
+      << "perplexity out of range";
+
+  // Pairwise squared distances in the input space.
+  std::vector<double> sqdist(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t k = 0; k < d; ++k) {
+        double diff = double(data[static_cast<size_t>(i * d + k)]) -
+                      double(data[static_cast<size_t>(j * d + k)]);
+        acc += diff * diff;
+      }
+      sqdist[static_cast<size_t>(i * n + j)] = acc;
+      sqdist[static_cast<size_t>(j * n + i)] = acc;
+    }
+  }
+
+  // Symmetrized joint affinities P.
+  std::vector<double> p(static_cast<size_t>(n * n), 0.0);
+  {
+    std::vector<double> row(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      FitRowAffinities(sqdist, n, i, cfg.perplexity, row.data());
+      for (int64_t j = 0; j < n; ++j) p[static_cast<size_t>(i * n + j)] = row[j];
+    }
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      double v = (p[static_cast<size_t>(i * n + j)] +
+                  p[static_cast<size_t>(j * n + i)]) /
+                 (2.0 * static_cast<double>(n));
+      v = std::max(v, 1e-12);
+      p[static_cast<size_t>(i * n + j)] = v;
+      p[static_cast<size_t>(j * n + i)] = v;
+    }
+  }
+
+  // Init and gradient descent with momentum + per-coordinate gains (the
+  // adaptive scheme of the reference implementation; plain momentum at this
+  // learning rate diverges).
+  Rng rng(cfg.seed);
+  std::vector<double> y(static_cast<size_t>(n * 2));
+  for (auto& v : y) v = rng.Normal() * 1e-2;
+  std::vector<double> vel(static_cast<size_t>(n * 2), 0.0);
+  std::vector<double> gain(static_cast<size_t>(n * 2), 1.0);
+  std::vector<double> q(static_cast<size_t>(n * n), 0.0);
+
+  for (int64_t iter = 0; iter < cfg.iterations; ++iter) {
+    double exag = iter < cfg.iterations / 4 ? cfg.early_exaggeration : 1.0;
+    // Student-t affinities Q.
+    double qsum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) {
+        double dx = y[static_cast<size_t>(i * 2)] - y[static_cast<size_t>(j * 2)];
+        double dy =
+            y[static_cast<size_t>(i * 2 + 1)] - y[static_cast<size_t>(j * 2 + 1)];
+        double t = 1.0 / (1.0 + dx * dx + dy * dy);
+        q[static_cast<size_t>(i * n + j)] = t;
+        q[static_cast<size_t>(j * n + i)] = t;
+        qsum += 2.0 * t;
+      }
+    }
+    if (qsum < 1e-300) qsum = 1e-300;
+    // Gradients from the position snapshot (updating in place would break
+    // the force antisymmetry and make the embedding drift).
+    double momentum = iter < 60 ? 0.5 : 0.8;
+    std::vector<double> grad(static_cast<size_t>(n * 2), 0.0);
+    for (int64_t i = 0; i < n; ++i) {
+      double gx = 0.0, gy = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        double t = q[static_cast<size_t>(i * n + j)];
+        double coeff =
+            4.0 * (exag * p[static_cast<size_t>(i * n + j)] - t / qsum) * t;
+        gx += coeff *
+              (y[static_cast<size_t>(i * 2)] - y[static_cast<size_t>(j * 2)]);
+        gy += coeff * (y[static_cast<size_t>(i * 2 + 1)] -
+                       y[static_cast<size_t>(j * 2 + 1)]);
+      }
+      grad[static_cast<size_t>(i * 2)] = gx;
+      grad[static_cast<size_t>(i * 2 + 1)] = gy;
+    }
+    // Jacobs gain update (as in the reference implementation): accelerate
+    // while descent is consistent (gradient opposes velocity), damp on sign
+    // flips; floor at 0.01.
+    for (size_t idx = 0; idx < grad.size(); ++idx) {
+      double g = grad[idx];
+      bool same_sign = (g > 0) == (vel[idx] > 0);
+      gain[idx] = same_sign ? std::max(gain[idx] * 0.8, 0.01) : gain[idx] + 0.2;
+      vel[idx] = momentum * vel[idx] - cfg.learning_rate * gain[idx] * g;
+      y[idx] += vel[idx];
+    }
+    // Re-center to keep the embedding bounded.
+    double mx = 0, my = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      mx += y[static_cast<size_t>(i * 2)];
+      my += y[static_cast<size_t>(i * 2 + 1)];
+    }
+    mx /= n;
+    my /= n;
+    for (int64_t i = 0; i < n; ++i) {
+      y[static_cast<size_t>(i * 2)] -= mx;
+      y[static_cast<size_t>(i * 2 + 1)] -= my;
+    }
+  }
+
+  std::vector<float> out(static_cast<size_t>(n * 2));
+  for (size_t i = 0; i < out.size(); ++i) out[i] = static_cast<float>(y[i]);
+  return out;
+}
+
+}  // namespace missl

@@ -1,0 +1,28 @@
+// Exact (O(n^2)) t-SNE for small point sets — used by the F8 interest
+// visualization. Deterministic given the seed; suitable for the few hundred
+// interest vectors the experiment projects.
+#ifndef MISSL_UTILS_TSNE_H_
+#define MISSL_UTILS_TSNE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace missl {
+
+struct TsneConfig {
+  double perplexity = 15.0;
+  int64_t iterations = 300;
+  double learning_rate = 100.0;
+  double early_exaggeration = 4.0;   ///< applied for the first quarter
+  uint64_t seed = 42;
+};
+
+/// Embeds `n` row-major `d`-dimensional points into 2-D with exact t-SNE
+/// (full pairwise affinities, gradient descent with momentum). Returns an
+/// n x 2 row-major matrix.
+std::vector<float> TsneProject(const std::vector<float>& data, int64_t n,
+                               int64_t d, const TsneConfig& config = {});
+
+}  // namespace missl
+
+#endif  // MISSL_UTILS_TSNE_H_

@@ -1,0 +1,199 @@
+// Behavior-specific tests for individual baselines (beyond the generic zoo
+// contract): POP ranking, ItemKNN neighborhoods, STOSA distance scoring,
+// EBM gating, NMTR cascading, BERT4Rec masking.
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/bert4rec.h"
+#include "baselines/ebm.h"
+#include "baselines/nmtr.h"
+#include "baselines/pop.h"
+#include "baselines/stosa.h"
+#include "data/batch.h"
+#include "data/synthetic.h"
+
+namespace missl::baselines {
+namespace {
+
+data::Dataset MakeDs() {
+  data::SyntheticConfig cfg;
+  cfg.num_users = 40;
+  cfg.num_items = 80;
+  cfg.num_clusters = 8;
+  cfg.min_events = 15;
+  cfg.max_events = 30;
+  cfg.seed = 5;
+  return data::GenerateSynthetic(cfg);
+}
+
+data::Batch MakeBatch(const data::Dataset& ds, int64_t max_len = 12) {
+  data::SplitView split(ds);
+  data::BatchBuilder builder(ds, max_len);
+  std::vector<data::SplitView::TrainExample> ex(
+      split.train_examples.begin(), split.train_examples.begin() + 6);
+  return builder.Build(ex);
+}
+
+TEST(PopTest, RanksPopularAboveRare) {
+  // Hand-built dataset where item 1 is hot and item 7 is cold.
+  data::Dataset ds(4, 10, 2, "pop");
+  int64_t t = 0;
+  for (int32_t u = 0; u < 4; ++u) {
+    ds.Add({u, 1, data::Behavior::kClick, t++});
+    ds.Add({u, 1, data::Behavior::kCart, t++});
+    ds.Add({u, 2, data::Behavior::kClick, t++});
+  }
+  ds.Add({0, 7, data::Behavior::kClick, t++});
+  ds.Finalize();
+  Pop pop(ds);
+  data::Batch batch;
+  batch.batch_size = 1;
+  batch.max_len = 4;
+  batch.num_behaviors = 2;
+  batch.merged_items = {1, 2, 1, 2};
+  batch.merged_behaviors = {0, 0, 1, 0};
+  Tensor s = pop.ScoreCandidates(batch, {1, 7, 2}, 3);
+  EXPECT_GT(s.at({0, 0}), s.at({0, 1}));  // 1 beats 7
+  EXPECT_GT(s.at({0, 2}), s.at({0, 1}));  // 2 beats 7
+}
+
+TEST(PopTest, HasNoParameters) {
+  data::Dataset ds = MakeDs();
+  Pop pop(ds);
+  EXPECT_TRUE(pop.Parameters().empty());
+  EXPECT_EQ(pop.NumParams(), 0);
+}
+
+TEST(ItemKnnTest, CooccurringItemsScoreHigher) {
+  // Users who interact with item 3 also interact with item 4; item 11 never
+  // co-occurs with 3.
+  data::Dataset ds(6, 12, 2, "knn");
+  int64_t t = 0;
+  for (int32_t u = 0; u < 5; ++u) {
+    ds.Add({u, 3, data::Behavior::kClick, t++});
+    ds.Add({u, 4, data::Behavior::kClick, t++});
+    ds.Add({u, static_cast<int32_t>(5 + u), data::Behavior::kCart, t++});
+  }
+  ds.Add({5, 9, data::Behavior::kClick, t++});
+  ds.Add({5, 10, data::Behavior::kCart, t++});
+  ds.Finalize();
+  ItemKnn knn(ds);
+  data::Batch batch;
+  batch.batch_size = 1;
+  batch.max_len = 2;
+  batch.num_behaviors = 2;
+  batch.merged_items = {-1, 3};  // history = item 3
+  batch.merged_behaviors = {-1, 0};
+  Tensor s = knn.ScoreCandidates(batch, {4, 11}, 2);
+  EXPECT_GT(s.at({0, 0}), s.at({0, 1}));
+  EXPECT_EQ(s.at({0, 1}), 0.0f);  // no co-occurrence at all
+}
+
+TEST(ItemKnnTest, SymmetricSimilarity) {
+  data::Dataset ds(3, 6, 2, "sym");
+  int64_t t = 0;
+  for (int32_t u = 0; u < 3; ++u) {
+    ds.Add({u, 0, data::Behavior::kClick, t++});
+    ds.Add({u, 1, data::Behavior::kClick, t++});
+  }
+  ds.Finalize();
+  ItemKnn knn(ds);
+  data::Batch b0;
+  b0.batch_size = 1;
+  b0.max_len = 1;
+  b0.num_behaviors = 2;
+  b0.merged_items = {0};
+  b0.merged_behaviors = {0};
+  data::Batch b1 = b0;
+  b1.merged_items = {1};
+  EXPECT_FLOAT_EQ(knn.ScoreCandidates(b0, {1}, 1).item(),
+                  knn.ScoreCandidates(b1, {0}, 1).item());
+}
+
+TEST(StosaTest, IdenticalDistributionsScoreHighest) {
+  data::Dataset ds = MakeDs();
+  StosaConfig cfg;
+  cfg.dim = 16;
+  cfg.dropout = 0.0f;
+  Stosa model(ds.num_items(), 12, cfg);
+  model.SetTraining(false);
+  NoGradGuard ng;
+  data::Batch batch = MakeBatch(ds);
+  // Scores are negative squared distances -> all must be <= 0.
+  std::vector<int32_t> cands;
+  for (int64_t i = 0; i < batch.batch_size * 4; ++i)
+    cands.push_back(static_cast<int32_t>(i % ds.num_items()));
+  Tensor s = model.ScoreCandidates(batch, cands, 4);
+  for (int64_t i = 0; i < s.numel(); ++i) EXPECT_LE(s.data()[i], 1e-4f);
+}
+
+TEST(EbmTest, GatesAreProbabilitiesAndZeroOnPadding) {
+  data::Dataset ds = MakeDs();
+  EbmConfig cfg;
+  cfg.dim = 16;
+  Ebm model(ds.num_items(), ds.num_behaviors(), 12, cfg);
+  model.SetTraining(false);
+  NoGradGuard ng;
+  data::Batch batch = MakeBatch(ds);
+  Tensor g = model.Gates(batch);
+  EXPECT_EQ(g.size(0), batch.batch_size);
+  EXPECT_EQ(g.size(2), 1);
+  for (int64_t row = 0; row < batch.batch_size; ++row) {
+    for (int64_t i = 0; i < batch.max_len; ++i) {
+      float gv = g.at({row, i, 0});
+      EXPECT_GE(gv, 0.0f);
+      EXPECT_LE(gv, 1.0f);
+      if (batch.merged_items[static_cast<size_t>(row * batch.max_len + i)] < 0) {
+        EXPECT_EQ(gv, 0.0f) << "gate on padding";
+      }
+    }
+  }
+}
+
+TEST(EbmTest, GateRegularizerIncreasesLoss) {
+  data::Dataset ds = MakeDs();
+  data::Batch batch = MakeBatch(ds);
+  EbmConfig with;
+  with.dim = 16;
+  with.dropout = 0.0f;
+  with.lambda_gate = 1.0f;
+  EbmConfig without = with;
+  without.lambda_gate = 0.0f;
+  Ebm m1(ds.num_items(), ds.num_behaviors(), 12, with);
+  Ebm m2(ds.num_items(), ds.num_behaviors(), 12, without);
+  // Same seed => same weights => difference is exactly the regularizer.
+  EXPECT_GT(m1.Loss(batch).item(), m2.Loss(batch).item());
+}
+
+TEST(NmtrTest, CascadeDiffersFromSingleHead) {
+  data::Dataset ds = MakeDs();
+  NmtrConfig cfg;
+  cfg.dim = 16;
+  cfg.dropout = 0.0f;
+  Nmtr model(ds.num_items(), ds.num_behaviors(), 12, cfg);
+  data::Batch batch = MakeBatch(ds);
+  // All heads participate in the loss -> all receive gradient.
+  model.Loss(batch).Backward();
+  int64_t head_params_with_grad = 0;
+  for (const auto& [name, p] : model.NamedParameters()) {
+    if (name.rfind("head", 0) == 0 && p.has_grad()) ++head_params_with_grad;
+  }
+  EXPECT_EQ(head_params_with_grad, ds.num_behaviors() * 2);  // W + b each
+}
+
+TEST(Bert4RecTest, TrainingLossUsesMaskToken) {
+  data::Dataset ds = MakeDs();
+  Bert4RecConfig cfg;
+  cfg.dim = 16;
+  cfg.mask_prob = 1.0f;  // mask everything -> loss must still be finite
+  Bert4Rec model(ds.num_items(), 12, cfg);
+  data::Batch batch = MakeBatch(ds);
+  Tensor loss = model.Loss(batch);
+  EXPECT_TRUE(std::isfinite(loss.item()));
+  EXPECT_GT(loss.item(), 0.0f);
+}
+
+}  // namespace
+}  // namespace missl::baselines

@@ -1,0 +1,230 @@
+// Tests for the data substrate: dataset storage, TSV round-trip,
+// leave-one-out split semantics, batch collation, and negative sampling.
+#include "data/batch.h"
+#include "data/dataset.h"
+
+#include <cstdio>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace missl::data {
+namespace {
+
+// Small hand-built dataset: 2 users, 10 items, behaviors {click=0, buy=1}.
+Dataset MakeTiny() {
+  Dataset ds(2, 10, 2, "tiny");
+  // user 0: click 1, click 2, buy 3, click 4, buy 5, buy 6
+  int64_t t = 0;
+  for (auto [item, beh] : std::vector<std::pair<int, int>>{
+           {1, 0}, {2, 0}, {3, 1}, {4, 0}, {5, 1}, {6, 1}}) {
+    ds.Add({0, item, static_cast<Behavior>(beh), t++});
+  }
+  // user 1: click 7, buy 8, buy 9, buy 1
+  for (auto [item, beh] :
+       std::vector<std::pair<int, int>>{{7, 0}, {8, 1}, {9, 1}, {1, 1}}) {
+    ds.Add({1, item, static_cast<Behavior>(beh), t++});
+  }
+  ds.Finalize();
+  return ds;
+}
+
+TEST(DatasetTest, StatsCountPerBehavior) {
+  Dataset ds = MakeTiny();
+  DatasetStats s = ds.Stats();
+  EXPECT_EQ(s.num_users, 2);
+  EXPECT_EQ(s.num_items, 10);
+  EXPECT_EQ(s.num_interactions, 10);
+  EXPECT_EQ(s.per_behavior[0], 4);  // clicks
+  EXPECT_EQ(s.per_behavior[1], 6);  // buys
+  EXPECT_DOUBLE_EQ(s.avg_seq_len, 5.0);
+}
+
+TEST(DatasetTest, EventsSortedByTimestamp) {
+  Dataset ds(1, 5, 2, "unsorted");
+  ds.Add({0, 1, Behavior::kClick, 30});
+  ds.Add({0, 2, Behavior::kClick, 10});
+  ds.Add({0, 3, Behavior::kClick, 20});
+  ds.Finalize();
+  const auto& ev = ds.user(0).events;
+  EXPECT_EQ(ev[0].item, 2);
+  EXPECT_EQ(ev[1].item, 3);
+  EXPECT_EQ(ev[2].item, 1);
+}
+
+TEST(DatasetTest, TargetBehaviorIsDeepest) {
+  Dataset ds2(1, 2, 2, "d2");
+  EXPECT_EQ(ds2.target_behavior(), Behavior::kCart);
+  Dataset ds4(1, 2, 4, "d4");
+  EXPECT_EQ(ds4.target_behavior(), Behavior::kBuy);
+}
+
+TEST(DatasetTest, TsvRoundTrip) {
+  Dataset ds = MakeTiny();
+  std::string path = ::testing::TempDir() + "/tiny.tsv";
+  ASSERT_TRUE(ds.SaveTsv(path).ok());
+  Dataset loaded(1, 1, 2);
+  ASSERT_TRUE(Dataset::LoadTsv(path, &loaded).ok());
+  EXPECT_EQ(loaded.num_users(), 2);
+  EXPECT_EQ(loaded.num_items(), 10);
+  DatasetStats s = loaded.Stats();
+  EXPECT_EQ(s.num_interactions, 10);
+  EXPECT_EQ(s.per_behavior[1], 6);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, LoadTsvRejectsGarbage) {
+  std::string path = ::testing::TempDir() + "/garbage.tsv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("not a valid line\n", f);
+  std::fclose(f);
+  Dataset out(1, 1, 2);
+  Status s = Dataset::LoadTsv(path, &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, LoadTsvMissingFile) {
+  Dataset out(1, 1, 2);
+  EXPECT_EQ(Dataset::LoadTsv("/no/such/file.tsv", &out).code(),
+            StatusCode::kIOError);
+}
+
+TEST(SplitTest, LeaveOneOutPositions) {
+  Dataset ds = MakeTiny();
+  SplitView split(ds, /*min_target_events=*/3);
+  // user 0 buys at positions 2, 4, 5 -> test=5, valid=4, train cut=2.
+  EXPECT_EQ(split.test_pos[0], 5);
+  EXPECT_EQ(split.valid_pos[0], 4);
+  // user 1 buys at positions 1, 2, 3 -> test=3, valid=2, train cut=1.
+  EXPECT_EQ(split.test_pos[1], 3);
+  EXPECT_EQ(split.valid_pos[1], 2);
+  ASSERT_EQ(split.train_examples.size(), 2u);
+  EXPECT_EQ(split.train_examples[0].user, 0);
+  EXPECT_EQ(split.train_examples[0].cut, 2);
+  EXPECT_EQ(split.train_examples[1].user, 1);
+  EXPECT_EQ(split.train_examples[1].cut, 1);
+  EXPECT_EQ(split.NumEvalUsers(), 2);
+}
+
+TEST(SplitTest, UsersBelowMinTargetExcluded) {
+  Dataset ds(1, 10, 2, "sparse");
+  ds.Add({0, 1, Behavior::kClick, 0});
+  ds.Add({0, 2, Behavior::kCart, 1});  // only 1 target event (2 behaviors)
+  ds.Finalize();
+  SplitView split(ds, 3);
+  EXPECT_EQ(split.test_pos[0], -1);
+  EXPECT_EQ(split.NumEvalUsers(), 0);
+}
+
+TEST(SplitTest, TrainCutsNeverLeakEvalTargets) {
+  Dataset ds = MakeTiny();
+  SplitView split(ds, 3);
+  for (const auto& ex : split.train_examples) {
+    EXPECT_LT(ex.cut, split.valid_pos[static_cast<size_t>(ex.user)]);
+  }
+}
+
+TEST(BatchTest, FrontPaddingAndTargets) {
+  Dataset ds = MakeTiny();
+  SplitView split(ds, 3);
+  BatchBuilder builder(ds, /*max_len=*/4);
+  Batch b = builder.Build({{0, 5}});  // predict user 0's last buy (item 6)
+  EXPECT_EQ(b.batch_size, 1);
+  EXPECT_EQ(b.targets[0], 6);
+  EXPECT_EQ(b.target_behavior[0], 1);
+  // Merged history before cut 5 is items 1,2,3,4,5; last 4 kept: 2,3,4,5.
+  EXPECT_EQ(b.merged_items[0], 2);
+  EXPECT_EQ(b.merged_items[1], 3);
+  EXPECT_EQ(b.merged_items[2], 4);
+  EXPECT_EQ(b.merged_items[3], 5);
+  EXPECT_EQ(b.merged_behaviors[1], 1);  // item 3 was a buy
+  // Click channel: clicks before cut = 1,2,4 -> front-padded.
+  EXPECT_EQ(b.beh_items[0][0], -1);
+  EXPECT_EQ(b.beh_items[0][1], 1);
+  EXPECT_EQ(b.beh_items[0][2], 2);
+  EXPECT_EQ(b.beh_items[0][3], 4);
+  // Buy channel: buys before cut = 3,5.
+  EXPECT_EQ(b.beh_items[1][2], 3);
+  EXPECT_EQ(b.beh_items[1][3], 5);
+  EXPECT_EQ(b.beh_items[1][0], -1);
+}
+
+TEST(BatchTest, MultiRowCollation) {
+  Dataset ds = MakeTiny();
+  BatchBuilder builder(ds, 4);
+  Batch b = builder.Build({{0, 2}, {1, 3}});
+  EXPECT_EQ(b.batch_size, 2);
+  EXPECT_EQ(b.targets[0], 3);
+  EXPECT_EQ(b.targets[1], 1);
+  EXPECT_EQ(b.users[0], 0);
+  EXPECT_EQ(b.users[1], 1);
+}
+
+TEST(BatchTest, HistoryNeverIncludesCutEvent) {
+  Dataset ds = MakeTiny();
+  BatchBuilder builder(ds, 8);
+  Batch b = builder.Build({{0, 2}});  // target item 3
+  for (int32_t it : b.merged_items) EXPECT_NE(it, 3);
+}
+
+TEST(NegativeSamplerTest, AvoidsSeenItemsAndTarget) {
+  Dataset ds = MakeTiny();
+  NegativeSampler sampler(ds);
+  Rng rng(5);
+  // user 0 saw items {1,2,3,4,5,6}.
+  std::vector<int32_t> negs = sampler.Sample(0, 0, 3, &rng);
+  EXPECT_EQ(negs.size(), 3u);
+  std::set<int32_t> forbidden = {0, 1, 2, 3, 4, 5, 6};
+  std::set<int32_t> unique(negs.begin(), negs.end());
+  EXPECT_EQ(unique.size(), 3u);  // distinct
+  for (int32_t n : negs) EXPECT_EQ(forbidden.count(n), 0u);
+}
+
+TEST(NegativeSamplerTest, DeterministicGivenSeed) {
+  Dataset ds = MakeTiny();
+  NegativeSampler sampler(ds);
+  Rng r1(9), r2(9);
+  EXPECT_EQ(sampler.Sample(1, 0, 4, &r1), sampler.Sample(1, 0, 4, &r2));
+}
+
+TEST(MiniBatcherTest, CoversAllExamplesOncePerEpoch) {
+  std::vector<SplitView::TrainExample> ex;
+  for (int i = 0; i < 10; ++i) ex.push_back({i, 1});
+  MiniBatcher mb(ex, 3, 42);
+  EXPECT_EQ(mb.batches_per_epoch(), 4);
+  std::set<int32_t> seen;
+  std::vector<SplitView::TrainExample> chunk;
+  int batches = 0;
+  while (mb.Next(&chunk)) {
+    ++batches;
+    for (const auto& e : chunk) seen.insert(e.user);
+  }
+  EXPECT_EQ(batches, 4);
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_FALSE(mb.Next(&chunk));
+  mb.Reset();
+  EXPECT_TRUE(mb.Next(&chunk));
+}
+
+TEST(MiniBatcherTest, ShufflesBetweenEpochs) {
+  std::vector<SplitView::TrainExample> ex;
+  for (int i = 0; i < 50; ++i) ex.push_back({i, 1});
+  MiniBatcher mb(ex, 50, 7);
+  std::vector<SplitView::TrainExample> e1, e2;
+  mb.Next(&e1);
+  mb.Reset();
+  mb.Next(&e2);
+  bool same = true;
+  for (size_t i = 0; i < e1.size(); ++i) same &= e1[i].user == e2[i].user;
+  EXPECT_FALSE(same);
+}
+
+TEST(BehaviorTest, Names) {
+  EXPECT_STREQ(BehaviorName(Behavior::kClick), "click");
+  EXPECT_STREQ(BehaviorName(Behavior::kBuy), "buy");
+}
+
+}  // namespace
+}  // namespace missl::data

@@ -1,0 +1,154 @@
+// Tests for the dimensionality-reduction utilities (PCA, exact t-SNE) used
+// by the interest-visualization experiment.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "utils/pca.h"
+#include "utils/rng.h"
+#include "utils/tsne.h"
+
+namespace missl {
+namespace {
+
+// Two well-separated Gaussian blobs in d dimensions; returns labels too.
+std::vector<float> MakeBlobs(int64_t n_per, int64_t d, float gap,
+                             std::vector<int>* labels, uint64_t seed = 3) {
+  Rng rng(seed);
+  std::vector<float> data;
+  labels->clear();
+  for (int blob = 0; blob < 2; ++blob) {
+    for (int64_t i = 0; i < n_per; ++i) {
+      for (int64_t j = 0; j < d; ++j) {
+        float center = (blob == 0 ? -gap : gap) * (j == 0 ? 1.0f : 0.0f);
+        data.push_back(center + rng.Normal() * 0.3f);
+      }
+      labels->push_back(blob);
+    }
+  }
+  return data;
+}
+
+double SeparationRatio(const std::vector<float>& proj,
+                       const std::vector<int>& labels, int64_t k) {
+  // between-centroid distance / mean within-cluster distance, in k-D.
+  int64_t n = static_cast<int64_t>(labels.size());
+  std::vector<double> c0(static_cast<size_t>(k), 0), c1(static_cast<size_t>(k), 0);
+  int64_t n0 = 0, n1 = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < k; ++j) {
+      (labels[static_cast<size_t>(i)] == 0 ? c0 : c1)[static_cast<size_t>(j)] +=
+          proj[static_cast<size_t>(i * k + j)];
+    }
+    (labels[static_cast<size_t>(i)] == 0 ? n0 : n1)++;
+  }
+  for (int64_t j = 0; j < k; ++j) {
+    c0[static_cast<size_t>(j)] /= n0;
+    c1[static_cast<size_t>(j)] /= n1;
+  }
+  double between = 0;
+  for (int64_t j = 0; j < k; ++j) {
+    double diff = c0[static_cast<size_t>(j)] - c1[static_cast<size_t>(j)];
+    between += diff * diff;
+  }
+  between = std::sqrt(between);
+  double within = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const auto& c = labels[static_cast<size_t>(i)] == 0 ? c0 : c1;
+    double acc = 0;
+    for (int64_t j = 0; j < k; ++j) {
+      double diff = proj[static_cast<size_t>(i * k + j)] - c[static_cast<size_t>(j)];
+      acc += diff * diff;
+    }
+    within += std::sqrt(acc);
+  }
+  within /= n;
+  return between / within;
+}
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Points along the x-axis with tiny noise elsewhere: first component must
+  // capture nearly all variance.
+  Rng rng(7);
+  std::vector<float> data;
+  for (int i = 0; i < 50; ++i) {
+    data.push_back(static_cast<float>(i) - 25.0f);  // dominant axis
+    data.push_back(rng.Normal() * 0.01f);
+    data.push_back(rng.Normal() * 0.01f);
+  }
+  std::vector<float> proj = PcaProject(data, 50, 3, 2);
+  double var1 = 0, var2 = 0;
+  for (int i = 0; i < 50; ++i) {
+    var1 += proj[static_cast<size_t>(i * 2)] * proj[static_cast<size_t>(i * 2)];
+    var2 += proj[static_cast<size_t>(i * 2 + 1)] *
+            proj[static_cast<size_t>(i * 2 + 1)];
+  }
+  EXPECT_GT(var1, var2 * 100);
+}
+
+TEST(PcaTest, SeparatesBlobs) {
+  std::vector<int> labels;
+  std::vector<float> data = MakeBlobs(30, 8, 5.0f, &labels);
+  std::vector<float> proj = PcaProject(data, 60, 8, 2);
+  EXPECT_GT(SeparationRatio(proj, labels, 2), 3.0);
+}
+
+TEST(PcaTest, Deterministic) {
+  std::vector<int> labels;
+  std::vector<float> data = MakeBlobs(10, 4, 2.0f, &labels);
+  std::vector<float> p1 = PcaProject(data, 20, 4, 2);
+  std::vector<float> p2 = PcaProject(data, 20, 4, 2);
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(PcaTest, CentersData) {
+  // Adding a constant offset must not change the projection.
+  std::vector<int> labels;
+  std::vector<float> data = MakeBlobs(10, 4, 2.0f, &labels);
+  std::vector<float> shifted = data;
+  for (auto& v : shifted) v += 100.0f;
+  std::vector<float> p1 = PcaProject(data, 20, 4, 2);
+  std::vector<float> p2 = PcaProject(shifted, 20, 4, 2);
+  for (size_t i = 0; i < p1.size(); ++i) EXPECT_NEAR(p1[i], p2[i], 1e-2f);
+}
+
+TEST(TsneTest, SeparatesBlobs) {
+  std::vector<int> labels;
+  std::vector<float> data = MakeBlobs(25, 8, 5.0f, &labels);
+  TsneConfig cfg;
+  cfg.iterations = 250;
+  cfg.perplexity = 10.0;
+  std::vector<float> proj = TsneProject(data, 50, 8, cfg);
+  EXPECT_GT(SeparationRatio(proj, labels, 2), 2.0);
+}
+
+TEST(TsneTest, DeterministicGivenSeed) {
+  std::vector<int> labels;
+  std::vector<float> data = MakeBlobs(10, 4, 3.0f, &labels);
+  TsneConfig cfg;
+  cfg.iterations = 50;
+  std::vector<float> p1 = TsneProject(data, 20, 4, cfg);
+  std::vector<float> p2 = TsneProject(data, 20, 4, cfg);
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(TsneTest, OutputIsFiniteAndSized) {
+  std::vector<int> labels;
+  std::vector<float> data = MakeBlobs(8, 6, 1.0f, &labels);
+  TsneConfig cfg;
+  cfg.iterations = 40;
+  cfg.perplexity = 5.0;
+  std::vector<float> proj = TsneProject(data, 16, 6, cfg);
+  ASSERT_EQ(proj.size(), 32u);
+  for (float v : proj) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(TsneDeathTest, RejectsBadPerplexity) {
+  std::vector<float> data(16, 0.0f);
+  TsneConfig cfg;
+  cfg.perplexity = 100.0;  // >= n
+  EXPECT_DEATH(TsneProject(data, 4, 4, cfg), "perplexity");
+}
+
+}  // namespace
+}  // namespace missl

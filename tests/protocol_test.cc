@@ -1,0 +1,222 @@
+// Tests for the extended evaluation protocols (popularity negatives, full
+// ranking), sampled-softmax training, interest-routing modes, and trainer
+// disk checkpointing.
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "baselines/zoo.h"
+#include "core/missl.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "nn/serialize.h"
+#include "train/trainer.h"
+
+namespace missl {
+namespace {
+
+data::Dataset SmallDs() {
+  data::SyntheticConfig cfg;
+  cfg.num_users = 60;
+  cfg.num_items = 150;
+  cfg.min_events = 15;
+  cfg.max_events = 30;
+  cfg.seed = 31;
+  return data::GenerateSynthetic(cfg);
+}
+
+eval::EvalConfig Ec(eval::CandidateMode mode) {
+  eval::EvalConfig ec;
+  ec.max_len = 12;
+  ec.num_negatives = 20;
+  ec.mode = mode;
+  return ec;
+}
+
+// Scores candidates by their id (higher id = higher score) — deterministic
+// and protocol-sensitive.
+class IdScoreModel : public core::SeqRecModel {
+ public:
+  std::string Name() const override { return "IdScore"; }
+  Tensor Loss(const data::Batch&) override { return Tensor::Scalar(0.0f); }
+  Tensor ScoreCandidates(const data::Batch&,
+                         const std::vector<int32_t>& cand_ids,
+                         int64_t num_cands) override {
+    int64_t b = static_cast<int64_t>(cand_ids.size()) / num_cands;
+    Tensor s = Tensor::Zeros({b, num_cands});
+    for (size_t i = 0; i < cand_ids.size(); ++i)
+      s.data()[i] = static_cast<float>(cand_ids[i]);
+    return s;
+  }
+};
+
+TEST(ProtocolTest, PopularityNegativesAreHarderForPopChasers) {
+  data::Dataset ds = SmallDs();
+  data::SplitView split(ds);
+  eval::Evaluator uni(ds, split, Ec(eval::CandidateMode::kUniformNegatives));
+  eval::Evaluator pop(ds, split,
+                      Ec(eval::CandidateMode::kPopularityNegatives));
+  // A popularity model faces its own distribution as distractors under the
+  // popularity protocol, so its metrics must drop.
+  auto model = baselines::CreateModel("POP", ds, baselines::ZooConfig{});
+  double u = uni.Evaluate(model.get(), true).ndcg10;
+  double p = pop.Evaluate(model.get(), true).ndcg10;
+  EXPECT_LT(p, u);
+}
+
+TEST(ProtocolTest, FullRankingMatchesManualRank) {
+  data::Dataset ds = SmallDs();
+  data::SplitView split(ds);
+  eval::Evaluator full(ds, split, Ec(eval::CandidateMode::kFullRanking));
+  IdScoreModel model;
+  // With id-based scores the rank of a target is the number of *unseen*
+  // items with a larger id. Verify MRR against a manual computation.
+  double mrr = 0;
+  int64_t count = 0;
+  data::NegativeSampler sampler(ds);
+  for (int32_t u : full.eval_users()) {
+    const auto& events = ds.user(u).events;
+    int32_t target =
+        events[static_cast<size_t>(split.test_pos[static_cast<size_t>(u)])].item;
+    const auto& seen = sampler.SeenItems(u);
+    int64_t rank = 0;
+    for (int32_t j = target + 1; j < ds.num_items(); ++j) {
+      if (!std::binary_search(seen.begin(), seen.end(), j)) ++rank;
+    }
+    mrr += 1.0 / static_cast<double>(rank + 1);
+    ++count;
+  }
+  mrr /= static_cast<double>(count);
+  eval::EvalResult r = full.Evaluate(&model, true);
+  EXPECT_NEAR(r.mrr, mrr, 1e-9);
+}
+
+TEST(ProtocolTest, FullRankingIsHarderThanSampled) {
+  data::Dataset ds = SmallDs();
+  data::SplitView split(ds);
+  eval::Evaluator uni(ds, split, Ec(eval::CandidateMode::kUniformNegatives));
+  eval::Evaluator full(ds, split, Ec(eval::CandidateMode::kFullRanking));
+  auto model = baselines::CreateModel("ItemKNN", ds, baselines::ZooConfig{});
+  // 20 negatives vs ~150-catalog ranking: sampled metrics are inflated.
+  EXPECT_GE(uni.Evaluate(model.get(), true).hr10,
+            full.Evaluate(model.get(), true).hr10);
+}
+
+TEST(SampledSoftmaxTest, BatchCarriesRequestedNegatives) {
+  data::Dataset ds = SmallDs();
+  data::SplitView split(ds);
+  data::BatchBuilder builder(ds, 12);
+  data::NegativeSampler sampler(ds);
+  builder.EnableTrainNegatives(&sampler, 7, 99);
+  std::vector<data::SplitView::TrainExample> ex(
+      split.train_examples.begin(), split.train_examples.begin() + 4);
+  data::Batch b = builder.Build(ex);
+  EXPECT_EQ(b.num_train_negatives, 7);
+  ASSERT_EQ(b.train_negatives.size(), 4u * 7u);
+  for (int64_t row = 0; row < 4; ++row) {
+    for (int32_t j = 0; j < 7; ++j) {
+      EXPECT_NE(b.train_negatives[static_cast<size_t>(row * 7 + j)],
+                b.targets[static_cast<size_t>(row)]);
+    }
+  }
+}
+
+TEST(SampledSoftmaxTest, MisslTrainsWithSampledNegatives) {
+  data::Dataset ds = SmallDs();
+  data::SplitView split(ds);
+  eval::Evaluator ev(ds, split, Ec(eval::CandidateMode::kUniformNegatives));
+  core::MisslConfig mcfg;
+  mcfg.dim = 16;
+  mcfg.num_interests = 2;
+  core::MisslModel model(ds.num_items(), ds.num_behaviors(), 12, mcfg);
+  // Reference: the untrained total loss on a fixed sampled-negative batch.
+  data::BatchBuilder builder(ds, 12);
+  data::NegativeSampler sampler(ds);
+  builder.EnableTrainNegatives(&sampler, 30, 7);
+  std::vector<data::SplitView::TrainExample> ex(
+      split.train_examples.begin(), split.train_examples.begin() + 32);
+  data::Batch probe = builder.Build(ex);
+  float before = model.Loss(probe).item();
+  model.ZeroGrad();
+
+  train::TrainConfig tc;
+  tc.max_epochs = 8;
+  tc.max_len = 12;
+  tc.batch_size = 64;
+  tc.lr = 5e-3f;  // small fixture needs an aggressive rate to move in time
+  tc.train_negatives = 30;
+  train::TrainResult r = train::Fit(&model, ds, split, ev, tc);
+  // Training on the sampled-softmax objective must clearly reduce it.
+  // (Ranking metrics are too coarse to assert on for this tiny fixture:
+  // the 21-candidate protocol has a chance HR@10 of 10/21.)
+  model.SetTraining(false);
+  float after = model.Loss(probe).item();
+  model.ZeroGrad();
+  EXPECT_LT(after, before * 0.85f);
+  EXPECT_GT(r.test.num_users, 0);
+}
+
+TEST(RoutingTest, MeanRoutingChangesScores) {
+  data::Dataset ds = SmallDs();
+  data::SplitView split(ds);
+  data::BatchBuilder builder(ds, 12);
+  std::vector<data::SplitView::TrainExample> ex(
+      split.train_examples.begin(), split.train_examples.begin() + 4);
+  data::Batch batch = builder.Build(ex);
+  core::MisslConfig max_cfg;
+  max_cfg.dim = 16;
+  max_cfg.num_interests = 3;
+  max_cfg.dropout = 0.0f;
+  core::MisslConfig mean_cfg = max_cfg;
+  mean_cfg.routing = core::InterestRouting::kMean;
+  core::MisslModel m1(ds.num_items(), ds.num_behaviors(), 12, max_cfg);
+  core::MisslModel m2(ds.num_items(), ds.num_behaviors(), 12, mean_cfg);
+  m1.SetTraining(false);
+  m2.SetTraining(false);
+  NoGradGuard ng;
+  std::vector<int32_t> cands;
+  for (int64_t i = 0; i < batch.batch_size * 5; ++i)
+    cands.push_back(static_cast<int32_t>(i % ds.num_items()));
+  Tensor s1 = m1.ScoreCandidates(batch, cands, 5);
+  Tensor s2 = m2.ScoreCandidates(batch, cands, 5);
+  // Same seed => same weights; only routing differs. Max >= mean always.
+  bool any_diff = false;
+  for (int64_t i = 0; i < s1.numel(); ++i) {
+    EXPECT_GE(s1.data()[i], s2.data()[i] - 1e-5f);
+    any_diff |= std::fabs(s1.data()[i] - s2.data()[i]) > 1e-6f;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(CheckpointTest, TrainerWritesLoadableCheckpoint) {
+  data::Dataset ds = SmallDs();
+  data::SplitView split(ds);
+  eval::Evaluator ev(ds, split, Ec(eval::CandidateMode::kUniformNegatives));
+  auto model = baselines::CreateModel("SASRec", ds, [] {
+    baselines::ZooConfig zc;
+    zc.dim = 16;
+    zc.max_len = 12;
+    return zc;
+  }());
+  train::TrainConfig tc;
+  tc.max_epochs = 2;
+  tc.max_len = 12;
+  std::string path = ::testing::TempDir() + "/trainer_ckpt.bin";
+  tc.checkpoint_path = path;
+  train::TrainResult r = train::Fit(model.get(), ds, split, ev, tc);
+  // A fresh model loaded from the checkpoint must reproduce the test score.
+  auto fresh = baselines::CreateModel("SASRec", ds, [] {
+    baselines::ZooConfig zc;
+    zc.dim = 16;
+    zc.max_len = 12;
+    zc.seed = 999;  // different init — must be overwritten by the load
+    return zc;
+  }());
+  ASSERT_TRUE(nn::LoadParameters(fresh.get(), path).ok());
+  eval::EvalResult again = ev.Evaluate(fresh.get(), true);
+  EXPECT_DOUBLE_EQ(r.test.ndcg10, again.ndcg10);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace missl

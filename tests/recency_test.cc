@@ -1,0 +1,108 @@
+// Tests for the recency-bucket feature: batch-layer bucket computation and
+// the MISSL input-layer integration.
+#include <gtest/gtest.h>
+
+#include "core/missl.h"
+#include "data/batch.h"
+#include "data/synthetic.h"
+
+namespace missl {
+namespace {
+
+TEST(RecencyTest, BucketsAreLogSpaced) {
+  // gap -> expected bucket: bucket = max b with 2^b <= gap+1, capped at 15.
+  data::Dataset ds(1, 10, 2, "rec");
+  // Events at t = 0, 1, 3, 7, 1000; target (cart) at t = 1007.
+  int64_t times[] = {0, 1, 3, 7, 1000};
+  for (int i = 0; i < 5; ++i) {
+    ds.Add({0, i + 1, data::Behavior::kClick, times[i]});
+  }
+  ds.Add({0, 9, data::Behavior::kCart, 1007});
+  ds.Finalize();
+  data::BatchBuilder builder(ds, 5);
+  data::Batch b = builder.Build({{0, 5}});
+  // gaps to target: 1007, 1006, 1004, 1000, 7
+  // buckets: floor(log2(gap+1)) -> 9, 9, 9, 9, 3
+  EXPECT_EQ(b.merged_recency[0], 9);
+  EXPECT_EQ(b.merged_recency[3], 9);
+  EXPECT_EQ(b.merged_recency[4], 3);
+}
+
+TEST(RecencyTest, ZeroGapIsBucketZeroAndPadIsMinusOne) {
+  data::Dataset ds(1, 10, 2, "rec0");
+  ds.Add({0, 1, data::Behavior::kClick, 5});
+  ds.Add({0, 2, data::Behavior::kCart, 5});  // same timestamp -> gap 0
+  ds.Finalize();
+  data::BatchBuilder builder(ds, 3);
+  data::Batch b = builder.Build({{0, 1}});
+  EXPECT_EQ(b.merged_recency[0], -1);  // padding
+  EXPECT_EQ(b.merged_recency[1], -1);
+  EXPECT_EQ(b.merged_recency[2], 0);   // gap 0 -> bucket 0
+}
+
+TEST(RecencyTest, HugeGapCapsAtLastBucket) {
+  data::Dataset ds(1, 10, 2, "reccap");
+  ds.Add({0, 1, data::Behavior::kClick, 0});
+  ds.Add({0, 2, data::Behavior::kCart, int64_t{1} << 40});
+  ds.Finalize();
+  data::BatchBuilder builder(ds, 1);
+  data::Batch b = builder.Build({{0, 1}});
+  EXPECT_EQ(b.merged_recency[0], data::kNumRecencyBuckets - 1);
+}
+
+TEST(RecencyTest, MisslUsesRecencyOnlyWhenEnabled) {
+  data::SyntheticConfig cfg;
+  cfg.num_users = 20;
+  cfg.num_items = 50;
+  cfg.min_events = 10;
+  cfg.max_events = 16;
+  cfg.seed = 8;
+  data::Dataset ds = data::GenerateSynthetic(cfg);
+  data::SplitView split(ds);
+  data::BatchBuilder builder(ds, 8);
+  data::Batch batch = builder.Build({split.train_examples[0]});
+
+  core::MisslConfig off;
+  off.dim = 8;
+  off.num_interests = 2;
+  off.dropout = 0.0f;
+  core::MisslConfig on = off;
+  on.use_recency = true;
+
+  core::MisslModel m_off(ds.num_items(), ds.num_behaviors(), 8, off);
+  core::MisslModel m_on(ds.num_items(), ds.num_behaviors(), 8, on);
+  // The recency table only appears among named parameters when enabled.
+  auto has_recency = [](const core::MisslModel& m) {
+    for (const auto& [name, p] : m.NamedParameters()) {
+      if (name.find("recency") != std::string::npos) return true;
+    }
+    return false;
+  };
+  EXPECT_FALSE(has_recency(m_off));
+  EXPECT_TRUE(has_recency(m_on));
+
+  // Perturbing recency buckets changes scores only for the enabled model.
+  NoGradGuard ng;
+  m_off.SetTraining(false);
+  m_on.SetTraining(false);
+  std::vector<int32_t> cands = {1, 2, 3};
+  data::Batch perturbed = batch;
+  for (auto& r : perturbed.merged_recency) {
+    if (r >= 0) r = (r + 5) % data::kNumRecencyBuckets;
+  }
+  Tensor off1 = m_off.ScoreCandidates(batch, cands, 3);
+  Tensor off2 = m_off.ScoreCandidates(perturbed, cands, 3);
+  for (int64_t i = 0; i < off1.numel(); ++i) {
+    EXPECT_EQ(off1.data()[i], off2.data()[i]);
+  }
+  Tensor on1 = m_on.ScoreCandidates(batch, cands, 3);
+  Tensor on2 = m_on.ScoreCandidates(perturbed, cands, 3);
+  bool any_diff = false;
+  for (int64_t i = 0; i < on1.numel(); ++i) {
+    any_diff |= on1.data()[i] != on2.data()[i];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace missl

@@ -1,0 +1,132 @@
+// Numerical reference tests: hand-computed expected values for GRU steps,
+// attention with degenerate weights, and optimizer trajectories, catching
+// silent formula regressions that shape tests cannot.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/attention.h"
+#include "nn/gru.h"
+#include "optim/optimizer.h"
+#include "test_util.h"
+
+namespace missl {
+namespace {
+
+// Overwrites a parameter tensor (aliasing handle) with the given values.
+void SetParam(const Tensor& param, const std::vector<float>& values) {
+  Tensor alias = param;
+  ASSERT_EQ(static_cast<size_t>(alias.numel()), values.size());
+  alias.vec() = values;
+}
+
+TEST(GruReference, StepMatchesHandComputation) {
+  // 1-d GRU with all weights set explicitly. Gate order is (z, r, n):
+  //   wx = [0.5, 1.0, 2.0], wh = [0.25, 0.5, 1.0], bias = 0.
+  Rng rng(1);
+  nn::GRU gru(1, 1, &rng);
+  auto named = gru.NamedParameters();
+  for (const auto& [name, p] : named) {
+    if (name == "wx") {
+      SetParam(p, {0.5f, 1.0f, 2.0f});
+    } else if (name == "wh") {
+      SetParam(p, {0.25f, 0.5f, 1.0f});
+    } else {
+      SetParam(p, {0.0f, 0.0f, 0.0f});
+    }
+  }
+  float x = 1.0f, h = 0.5f;
+  Tensor xt = Tensor::FromData({x}, {1, 1});
+  Tensor ht = Tensor::FromData({h}, {1, 1});
+  float out = gru.Step(xt, ht).item();
+
+  auto sigmoid = [](float v) { return 1.0f / (1.0f + std::exp(-v)); };
+  float z = sigmoid(0.5f * x + 0.25f * h);
+  float r = sigmoid(1.0f * x + 0.5f * h);
+  float n = std::tanh(2.0f * x + r * (1.0f * h));
+  float expect = (1.0f - z) * n + z * h;
+  EXPECT_NEAR(out, expect, 1e-5f);
+}
+
+TEST(GruReference, ZeroWeightsFreezeState) {
+  // With wx = wh = b = 0: z = 0.5, n = 0 -> h' = 0.5 h each step.
+  Rng rng(2);
+  nn::GRU gru(2, 2, &rng);
+  for (const auto& [name, p] : gru.NamedParameters()) {
+    Tensor alias = p;
+    std::fill(alias.vec().begin(), alias.vec().end(), 0.0f);
+  }
+  Tensor x = Tensor::Ones({1, 2});
+  Tensor h = Tensor::FromData({0.8f, -0.4f}, {1, 2});
+  Tensor h1 = gru.Step(x, h);
+  testing::ExpectTensorNear(h1, {0.4f, -0.2f});
+}
+
+TEST(AttentionReference, UniformWeightsAverageValues) {
+  // With wq = wk = 0 all attention scores are equal -> output is the mean of
+  // the value projections (wv = I, wo = I, no bias).
+  Rng rng(3);
+  nn::MultiHeadAttention mha(2, 1, 0.0f, &rng);
+  for (const auto& [name, p] : mha.NamedParameters()) {
+    Tensor alias = p;
+    if (name == "wq.weight" || name == "wk.weight") {
+      std::fill(alias.vec().begin(), alias.vec().end(), 0.0f);
+    } else if (name == "wv.weight" || name == "wo.weight") {
+      alias.vec() = {1.0f, 0.0f, 0.0f, 1.0f};  // identity
+    } else {
+      std::fill(alias.vec().begin(), alias.vec().end(), 0.0f);  // biases
+    }
+  }
+  mha.SetTraining(false);
+  Tensor x = Tensor::FromData({1, 2, 3, 4, 5, 6}, {1, 3, 2});
+  Tensor y = mha.Forward(x, x, x);
+  // Mean of rows (1,2), (3,4), (5,6) = (3, 4) at every position.
+  for (int64_t t = 0; t < 3; ++t) {
+    EXPECT_NEAR(y.at({0, t, 0}), 3.0f, 1e-5f);
+    EXPECT_NEAR(y.at({0, t, 1}), 4.0f, 1e-5f);
+  }
+}
+
+TEST(AttentionReference, SharpScoresSelectOneValue) {
+  // Make queries align with key 2 only: wq = I scaled large, keys distinct.
+  Rng rng(4);
+  nn::MultiHeadAttention mha(2, 1, 0.0f, &rng);
+  for (const auto& [name, p] : mha.NamedParameters()) {
+    Tensor alias = p;
+    if (name == "wq.weight") {
+      alias.vec() = {100.0f, 0.0f, 0.0f, 100.0f};
+    } else if (name == "wk.weight" || name == "wv.weight" ||
+               name == "wo.weight") {
+      alias.vec() = {1.0f, 0.0f, 0.0f, 1.0f};
+    } else {
+      std::fill(alias.vec().begin(), alias.vec().end(), 0.0f);
+    }
+  }
+  mha.SetTraining(false);
+  // Keys: e1, e2; query ~ e2 -> attends to position 1 exclusively.
+  Tensor q = Tensor::FromData({0, 1}, {1, 1, 2});
+  Tensor kv = Tensor::FromData({1, 0, 0, 1}, {1, 2, 2});
+  Tensor y = mha.Forward(q, kv, kv);
+  EXPECT_NEAR(y.at({0, 0, 0}), 0.0f, 1e-4f);
+  EXPECT_NEAR(y.at({0, 0, 1}), 1.0f, 1e-4f);
+}
+
+TEST(AdamReference, MatchesHandComputedTrajectory) {
+  // Two manual Adam steps on a fixed gradient of 1.0.
+  Tensor w = Tensor::FromData({0.0f}, {1}, true);
+  optim::Adam opt({w}, 0.1f, 0.9f, 0.999f, 1e-8f);
+  auto step_with_unit_grad = [&] {
+    opt.ZeroGrad();
+    Sum(w).Backward();  // grad = 1
+    opt.Step();
+  };
+  step_with_unit_grad();
+  // t=1: mhat = 1, vhat = 1 -> w -= 0.1 * 1/(1 + eps) ~ -0.1.
+  EXPECT_NEAR(w.item(), -0.1f, 1e-5f);
+  step_with_unit_grad();
+  // t=2: m = 0.19 / (1-0.81) = 1; v = (0.001999)/(1-0.998001) = 1.
+  EXPECT_NEAR(w.item(), -0.2f, 1e-4f);
+}
+
+}  // namespace
+}  // namespace missl

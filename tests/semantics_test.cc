@@ -1,0 +1,177 @@
+// Discriminative semantics tests: verify each model family actually uses
+// the inputs that define it (behavior tags, multiple channels, hypergraph
+// structure) and that behavior-agnostic baselines ignore them.
+#include <gtest/gtest.h>
+
+#include "baselines/zoo.h"
+#include "data/batch.h"
+#include "data/synthetic.h"
+#include "hypergraph/incidence.h"
+
+namespace missl {
+namespace {
+
+struct Ctx {
+  data::Dataset ds;
+  data::Batch batch;
+
+  Ctx() : ds(MakeDs()), batch(MakeBatch(ds)) {}
+
+  static data::Dataset MakeDs() {
+    data::SyntheticConfig cfg;
+    cfg.num_users = 30;
+    cfg.num_items = 60;
+    cfg.min_events = 12;
+    cfg.max_events = 24;
+    cfg.seed = 44;
+    return data::GenerateSynthetic(cfg);
+  }
+  static data::Batch MakeBatch(const data::Dataset& ds) {
+    data::SplitView split(ds);
+    data::BatchBuilder builder(ds, 10);
+    std::vector<data::SplitView::TrainExample> ex(
+        split.train_examples.begin(), split.train_examples.begin() + 5);
+    return builder.Build(ex);
+  }
+
+  baselines::ZooConfig Zoo() const {
+    baselines::ZooConfig zc;
+    zc.dim = 12;
+    zc.max_len = 10;
+    zc.num_interests = 2;
+    return zc;
+  }
+
+  // Scores under the original and behavior-permuted batch.
+  std::pair<Tensor, Tensor> ScoresWithPermutedBehaviors(
+      const std::string& name) {
+    auto model = baselines::CreateModel(name, ds, Zoo());
+    model->SetTraining(false);
+    NoGradGuard ng;
+    std::vector<int32_t> cands;
+    for (int64_t i = 0; i < batch.batch_size * 4; ++i)
+      cands.push_back(static_cast<int32_t>(i % ds.num_items()));
+    Tensor s1 = model->ScoreCandidates(batch, cands, 4);
+    data::Batch permuted = batch;
+    for (auto& b : permuted.merged_behaviors) {
+      if (b >= 0) b = (b + 1) % ds.num_behaviors();
+    }
+    Tensor s2 = model->ScoreCandidates(permuted, cands, 4);
+    return {s1, s2};
+  }
+};
+
+TEST(SemanticsTest, BehaviorAgnosticModelsIgnoreBehaviorTags) {
+  Ctx ctx;
+  for (const char* name : {"GRU4Rec", "SASRec", "ComiRec", "STOSA"}) {
+    auto [s1, s2] = ctx.ScoresWithPermutedBehaviors(name);
+    for (int64_t i = 0; i < s1.numel(); ++i) {
+      ASSERT_EQ(s1.data()[i], s2.data()[i])
+          << name << " reacted to behavior tags";
+    }
+  }
+}
+
+TEST(SemanticsTest, MultiBehaviorModelsUseBehaviorTags) {
+  Ctx ctx;
+  for (const char* name : {"MB-GRU", "MB-STR", "MBHT", "EBM", "NMTR", "MISSL"}) {
+    auto [s1, s2] = ctx.ScoresWithPermutedBehaviors(name);
+    bool differs = false;
+    for (int64_t i = 0; i < s1.numel(); ++i) {
+      differs |= s1.data()[i] != s2.data()[i];
+    }
+    EXPECT_TRUE(differs) << name << " ignored behavior tags";
+  }
+}
+
+TEST(SemanticsTest, SequenceOrderMattersToSequentialModels) {
+  Ctx ctx;
+  for (const char* name : {"GRU4Rec", "SASRec", "MISSL"}) {
+    auto model = baselines::CreateModel(name, ctx.ds, ctx.Zoo());
+    model->SetTraining(false);
+    NoGradGuard ng;
+    std::vector<int32_t> cands;
+    for (int64_t i = 0; i < ctx.batch.batch_size * 4; ++i)
+      cands.push_back(static_cast<int32_t>(i % ctx.ds.num_items()));
+    Tensor s1 = model->ScoreCandidates(ctx.batch, cands, 4);
+    // Reverse the valid suffix of every row (keeps the pad prefix).
+    data::Batch reversed = ctx.batch;
+    int64_t t = reversed.max_len;
+    for (int64_t row = 0; row < reversed.batch_size; ++row) {
+      int64_t first = 0;
+      while (first < t &&
+             reversed.merged_items[static_cast<size_t>(row * t + first)] < 0) {
+        ++first;
+      }
+      for (int64_t i = first, j = t - 1; i < j; ++i, --j) {
+        std::swap(reversed.merged_items[static_cast<size_t>(row * t + i)],
+                  reversed.merged_items[static_cast<size_t>(row * t + j)]);
+        std::swap(reversed.merged_behaviors[static_cast<size_t>(row * t + i)],
+                  reversed.merged_behaviors[static_cast<size_t>(row * t + j)]);
+      }
+    }
+    Tensor s2 = model->ScoreCandidates(reversed, cands, 4);
+    bool differs = false;
+    for (int64_t i = 0; i < s1.numel(); ++i) {
+      differs |= std::fabs(s1.data()[i] - s2.data()[i]) > 1e-6f;
+    }
+    EXPECT_TRUE(differs) << name << " is order-invariant";
+  }
+}
+
+TEST(SemanticsTest, PopIsHistoryInvariant) {
+  Ctx ctx;
+  auto model = baselines::CreateModel("POP", ctx.ds, ctx.Zoo());
+  NoGradGuard ng;
+  std::vector<int32_t> cands;
+  for (int64_t i = 0; i < ctx.batch.batch_size * 4; ++i)
+    cands.push_back(static_cast<int32_t>(i % ctx.ds.num_items()));
+  Tensor s1 = model->ScoreCandidates(ctx.batch, cands, 4);
+  data::Batch scrambled = ctx.batch;
+  for (auto& it : scrambled.merged_items) {
+    if (it >= 0) it = (it + 13) % ctx.ds.num_items();
+  }
+  Tensor s2 = model->ScoreCandidates(scrambled, cands, 4);
+  for (int64_t i = 0; i < s1.numel(); ++i) {
+    EXPECT_EQ(s1.data()[i], s2.data()[i]);
+  }
+}
+
+// Incidence property sweep: under the default config every valid position
+// belongs to at least one hyperedge and padding to none, across random
+// sequences.
+class IncidenceCoverage : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncidenceCoverage, ValidCoveredPaddingNot) {
+  Rng rng(600 + GetParam());
+  int64_t b = 3, t = 12;
+  std::vector<int32_t> items(static_cast<size_t>(b * t), -1);
+  std::vector<int32_t> behs(static_cast<size_t>(b * t), -1);
+  for (int64_t row = 0; row < b; ++row) {
+    int64_t n = 1 + static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(t)));
+    for (int64_t i = t - n; i < t; ++i) {
+      items[static_cast<size_t>(row * t + i)] =
+          static_cast<int32_t>(rng.UniformInt(20));
+      behs[static_cast<size_t>(row * t + i)] =
+          static_cast<int32_t>(rng.UniformInt(4));
+    }
+  }
+  hypergraph::HypergraphConfig cfg;
+  Tensor inc = hypergraph::BuildIncidence(items, behs, b, t, 4, cfg);
+  for (int64_t row = 0; row < b; ++row) {
+    for (int64_t i = 0; i < t; ++i) {
+      float cover = 0;
+      for (int64_t e = 0; e < inc.size(1); ++e) cover += inc.at({row, e, i});
+      if (items[static_cast<size_t>(row * t + i)] >= 0) {
+        EXPECT_GE(cover, 1.0f) << "valid position uncovered";
+      } else {
+        EXPECT_EQ(cover, 0.0f) << "padding covered";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, IncidenceCoverage, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace missl

@@ -1,0 +1,180 @@
+// Tests for the self-supervised objectives (InfoNCE, disentanglement) and
+// the shared scoring/pooling helpers in core/common.
+#include "core/common.h"
+#include "core/ssl.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/embedding.h"
+#include "test_util.h"
+
+namespace missl::core {
+namespace {
+
+TEST(InfoNceTest, AlignedViewsGiveLowLoss) {
+  Rng rng(1);
+  Tensor a = Tensor::Randn({8, 16}, &rng);
+  Tensor aligned = MulScalar(a, 3.0f);  // same direction -> cos = 1
+  Tensor shuffled = Tensor::Zeros({8, 16});
+  for (int64_t i = 0; i < 8; ++i)
+    for (int64_t j = 0; j < 16; ++j)
+      shuffled.data()[i * 16 + j] = a.data()[((i + 3) % 8) * 16 + j];
+  float low = InfoNce(a, aligned, 0.2f).item();
+  float high = InfoNce(a, shuffled, 0.2f).item();
+  EXPECT_LT(low, high);
+}
+
+TEST(InfoNceTest, TemperatureSharpens) {
+  Rng rng(2);
+  Tensor a = Tensor::Randn({6, 8}, &rng);
+  Tensor b = Add(a, Tensor::Randn({6, 8}, &rng, 0.1f));
+  // With near-identical views, lower temperature gives lower loss.
+  EXPECT_LT(InfoNce(a, b, 0.1f).item(), InfoNce(a, b, 1.0f).item());
+}
+
+TEST(InfoNceTest, GradientsFlowToBothViews) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn({4, 8}, &rng).set_requires_grad(true);
+  Tensor b = Tensor::Randn({4, 8}, &rng).set_requires_grad(true);
+  InfoNce(a, b, 0.3f).Backward();
+  EXPECT_TRUE(a.has_grad());
+  EXPECT_TRUE(b.has_grad());
+}
+
+TEST(InfoNceTest, TrainingSeparatesPairs) {
+  // Optimizing InfoNCE should raise the positive-pair similarity relative to
+  // negatives.
+  Rng rng(4);
+  Tensor a = Tensor::Randn({6, 8}, &rng).set_requires_grad(true);
+  Tensor b = Tensor::Randn({6, 8}, &rng).set_requires_grad(true);
+  float before = InfoNce(a, b, 0.3f).item();
+  for (int step = 0; step < 60; ++step) {
+    a.ZeroGrad();
+    b.ZeroGrad();
+    Tensor loss = InfoNce(a, b, 0.3f);
+    loss.Backward();
+    for (Tensor* t : {&a, &b}) {
+      float* w = t->data();
+      const float* g = t->impl()->grad.data();
+      for (int64_t i = 0; i < t->numel(); ++i) w[i] -= 0.5f * g[i];
+    }
+  }
+  EXPECT_LT(InfoNce(a, b, 0.3f).item(), before * 0.5f);
+}
+
+TEST(DisentangleTest, OrthogonalInterestsScoreZero) {
+  Tensor v = Tensor::Zeros({1, 2, 4});
+  v.data()[0] = 1.0f;  // e0
+  v.data()[5] = 1.0f;  // e1
+  EXPECT_NEAR(DisentanglePenalty(v).item(), 0.0f, 1e-6f);
+}
+
+TEST(DisentangleTest, IdenticalInterestsScoreOne) {
+  Tensor v = Tensor::Ones({1, 3, 4});
+  EXPECT_NEAR(DisentanglePenalty(v).item(), 1.0f, 1e-5f);
+}
+
+TEST(DisentangleTest, SingleInterestIsZero) {
+  Rng rng(5);
+  Tensor v = Tensor::Randn({4, 1, 8}, &rng);
+  EXPECT_EQ(DisentanglePenalty(v).item(), 0.0f);
+}
+
+TEST(DisentangleTest, PenaltyDrivesInterestsApart) {
+  Rng rng(6);
+  Tensor v = Tensor::Randn({2, 3, 8}, &rng, 0.1f).set_requires_grad(true);
+  float before = DisentanglePenalty(v).item();
+  for (int step = 0; step < 100; ++step) {
+    v.ZeroGrad();
+    DisentanglePenalty(v).Backward();
+    float* w = v.data();
+    const float* g = v.impl()->grad.data();
+    for (int64_t i = 0; i < v.numel(); ++i) w[i] -= 0.5f * g[i];
+  }
+  EXPECT_LT(DisentanglePenalty(v).item(), before * 0.5f);
+}
+
+TEST(CommonTest, LastPositionReadsFinalSlot) {
+  Tensor h = Tensor::FromData({1, 2, 3, 4, 5, 6, 7, 8}, {1, 4, 2});
+  testing::ExpectTensorNear(LastPosition(h), {7, 8});
+}
+
+TEST(CommonTest, MaskedMeanPoolIgnoresPadding) {
+  Tensor h = Tensor::FromData({10, 10, 2, 2, 4, 4}, {1, 3, 2});
+  // Position 0 is padding (-1).
+  Tensor pooled = MaskedMeanPool(h, {-1, 5, 6}, 1, 3);
+  testing::ExpectTensorNear(pooled, {3, 3});
+}
+
+TEST(CommonTest, MaskedMeanPoolAllPadGivesZeros) {
+  Tensor h = Tensor::Ones({1, 2, 3});
+  Tensor pooled = MaskedMeanPool(h, {-1, -1}, 1, 2);
+  testing::ExpectTensorNear(pooled, {0, 0, 0}, 1e-4f);
+}
+
+TEST(CommonTest, ScoreCandidatesSingleMatchesDots) {
+  Rng rng(7);
+  nn::Embedding emb(5, 4, &rng);
+  Tensor user = Tensor::Randn({2, 4}, &rng);
+  Tensor scores = ScoreCandidatesSingle(user, emb, {0, 1, 2, 3}, 2, 2);
+  // Manual dot products.
+  for (int64_t b = 0; b < 2; ++b) {
+    for (int64_t c = 0; c < 2; ++c) {
+      float expect = 0;
+      int32_t id = static_cast<int32_t>(b * 2 + c);
+      for (int64_t d = 0; d < 4; ++d)
+        expect += user.at({b, d}) * emb.weight().at({id, d});
+      EXPECT_NEAR(scores.at({b, c}), expect, 1e-5f);
+    }
+  }
+}
+
+TEST(CommonTest, MultiInterestScoringTakesMax) {
+  Rng rng(8);
+  nn::Embedding emb(3, 2, &rng);
+  Tensor w = emb.weight();
+  w.vec() = {1, 0, 0, 1, 1, 1};  // items: e0, e1, e0+e1
+  Tensor interests = Tensor::FromData({2, 0, 0, 3}, {1, 2, 2});  // v0=2e0, v1=3e1
+  Tensor s = ScoreCandidatesMultiInterest(interests, emb, {0, 1, 2}, 1, 3);
+  testing::ExpectTensorNear(s, {2, 3, 3});  // max over interests per item
+}
+
+TEST(CommonTest, SelectInterestByTargetPicksBest) {
+  Rng rng(9);
+  nn::Embedding emb(2, 2, &rng);
+  Tensor w = emb.weight();
+  w.vec() = {1, 0, 0, 1};
+  Tensor interests = Tensor::FromData({5, 0, 0, 7}, {1, 2, 2});
+  // Target item 1 = e1 -> interest 1 (value {0,7}) wins.
+  Tensor sel = SelectInterestByTarget(interests, emb, {1});
+  testing::ExpectTensorNear(sel, {0, 7});
+  // Target item 0 = e0 -> interest 0.
+  testing::ExpectTensorNear(SelectInterestByTarget(interests, emb, {0}), {5, 0});
+}
+
+TEST(CommonTest, EmbedWithPositionsZeroesPads) {
+  Rng rng(10);
+  nn::Embedding item(4, 3, &rng);
+  nn::Embedding pos(5, 3, &rng);
+  Tensor h = EmbedWithPositions(item, pos, {-1, 2}, 1, 2);
+  for (int64_t d = 0; d < 3; ++d) EXPECT_EQ(h.at({0, 0, d}), 0.0f);
+  // Valid slot = item emb + position emb at index 1.
+  for (int64_t d = 0; d < 3; ++d) {
+    EXPECT_NEAR(h.at({0, 1, d}), item.weight().at({2, d}) + pos.weight().at({1, d}),
+                1e-6f);
+  }
+}
+
+TEST(CommonTest, FullCatalogLogitsShape) {
+  Rng rng(11);
+  nn::Embedding emb(7, 4, &rng);
+  Tensor user = Tensor::Randn({3, 4}, &rng);
+  Tensor logits = FullCatalogLogits(user, emb);
+  EXPECT_EQ(logits.size(0), 3);
+  EXPECT_EQ(logits.size(1), 7);
+}
+
+}  // namespace
+}  // namespace missl::core

@@ -1,0 +1,152 @@
+// Unit tests for the tensor substrate: construction, introspection, and the
+// autograd graph mechanics (topological backward, accumulation, NoGradGuard).
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace missl {
+namespace {
+
+TEST(TensorTest, ZerosShapeAndValues) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_EQ(t.dim(), 2);
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.size(0), 2);
+  EXPECT_EQ(t.size(1), 3);
+  EXPECT_EQ(t.size(-1), 3);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(t.data()[i], 0.0f);
+}
+
+TEST(TensorTest, FullAndOnes) {
+  Tensor f = Tensor::Full({4}, 2.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(f.data()[i], 2.5f);
+  Tensor o = Tensor::Ones({2, 2});
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(o.data()[i], 1.0f);
+}
+
+TEST(TensorTest, FromDataAndAt) {
+  Tensor t = Tensor::FromData({1, 2, 3, 4, 5, 6}, {2, 3});
+  EXPECT_EQ(t.at({0, 0}), 1.0f);
+  EXPECT_EQ(t.at({0, 2}), 3.0f);
+  EXPECT_EQ(t.at({1, 0}), 4.0f);
+  EXPECT_EQ(t.at({1, 2}), 6.0f);
+}
+
+TEST(TensorTest, ScalarItem) {
+  Tensor s = Tensor::Scalar(3.25f);
+  EXPECT_EQ(s.dim(), 0);
+  EXPECT_EQ(s.numel(), 1);
+  EXPECT_EQ(s.item(), 3.25f);
+}
+
+TEST(TensorTest, RandnIsDeterministicPerSeed) {
+  Rng r1(42), r2(42), r3(43);
+  Tensor a = Tensor::Randn({16}, &r1);
+  Tensor b = Tensor::Randn({16}, &r2);
+  Tensor c = Tensor::Randn({16}, &r3);
+  bool same_ab = true, same_ac = true;
+  for (int64_t i = 0; i < 16; ++i) {
+    same_ab &= a.data()[i] == b.data()[i];
+    same_ac &= a.data()[i] == c.data()[i];
+  }
+  EXPECT_TRUE(same_ab);
+  EXPECT_FALSE(same_ac);
+}
+
+TEST(TensorTest, CopyAliasesStorage) {
+  Tensor a = Tensor::Zeros({3});
+  Tensor b = a;
+  b.data()[0] = 7.0f;
+  EXPECT_EQ(a.data()[0], 7.0f);
+}
+
+TEST(TensorTest, DetachSharesNothing) {
+  Tensor a = Tensor::Ones({3}, /*requires_grad=*/true);
+  Tensor d = a.Detach();
+  EXPECT_FALSE(d.requires_grad());
+  d.data()[0] = 9.0f;
+  EXPECT_EQ(a.data()[0], 1.0f);
+}
+
+TEST(TensorTest, BackwardSimpleChain) {
+  // y = sum((2a + 1)^2); dy/da = 2*(2a+1)*2 = 8a + 4
+  Tensor a = Tensor::FromData({1, 2, 3}, {3}, true);
+  Tensor y = Sum(Square(AddScalar(MulScalar(a, 2.0f), 1.0f)));
+  y.Backward();
+  testing::ExpectTensorNear(a.grad(), {12.0f, 20.0f, 28.0f});
+}
+
+TEST(TensorTest, BackwardAccumulatesAcrossUses) {
+  // y = sum(a * a) via two uses of `a` in Mul: dy/da = 2a.
+  Tensor a = Tensor::FromData({3, -2}, {2}, true);
+  Tensor y = Sum(Mul(a, a));
+  y.Backward();
+  testing::ExpectTensorNear(a.grad(), {6.0f, -4.0f});
+}
+
+TEST(TensorTest, BackwardDiamondGraph) {
+  // b = a*2; c = a*3; y = sum(b*c) = sum(6 a^2) -> dy/da = 12a.
+  Tensor a = Tensor::FromData({1, 2}, {2}, true);
+  Tensor b = MulScalar(a, 2.0f);
+  Tensor c = MulScalar(a, 3.0f);
+  Tensor y = Sum(Mul(b, c));
+  y.Backward();
+  testing::ExpectTensorNear(a.grad(), {12.0f, 24.0f});
+}
+
+TEST(TensorTest, SecondBackwardAccumulatesIntoLeafGrad) {
+  Tensor a = Tensor::FromData({1.0f}, {1}, true);
+  Sum(MulScalar(a, 2.0f)).Backward();
+  Sum(MulScalar(a, 2.0f)).Backward();
+  testing::ExpectTensorNear(a.grad(), {4.0f});  // 2 + 2
+  a.ZeroGrad();
+  testing::ExpectTensorNear(a.grad(), {0.0f});
+}
+
+TEST(TensorTest, NoGradGuardSkipsGraph) {
+  Tensor a = Tensor::Ones({2}, true);
+  Tensor y;
+  {
+    NoGradGuard ng;
+    y = Sum(MulScalar(a, 3.0f));
+  }
+  EXPECT_FALSE(y.requires_grad());
+  EXPECT_FALSE(y.impl()->backward_fn != nullptr);
+}
+
+TEST(TensorTest, GradWithoutRequiresGradIsNotTracked) {
+  Tensor a = Tensor::Ones({2}, false);
+  Tensor y = Sum(a);
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(TensorDeathTest, ItemOnNonScalarAborts) {
+  Tensor t = Tensor::Zeros({2});
+  EXPECT_DEATH(t.item(), "item");
+}
+
+TEST(TensorDeathTest, FromDataSizeMismatchAborts) {
+  EXPECT_DEATH(Tensor::FromData({1, 2, 3}, {2, 2}), "data size");
+}
+
+TEST(TensorDeathTest, UndefinedUseAborts) {
+  Tensor t;
+  EXPECT_DEATH(t.numel(), "undefined");
+}
+
+TEST(TensorTest, ToStringMentionsShape) {
+  Tensor t = Tensor::Zeros({2, 2});
+  EXPECT_NE(t.ToString().find("[2, 2]"), std::string::npos);
+}
+
+TEST(TensorTest, ShapeHelpers) {
+  EXPECT_EQ(NumElements({2, 3, 4}), 24);
+  EXPECT_EQ(NumElements({}), 1);
+  EXPECT_EQ(ShapeToString({5, 1}), "[5, 1]");
+}
+
+}  // namespace
+}  // namespace missl

@@ -1,0 +1,67 @@
+// Shared helpers for the test suite: finite-difference gradient checking and
+// tolerant float comparison.
+#ifndef MISSL_TESTS_TEST_UTIL_H_
+#define MISSL_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace missl::testing {
+
+/// Checks analytic gradients of `fn` (mapping inputs -> scalar loss) against
+/// central finite differences for every element of every input tensor.
+/// `fn` must be deterministic and must not capture the inputs' grads.
+inline void GradCheck(const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+                      std::vector<Tensor> inputs, float eps = 1e-3f,
+                      float rtol = 5e-2f, float atol = 1e-3f) {
+  for (auto& in : inputs) in.set_requires_grad(true);
+  Tensor loss = fn(inputs);
+  ASSERT_EQ(loss.numel(), 1) << "GradCheck loss must be scalar";
+  loss.Backward();
+  for (size_t t = 0; t < inputs.size(); ++t) {
+    Tensor& in = inputs[t];
+    ASSERT_TRUE(in.has_grad()) << "input " << t << " got no gradient";
+    std::vector<float> analytic = in.impl()->grad;
+    for (int64_t i = 0; i < in.numel(); ++i) {
+      float orig = in.data()[i];
+      in.data()[i] = orig + eps;
+      float fp;
+      {
+        NoGradGuard ng;
+        fp = fn(inputs).item();
+      }
+      in.data()[i] = orig - eps;
+      float fm;
+      {
+        NoGradGuard ng;
+        fm = fn(inputs).item();
+      }
+      in.data()[i] = orig;
+      float numeric = (fp - fm) / (2.0f * eps);
+      float a = analytic[static_cast<size_t>(i)];
+      float tol = atol + rtol * std::max(std::fabs(a), std::fabs(numeric));
+      EXPECT_NEAR(a, numeric, tol)
+          << "input " << t << " element " << i << " analytic=" << a
+          << " numeric=" << numeric;
+    }
+  }
+}
+
+/// Element-wise tensor comparison with tolerance.
+inline void ExpectTensorNear(const Tensor& a, const std::vector<float>& expect,
+                             float tol = 1e-5f) {
+  ASSERT_EQ(static_cast<size_t>(a.numel()), expect.size());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_NEAR(a.data()[i], expect[i], tol) << "element " << i;
+  }
+}
+
+}  // namespace missl::testing
+
+#endif  // MISSL_TESTS_TEST_UTIL_H_

@@ -1,0 +1,123 @@
+// Integration tests for the training loop: early stopping, best-checkpoint
+// restore, and end-to-end learning above chance on synthetic data.
+#include "train/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/zoo.h"
+#include "data/synthetic.h"
+
+namespace missl::train {
+namespace {
+
+struct Bundle {
+  data::Dataset ds;
+  data::SplitView split;
+  eval::Evaluator evaluator;
+
+  Bundle()
+      : ds(MakeDs()), split(ds), evaluator(ds, split, MakeEvalCfg()) {}
+
+  static data::Dataset MakeDs() {
+    data::SyntheticConfig cfg;
+    cfg.num_users = 120;
+    cfg.num_items = 250;
+    cfg.num_clusters = 10;
+    cfg.min_events = 20;
+    cfg.max_events = 45;
+    cfg.seed = 21;
+    return data::GenerateSynthetic(cfg);
+  }
+  static eval::EvalConfig MakeEvalCfg() {
+    eval::EvalConfig ec;
+    ec.max_len = 20;
+    return ec;
+  }
+
+  TrainConfig Tc(int64_t epochs) const {
+    TrainConfig tc;
+    tc.max_epochs = epochs;
+    tc.max_len = 20;
+    tc.batch_size = 64;
+    return tc;
+  }
+  baselines::ZooConfig Zoo() const {
+    baselines::ZooConfig zc;
+    zc.dim = 24;
+    zc.max_len = 20;
+    zc.num_interests = 2;
+    return zc;
+  }
+};
+
+TEST(TrainerTest, MisslLearnsAboveChance) {
+  Bundle b;
+  auto model = baselines::CreateModel("MISSL", b.ds, b.Zoo());
+  TrainResult r = Fit(model.get(), b.ds, b.split, b.evaluator, b.Tc(5));
+  // Chance HR@10 with 100 candidates is 0.10.
+  EXPECT_GT(r.test.hr10, 0.15) << "MISSL failed to learn above chance";
+  EXPECT_GT(r.epochs_run, 0);
+  EXPECT_GT(r.total_seconds, 0.0);
+}
+
+TEST(TrainerTest, BaselineLearnsAboveChance) {
+  Bundle b;
+  auto model = baselines::CreateModel("GRU4Rec", b.ds, b.Zoo());
+  TrainResult r = Fit(model.get(), b.ds, b.split, b.evaluator, b.Tc(5));
+  EXPECT_GT(r.test.hr10, 0.13);
+}
+
+TEST(TrainerTest, MoreEpochsDontHurtBestValid) {
+  // best_valid is monotone in epoch budget (same seed => same trajectory).
+  Bundle b;
+  auto m1 = baselines::CreateModel("SASRec", b.ds, b.Zoo());
+  auto m2 = baselines::CreateModel("SASRec", b.ds, b.Zoo());
+  TrainResult r1 = Fit(m1.get(), b.ds, b.split, b.evaluator, b.Tc(1));
+  TrainResult r2 = Fit(m2.get(), b.ds, b.split, b.evaluator, b.Tc(4));
+  EXPECT_GE(r2.best_valid.ndcg10 + 1e-9, r1.best_valid.ndcg10);
+}
+
+TEST(TrainerTest, EarlyStoppingRespectsPatience) {
+  Bundle b;
+  auto model = baselines::CreateModel("GRU4Rec", b.ds, b.Zoo());
+  TrainConfig tc = b.Tc(50);
+  tc.patience = 1;
+  tc.lr = 10.0f;  // absurd LR forces immediate divergence -> early stop
+  TrainResult r = Fit(model.get(), b.ds, b.split, b.evaluator, tc);
+  EXPECT_LT(r.epochs_run, 50);
+}
+
+TEST(TrainerTest, TestMetricsComeFromBestCheckpoint) {
+  // With a diverging LR after epoch 0, the final test metrics must reflect
+  // the best (early) checkpoint rather than the diverged weights: train a
+  // model with tiny budget, then verify Fit's reported test equals an
+  // evaluation of the restored model.
+  Bundle b;
+  auto model = baselines::CreateModel("SASRec", b.ds, b.Zoo());
+  TrainResult r = Fit(model.get(), b.ds, b.split, b.evaluator, b.Tc(3));
+  eval::EvalResult again = b.evaluator.Evaluate(model.get(), true);
+  EXPECT_DOUBLE_EQ(r.test.ndcg10, again.ndcg10);
+  EXPECT_DOUBLE_EQ(r.test.hr10, again.hr10);
+}
+
+TEST(TrainerTest, MaxBatchesPerEpochCapsWork) {
+  Bundle b;
+  auto m1 = baselines::CreateModel("GRU4Rec", b.ds, b.Zoo());
+  TrainConfig tc = b.Tc(1);
+  tc.max_batches_per_epoch = 1;
+  TrainResult r = Fit(m1.get(), b.ds, b.split, b.evaluator, tc);
+  EXPECT_EQ(r.epochs_run, 1);
+}
+
+TEST(TrainerTest, DeterministicGivenSeeds) {
+  Bundle b;
+  auto m1 = baselines::CreateModel("GRU4Rec", b.ds, b.Zoo());
+  auto m2 = baselines::CreateModel("GRU4Rec", b.ds, b.Zoo());
+  TrainResult r1 = Fit(m1.get(), b.ds, b.split, b.evaluator, b.Tc(2));
+  TrainResult r2 = Fit(m2.get(), b.ds, b.split, b.evaluator, b.Tc(2));
+  EXPECT_DOUBLE_EQ(r1.test.ndcg10, r2.test.ndcg10);
+  EXPECT_FLOAT_EQ(r1.final_train_loss, r2.final_train_loss);
+}
+
+}  // namespace
+}  // namespace missl::train
