@@ -1,11 +1,32 @@
 #include "bench_common.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace missl::bench {
 
+namespace {
+bool g_smoke = false;
+}  // namespace
+
+void InitBench(int* argc, char** argv) {
+  int w = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      g_smoke = true;
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  *argc = w;
+}
+
+bool SmokeMode() { return g_smoke; }
+
 bool FastMode() {
+  if (g_smoke) return true;
   const char* v = std::getenv("MISSL_BENCH_FAST");
   return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
@@ -21,8 +42,9 @@ baselines::ZooConfig DefaultZoo() {
 
 train::TrainConfig DefaultTrain() {
   train::TrainConfig tc;
-  tc.max_epochs = FastMode() ? 3 : 10;
-  tc.patience = 3;
+  tc.max_epochs = SmokeMode() ? 1 : FastMode() ? 3 : 10;
+  if (SmokeMode()) tc.max_batches_per_epoch = 8;
+  tc.patience = SmokeMode() ? 1 : 3;
   tc.batch_size = 128;
   tc.max_len = 30;
   tc.lr = 1e-3f;
@@ -34,7 +56,15 @@ namespace {
 void ScaleForBench(data::SyntheticConfig* cfg, double scale) {
   cfg->num_users = static_cast<int32_t>(cfg->num_users * scale);
   cfg->num_items = static_cast<int32_t>(cfg->num_items * scale);
-  if (FastMode()) {
+  if (SmokeMode()) {
+    // Keep enough users/items that splits and samplers stay non-degenerate
+    // (eval draws 99 negatives per user, so items must comfortably exceed
+    // any user's seen-set plus 99).
+    cfg->num_users = std::max(48, cfg->num_users / 12);
+    cfg->num_items = std::max(320, cfg->num_items / 4);
+    cfg->min_events = std::min(cfg->min_events, 15);
+    cfg->max_events = std::min(cfg->max_events, 30);
+  } else if (FastMode()) {
     cfg->num_users /= 4;
     cfg->num_items /= 2;
   }
@@ -93,7 +123,11 @@ void PrintHeader(const std::string& id, const std::string& title) {
   std::printf("\n=== %s: %s ===\n", id.c_str(), title.c_str());
   std::printf("(synthetic latent-interest data substitutes the paper's "
               "datasets; see DESIGN.md)\n");
-  if (FastMode()) std::printf("[MISSL_BENCH_FAST=1: reduced scale]\n");
+  if (SmokeMode()) {
+    std::printf("[--smoke: minimal scale, correctness-only run]\n");
+  } else if (FastMode()) {
+    std::printf("[MISSL_BENCH_FAST=1: reduced scale]\n");
+  }
 }
 
 }  // namespace missl::bench

@@ -16,9 +16,18 @@
 
 namespace missl::bench {
 
+/// Strips harness flags from argv before the bench runs. Recognized:
+///   --smoke   tiny configs + 1-epoch budgets so the binary finishes in
+///             seconds; registered as a ctest smoke test for every bench.
+/// Call first thing in every bench main().
+void InitBench(int* argc, char** argv);
+
+/// True when --smoke was passed: ~minimal scale, correctness-only run.
+bool SmokeMode();
+
 /// Shared experiment scale. The full suite is sized to finish on one CPU
-/// core; set MISSL_BENCH_FAST=1 to shrink every dataset/epoch budget ~4x for
-/// smoke runs.
+/// core; set MISSL_BENCH_FAST=1 to shrink every dataset/epoch budget ~4x
+/// (implied, and shrunk further, by --smoke).
 bool FastMode();
 
 /// Default model budget used across all experiments (dim 32, max_len 30).

@@ -7,8 +7,9 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace missl;
+  bench::InitBench(&argc, argv);
   bench::PrintHeader("F10", "evaluation protocol comparison (HR@10)");
 
   data::SyntheticConfig cfg = bench::SweepData();

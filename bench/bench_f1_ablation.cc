@@ -6,8 +6,9 @@
 #include "bench_common.h"
 #include "core/missl.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace missl;
+  bench::InitBench(&argc, argv);
   bench::PrintHeader("F1", "MISSL ablation study");
 
   bench::Workbench wb(bench::SweepData(), bench::DefaultZoo().max_len);

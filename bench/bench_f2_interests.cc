@@ -6,8 +6,9 @@
 #include "bench_common.h"
 #include "core/missl.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace missl;
+  bench::InitBench(&argc, argv);
   bench::PrintHeader("F2", "number of interests K sweep (true K = 3)");
 
   data::SyntheticConfig dcfg = bench::SweepData();

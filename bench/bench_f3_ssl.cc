@@ -5,8 +5,9 @@
 #include "bench_common.h"
 #include "core/missl.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace missl;
+  bench::InitBench(&argc, argv);
   bench::PrintHeader("F3", "SSL weight lambda_cl x temperature tau grid (HR@10)");
 
   bench::Workbench wb(bench::SweepData(), bench::DefaultZoo().max_len);

@@ -5,8 +5,9 @@
 #include "bench_common.h"
 #include "core/missl.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace missl;
+  bench::InitBench(&argc, argv);
   bench::PrintHeader("F4", "embedding dim & lambda_dis sensitivity");
 
   bench::Workbench wb(bench::SweepData(), bench::DefaultZoo().max_len);

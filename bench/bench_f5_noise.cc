@@ -6,8 +6,9 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace missl;
+  bench::InitBench(&argc, argv);
   bench::PrintHeader("F5", "click-noise robustness sweep");
 
   train::TrainConfig tc = bench::DefaultTrain();

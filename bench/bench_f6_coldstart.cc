@@ -8,8 +8,9 @@
 #include "bench_common.h"
 #include "data/types.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace missl;
+  bench::InitBench(&argc, argv);
   bench::PrintHeader("F6", "cold-start: HR@10 by #target interactions bucket");
 
   // Widen the event-count range so cold and warm users both exist.

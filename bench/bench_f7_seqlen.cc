@@ -5,8 +5,9 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace missl;
+  bench::InitBench(&argc, argv);
   bench::PrintHeader("F7", "HR@10 by history-length bucket");
 
   data::SyntheticConfig cfg = bench::SweepData();

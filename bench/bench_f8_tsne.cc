@@ -47,8 +47,9 @@ double MeanInterestCosine(const missl::Tensor& v) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace missl;
+  bench::InitBench(&argc, argv);
   bench::PrintHeader("F8", "interest-space visualization (PCA substitution)");
 
   bench::Workbench wb(bench::SweepData(), bench::DefaultZoo().max_len);

@@ -6,8 +6,9 @@
 #include "bench_common.h"
 #include "core/missl.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace missl;
+  bench::InitBench(&argc, argv);
   bench::PrintHeader("F9", "design-choice ablations (hyperedge families, routing)");
 
   bench::Workbench wb(bench::SweepData(), bench::DefaultZoo().max_len);

@@ -3,10 +3,18 @@
 // experiment wall-clock is dominated by matmul as designed.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/sasrec.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
 #include "hypergraph/hgat.h"
 #include "hypergraph/incidence.h"
 #include "nn/attention.h"
 #include "nn/transformer.h"
+#include "runtime/runtime.h"
 #include "tensor/ops.h"
 #include "utils/rng.h"
 
@@ -118,6 +126,67 @@ void BM_IncidenceBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_IncidenceBuild);
 
+// Thread-scaling variants (Arg = thread count). Results are bitwise
+// identical across Args by construction (see docs/RUNTIME.md); only the
+// wall clock should move. On a single-core host the >1-thread rows just
+// measure oversubscription overhead.
+void BM_MatMulThreaded(benchmark::State& state) {
+  runtime::ScopedNumThreads t(static_cast<int>(state.range(0)));
+  Rng rng(1);
+  Tensor a = Tensor::Randn({256, 256}, &rng);
+  Tensor b = Tensor::Randn({256, 256}, &rng);
+  NoGradGuard ng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * 256 * 256);
+}
+BENCHMARK(BM_MatMulThreaded)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_BackwardThroughEncoderThreaded(benchmark::State& state) {
+  runtime::ScopedNumThreads t(static_cast<int>(state.range(0)));
+  Rng rng(9);
+  nn::TransformerConfig cfg;
+  cfg.dim = 32;
+  cfg.heads = 2;
+  cfg.layers = 1;
+  cfg.ffn_hidden = 64;
+  cfg.dropout = 0.0f;
+  nn::TransformerEncoder enc(cfg, &rng);
+  Tensor x = Tensor::Randn({32, 30, 32}, &rng);
+  for (auto _ : state) {
+    enc.ZeroGrad();
+    Sum(Square(enc.Forward(x))).Backward();
+  }
+}
+BENCHMARK(BM_BackwardThroughEncoderThreaded)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_FullEvalThreaded(benchmark::State& state) {
+  runtime::ScopedNumThreads t(static_cast<int>(state.range(0)));
+  data::SyntheticConfig cfg;
+  cfg.num_users = 64;
+  cfg.num_items = 300;
+  cfg.min_events = 15;
+  cfg.max_events = 30;
+  cfg.seed = 5;
+  data::Dataset ds = data::GenerateSynthetic(cfg);
+  data::SplitView split(ds);
+  eval::EvalConfig ec;
+  ec.max_len = 20;
+  ec.batch_size = 8;
+  ec.mode = eval::CandidateMode::kFullRanking;
+  eval::Evaluator evaluator(ds, split, ec);
+  baselines::SasRecConfig mc;
+  mc.dim = 32;
+  mc.heads = 2;
+  mc.layers = 1;
+  baselines::SasRec model(ds.num_items(), ec.max_len, mc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.Evaluate(&model).mrr);
+  }
+}
+BENCHMARK(BM_FullEvalThreaded)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_BackwardThroughEncoder(benchmark::State& state) {
   Rng rng(9);
   nn::TransformerConfig cfg;
@@ -137,4 +206,26 @@ BENCHMARK(BM_BackwardThroughEncoder);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN so --smoke can cut iteration time
+// to a ctest-friendly budget before google-benchmark parses its flags.
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (smoke) args.push_back(min_time.data());
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

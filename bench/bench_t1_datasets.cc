@@ -6,8 +6,9 @@
 #include "bench_common.h"
 #include "data/types.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace missl;
+  bench::InitBench(&argc, argv);
   bench::PrintHeader("T1", "dataset statistics");
 
   Table table({"Dataset", "Users", "Items", "Interactions", "#Behaviors",

@@ -6,8 +6,9 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace missl;
+  bench::InitBench(&argc, argv);
   bench::PrintHeader("T2",
                      "main performance comparison (14 models x 3 datasets)");
 

@@ -6,8 +6,9 @@
 #include "bench_common.h"
 #include "data/batch.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace missl;
+  bench::InitBench(&argc, argv);
   bench::PrintHeader("T3", "time efficiency (s/epoch, ms/user inference, params)");
 
   data::SyntheticConfig cfg = bench::SweepData();

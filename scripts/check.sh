@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Local reproduction of the three CI jobs (.github/workflows/ci.yml):
+#   1. Release build + full ctest suite, serial and with MISSL_NUM_THREADS=4
+#   2. ASan+UBSan build + full ctest suite
+#   3. TSan build, running the threaded tests (runtime_test, models_test)
+#
+# Usage:
+#   scripts/check.sh            # all three jobs
+#   scripts/check.sh release    # just one job: release | asan | tsan
+#
+# Each job uses its own build directory (build-check-*) so the regular
+# ./build tree is left untouched.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=("${1:-all}")
+[[ "${jobs[0]}" == "all" ]] && jobs=(release asan tsan)
+
+run_release() {
+  echo "=== [release] Release build + full test suite ==="
+  cmake -B build-check-release -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-check-release -j"$(nproc)"
+  ctest --test-dir build-check-release --output-on-failure -j"$(nproc)"
+  echo "=== [release] again with MISSL_NUM_THREADS=4 (results must match) ==="
+  MISSL_NUM_THREADS=4 ctest --test-dir build-check-release --output-on-failure -j"$(nproc)"
+}
+
+run_asan() {
+  echo "=== [asan] ASan+UBSan build + full test suite ==="
+  cmake -B build-check-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DMISSL_SANITIZE=address,undefined
+  cmake --build build-check-asan -j"$(nproc)"
+  # detect_leaks=0: autograd graphs are intentional shared_ptr cycles (the
+  # backward closure lives in the node it reads from), which LSan reports.
+  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+    MISSL_NUM_THREADS=4 \
+    ctest --test-dir build-check-asan --output-on-failure -j"$(nproc)"
+}
+
+run_tsan() {
+  echo "=== [tsan] TSan build + threaded tests ==="
+  cmake -B build-check-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DMISSL_SANITIZE=thread
+  cmake --build build-check-tsan -j"$(nproc)" --target runtime_test models_test
+  TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/runtime_test
+  TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/models_test
+}
+
+for job in "${jobs[@]}"; do
+  case "$job" in
+    release) run_release ;;
+    asan)    run_asan ;;
+    tsan)    run_tsan ;;
+    *) echo "unknown job '$job' (expected release|asan|tsan|all)" >&2; exit 2 ;;
+  esac
+done
+echo "All requested checks passed."

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "runtime/parallel_for.h"
 #include "tensor/ops.h"
 #include "utils/check.h"
 #include "utils/rng.h"
@@ -12,7 +13,6 @@ Evaluator::Evaluator(const data::Dataset& ds, const data::SplitView& split,
                      const EvalConfig& config)
     : ds_(&ds), split_(&split), config_(config), builder_(ds, config.max_len) {
   data::NegativeSampler sampler(ds);
-  Rng rng(config.seed);
   test_negs_.resize(static_cast<size_t>(ds.num_users()));
   valid_negs_.resize(static_cast<size_t>(ds.num_users()));
   seen_.resize(static_cast<size_t>(ds.num_users()));
@@ -27,6 +27,11 @@ Evaluator::Evaluator(const data::Dataset& ds, const data::SplitView& split,
     const auto& events = ds.user(u).events;
     int32_t test_target = events[static_cast<size_t>(tp)].item;
     int32_t valid_target = events[static_cast<size_t>(vp)].item;
+    // One independent stream per user (seed x user id), so a user's
+    // candidate set never depends on which other users are eligible —
+    // filtering a user out of the split must not perturb anyone else's
+    // negatives (see EvalTest.NegativesInvariantToOtherUsers).
+    Rng rng(config_.seed, static_cast<uint64_t>(u));
     test_negs_[static_cast<size_t>(u)] =
         pop ? sampler.SamplePopularity(u, test_target, config.num_negatives,
                                        &rng)
@@ -50,7 +55,6 @@ EvalResult Evaluator::EvaluateSubset(core::SeqRecModel* model,
   bool was_training = model->training();
   model->SetTraining(false);
 
-  MetricAccumulator acc;
   bool full = config_.mode == CandidateMode::kFullRanking;
   int64_t c = full ? ds_->num_items() : config_.num_negatives + 1;
   // Full ranking scores the whole catalog per user; keep batches small so
@@ -60,61 +64,75 @@ EvalResult Evaluator::EvaluateSubset(core::SeqRecModel* model,
   const auto& pos = test ? split_->test_pos : split_->valid_pos;
   const auto& negs = test ? test_negs_ : valid_negs_;
 
-  for (size_t start = 0; start < users.size();
-       start += static_cast<size_t>(batch_size)) {
-    size_t end =
-        std::min(users.size(), start + static_cast<size_t>(batch_size));
-    std::vector<data::SplitView::TrainExample> examples;
-    std::vector<int32_t> cand_ids;
-    std::vector<int32_t> targets;
-    for (size_t i = start; i < end; ++i) {
-      int32_t u = users[i];
-      int64_t p = pos[static_cast<size_t>(u)];
-      MISSL_CHECK(p >= 0) << "user " << u << " not eligible for evaluation";
-      examples.push_back({u, p});
-      const auto& events = ds_->user(u).events;
-      int32_t target = events[static_cast<size_t>(p)].item;
-      targets.push_back(target);
-      if (full) {
-        for (int32_t item = 0; item < ds_->num_items(); ++item) {
-          cand_ids.push_back(item);
-        }
-      } else {
-        cand_ids.push_back(target);  // index 0 = target
-        const auto& n = negs[static_cast<size_t>(u)];
-        cand_ids.insert(cand_ids.end(), n.begin(), n.end());
-      }
-    }
-    data::Batch batch = builder_.Build(examples);
-    Tensor scores = model->ScoreCandidates(batch, cand_ids, c);
-    MISSL_CHECK(scores.dim() == 2 && scores.size(0) == batch.batch_size &&
-                scores.size(1) == c)
-        << "ScoreCandidates returned " << ShapeToString(scores.shape());
-    const float* s = scores.data();
-    for (int64_t row = 0; row < batch.batch_size; ++row) {
-      const float* rs = s + row * c;
-      int64_t rank = 0;
-      if (full) {
-        int32_t target = targets[static_cast<size_t>(row)];
-        float target_score = rs[target];
-        const auto& seen = seen_[static_cast<size_t>(
-            users[start + static_cast<size_t>(row)])];
-        for (int32_t j = 0; j < ds_->num_items(); ++j) {
-          if (j == target) continue;
-          // Standard protocol: seen items are removed from the candidate
-          // pool before ranking.
-          if (std::binary_search(seen.begin(), seen.end(), j)) continue;
-          if (rs[j] > target_score) ++rank;
-        }
-      } else {
-        float target_score = rs[0];
-        for (int64_t j = 1; j < c; ++j) {
-          if (rs[j] > target_score) ++rank;
+  // User batches are scored in parallel: the batch boundaries depend only
+  // on batch_size, each batch's metrics land in its own accumulator, and
+  // the partials merge in batch order below — so metrics are bitwise
+  // identical at any thread count. The model must be re-entrant in eval
+  // mode (forward passes allocate fresh tensors and, with training off,
+  // never touch the model's RNG).
+  int64_t num_batches =
+      (static_cast<int64_t>(users.size()) + batch_size - 1) / batch_size;
+  std::vector<MetricAccumulator> partials(static_cast<size_t>(num_batches));
+  runtime::ParallelFor(0, num_batches, 1, [&](int64_t b0, int64_t b1) {
+    for (int64_t bi = b0; bi < b1; ++bi) {
+      size_t start = static_cast<size_t>(bi * batch_size);
+      size_t end =
+          std::min(users.size(), start + static_cast<size_t>(batch_size));
+      std::vector<data::SplitView::TrainExample> examples;
+      std::vector<int32_t> cand_ids;
+      std::vector<int32_t> targets;
+      for (size_t i = start; i < end; ++i) {
+        int32_t u = users[i];
+        int64_t p = pos[static_cast<size_t>(u)];
+        MISSL_CHECK(p >= 0) << "user " << u << " not eligible for evaluation";
+        examples.push_back({u, p});
+        const auto& events = ds_->user(u).events;
+        int32_t target = events[static_cast<size_t>(p)].item;
+        targets.push_back(target);
+        if (full) {
+          for (int32_t item = 0; item < ds_->num_items(); ++item) {
+            cand_ids.push_back(item);
+          }
+        } else {
+          cand_ids.push_back(target);  // index 0 = target
+          const auto& n = negs[static_cast<size_t>(u)];
+          cand_ids.insert(cand_ids.end(), n.begin(), n.end());
         }
       }
-      acc.Add(rank);
+      data::Batch batch = builder_.Build(examples);
+      Tensor scores = model->ScoreCandidates(batch, cand_ids, c);
+      MISSL_CHECK(scores.dim() == 2 && scores.size(0) == batch.batch_size &&
+                  scores.size(1) == c)
+          << "ScoreCandidates returned " << ShapeToString(scores.shape());
+      const float* s = scores.data();
+      MetricAccumulator& acc = partials[static_cast<size_t>(bi)];
+      for (int64_t row = 0; row < batch.batch_size; ++row) {
+        const float* rs = s + row * c;
+        int64_t rank = 0;
+        if (full) {
+          int32_t target = targets[static_cast<size_t>(row)];
+          float target_score = rs[target];
+          const auto& seen = seen_[static_cast<size_t>(
+              users[start + static_cast<size_t>(row)])];
+          for (int32_t j = 0; j < ds_->num_items(); ++j) {
+            if (j == target) continue;
+            // Standard protocol: seen items are removed from the candidate
+            // pool before ranking.
+            if (std::binary_search(seen.begin(), seen.end(), j)) continue;
+            if (rs[j] > target_score) ++rank;
+          }
+        } else {
+          float target_score = rs[0];
+          for (int64_t j = 1; j < c; ++j) {
+            if (rs[j] > target_score) ++rank;
+          }
+        }
+        acc.Add(rank);
+      }
     }
-  }
+  });
+  MetricAccumulator acc;
+  for (const MetricAccumulator& p : partials) acc.Merge(p);
   acc.Finalize();
   model->SetTraining(was_training);
 

@@ -1,6 +1,10 @@
 // Leave-one-out evaluator with the 1-positive + N-sampled-negatives
-// protocol. Negatives are pre-drawn once per user (deterministically), so
-// every model is ranked against identical candidate lists.
+// protocol. Negatives are pre-drawn once per user from an independent
+// per-user RNG stream (seed x user id), so every model is ranked against
+// identical candidate lists and a user's candidates are invariant to which
+// other users are eligible. Evaluation parallelizes over user batches (see
+// runtime/parallel_for.h) with per-batch metric accumulators merged in
+// batch order, so results are bitwise identical at any thread count.
 #ifndef MISSL_EVAL_EVALUATOR_H_
 #define MISSL_EVAL_EVALUATOR_H_
 
@@ -52,11 +56,22 @@ class Evaluator {
   const std::vector<int32_t>& eval_users() const { return eval_users_; }
   const EvalConfig& config() const { return config_; }
 
+  /// Pre-drawn candidate negatives for one user (empty in full-ranking
+  /// mode or for non-eligible users); exposed for protocol tests.
+  const std::vector<int32_t>& test_negatives(int32_t u) const {
+    return test_negs_[static_cast<size_t>(u)];
+  }
+  const std::vector<int32_t>& valid_negatives(int32_t u) const {
+    return valid_negs_[static_cast<size_t>(u)];
+  }
+
  private:
   const data::Dataset* ds_;
   const data::SplitView* split_;
   EvalConfig config_;
-  mutable data::BatchBuilder builder_;  ///< Build() mutates only its neg-rng
+  /// Build() is state-free while train negatives stay disabled (they always
+  /// are here), which is what makes concurrent per-batch Build calls safe.
+  mutable data::BatchBuilder builder_;
   std::vector<int32_t> eval_users_;
   /// Pre-drawn negatives: per user, num_negatives ids for test and valid
   /// (unused in full-ranking mode).

@@ -33,6 +33,17 @@ void MetricAccumulator::Add(int64_t rank) {
   ++count;
 }
 
+void MetricAccumulator::Merge(const MetricAccumulator& other) {
+  hr5 += other.hr5;
+  hr10 += other.hr10;
+  hr20 += other.hr20;
+  ndcg5 += other.ndcg5;
+  ndcg10 += other.ndcg10;
+  ndcg20 += other.ndcg20;
+  mrr += other.mrr;
+  count += other.count;
+}
+
 void MetricAccumulator::Finalize() {
   if (count == 0) return;
   double inv = 1.0 / static_cast<double>(count);

@@ -24,6 +24,10 @@ struct MetricAccumulator {
 
   /// Adds one ranked test case.
   void Add(int64_t rank);
+  /// Adds another (un-finalized) accumulator's sums into this one. The
+  /// parallel evaluator computes one accumulator per user batch and merges
+  /// them in batch order, so the totals do not depend on the thread count.
+  void Merge(const MetricAccumulator& other);
   /// Divides all sums by count (no-op when count == 0).
   void Finalize();
 };

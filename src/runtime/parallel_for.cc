@@ -1,0 +1,64 @@
+#include "runtime/parallel_for.h"
+
+#include <algorithm>
+
+#include "runtime/thread_pool.h"
+#include "tensor/tensor.h"
+#include "utils/check.h"
+
+namespace missl::runtime {
+
+namespace {
+
+thread_local bool t_in_parallel_region = false;
+
+}  // namespace
+
+bool InParallelRegion() { return t_in_parallel_region; }
+
+int64_t GrainForCost(int64_t cost_per_index) {
+  if (cost_per_index < 1) cost_per_index = 1;
+  int64_t grain = kMinChunkCost / cost_per_index;
+  return grain < 1 ? 1 : grain;
+}
+
+int64_t GrainForChunks(int64_t range, int64_t chunks_per_thread) {
+  int64_t chunks = static_cast<int64_t>(NumThreads()) * chunks_per_thread;
+  if (chunks < 1) chunks = 1;
+  int64_t grain = (range + chunks - 1) / chunks;
+  return grain < 1 ? 1 : grain;
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  int64_t range = end - begin;
+  int64_t nchunks = (range + grain - 1) / grain;
+  int threads = NumThreads();
+  if (threads <= 1 || nchunks <= 1 || t_in_parallel_region) {
+    // Serial fast path: a single call over the whole range, on this thread —
+    // the exact pre-runtime code path.
+    fn(begin, end);
+    return;
+  }
+  // Pool workers run with gradient recording in whatever state the
+  // dispatching thread had (so evaluation under NoGradGuard stays
+  // graph-free when fanned out).
+  const bool grad_mode = GradEnabled();
+  const std::function<void(int64_t)> chunk_fn = [&](int64_t c) {
+    bool prev_grad = internal::ExchangeGradEnabled(grad_mode);
+    bool prev_region = t_in_parallel_region;
+    t_in_parallel_region = true;
+    int64_t b = begin + c * grain;
+    int64_t e = std::min(end, b + grain);
+    fn(b, e);
+    t_in_parallel_region = prev_region;
+    internal::ExchangeGradEnabled(prev_grad);
+  };
+  int participants = static_cast<int>(
+      std::min<int64_t>(static_cast<int64_t>(threads), nchunks));
+  ThreadPool::Global().Run(nchunks, participants, chunk_fn);
+}
+
+}  // namespace missl::runtime

@@ -1,0 +1,43 @@
+#include "runtime/runtime.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace missl::runtime {
+
+namespace {
+
+int ResolveDefault() {
+  const char* v = std::getenv("MISSL_NUM_THREADS");
+  if (v == nullptr || v[0] == '\0') return 1;
+  if (std::strcmp(v, "auto") == 0 || std::strcmp(v, "0") == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  int n = std::atoi(v);
+  return n < 1 ? 1 : n;
+}
+
+RuntimeConfig& MutableConfig() {
+  static RuntimeConfig config{ResolveDefault()};
+  return config;
+}
+
+}  // namespace
+
+const RuntimeConfig& Config() { return MutableConfig(); }
+
+int NumThreads() { return MutableConfig().num_threads; }
+
+void SetNumThreads(int n) {
+  MutableConfig().num_threads = n < 1 ? ResolveDefault() : n;
+}
+
+ScopedNumThreads::ScopedNumThreads(int n) : prev_(NumThreads()) {
+  SetNumThreads(n);
+}
+
+ScopedNumThreads::~ScopedNumThreads() { MutableConfig().num_threads = prev_; }
+
+}  // namespace missl::runtime

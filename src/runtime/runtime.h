@@ -1,0 +1,47 @@
+// Execution-runtime configuration: how many threads the ParallelFor layer
+// (runtime/parallel_for.h) may use. The default is fully serial execution,
+// matching the library's historical behavior; threading is opt-in via the
+// MISSL_NUM_THREADS environment variable or SetNumThreads(). All parallel
+// kernels are written so results are bitwise identical at any thread count
+// (see docs/RUNTIME.md for the determinism rules).
+#ifndef MISSL_RUNTIME_RUNTIME_H_
+#define MISSL_RUNTIME_RUNTIME_H_
+
+namespace missl::runtime {
+
+/// Runtime knobs. `num_threads` counts the calling thread, so 1 means
+/// serial execution and N means the caller plus N-1 pool workers.
+struct RuntimeConfig {
+  int num_threads = 1;
+};
+
+/// Current runtime configuration. Initialized on first use from the
+/// MISSL_NUM_THREADS environment variable: unset or "1" keeps serial
+/// execution; "0" or "auto" selects std::thread::hardware_concurrency();
+/// any other integer is used directly (clamped to >= 1).
+const RuntimeConfig& Config();
+
+/// Number of threads ParallelFor may use (always >= 1).
+int NumThreads();
+
+/// Overrides the thread count for subsequent ParallelFor calls. n <= 0
+/// re-resolves the automatic default (env var / hardware concurrency).
+void SetNumThreads(int n);
+
+/// RAII thread-count override, restoring the previous value on scope exit.
+/// Used by tests and benches to compare the same computation at several
+/// thread counts.
+class ScopedNumThreads {
+ public:
+  explicit ScopedNumThreads(int n);
+  ~ScopedNumThreads();
+  ScopedNumThreads(const ScopedNumThreads&) = delete;
+  ScopedNumThreads& operator=(const ScopedNumThreads&) = delete;
+
+ private:
+  int prev_;
+};
+
+}  // namespace missl::runtime
+
+#endif  // MISSL_RUNTIME_RUNTIME_H_

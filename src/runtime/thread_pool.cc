@@ -1,0 +1,84 @@
+#include "runtime/thread_pool.h"
+
+#include "utils/check.h"
+
+namespace missl::runtime {
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+int ThreadPool::num_workers() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return static_cast<int>(workers_.size());
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::EnsureWorkers(int n) {
+  std::lock_guard<std::mutex> l(mu_);
+  while (static_cast<int>(workers_.size()) < n) {
+    int index = static_cast<int>(workers_.size());
+    // A freshly spawned worker must not mistake the previous job for a new
+    // one, so it starts already acquainted with the current generation.
+    workers_.emplace_back(
+        [this, index, gen = gen_] { WorkerLoop(index, gen); });
+  }
+}
+
+void ThreadPool::WorkerLoop(int worker_index, uint64_t initial_gen) {
+  uint64_t seen = initial_gen;
+  std::unique_lock<std::mutex> l(mu_);
+  for (;;) {
+    work_cv_.wait(l, [&] { return shutdown_ || gen_ != seen; });
+    if (shutdown_) return;
+    seen = gen_;
+    int participant = worker_index + 1;  // participant 0 is the caller
+    if (participant >= participants_) continue;
+    const std::function<void(int64_t)>* fn = fn_;
+    int64_t nchunks = nchunks_;
+    int stride = participants_;
+    l.unlock();
+    for (int64_t c = participant; c < nchunks; c += stride) (*fn)(c);
+    l.lock();
+    if (--remaining_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::Run(int64_t nchunks, int participants,
+                     const std::function<void(int64_t)>& fn) {
+  MISSL_CHECK(nchunks >= 0 && participants >= 1)
+      << "bad job: " << nchunks << " chunks, " << participants
+      << " participants";
+  if (nchunks == 0) return;
+  if (participants > nchunks) participants = static_cast<int>(nchunks);
+  if (participants == 1) {
+    for (int64_t c = 0; c < nchunks; ++c) fn(c);
+    return;
+  }
+  std::lock_guard<std::mutex> job_lock(job_mu_);
+  EnsureWorkers(participants - 1);
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    fn_ = &fn;
+    nchunks_ = nchunks;
+    participants_ = participants;
+    remaining_ = participants - 1;
+    ++gen_;
+  }
+  work_cv_.notify_all();
+  for (int64_t c = 0; c < nchunks; c += participants) fn(c);
+  std::unique_lock<std::mutex> l(mu_);
+  done_cv_.wait(l, [&] { return remaining_ == 0; });
+  fn_ = nullptr;
+}
+
+}  // namespace missl::runtime

@@ -1,0 +1,69 @@
+// A deliberately simple thread pool for deterministic data parallelism.
+// There is no work stealing and no dynamic chunk claiming: a job is a fixed
+// number of chunks, and chunk c is executed by participant (c mod P) — the
+// caller is participant 0, pool workers are participants 1..P-1. Which
+// thread runs a chunk therefore never depends on timing, and because every
+// kernel built on top writes disjoint outputs per chunk (see
+// docs/RUNTIME.md), results are bitwise identical at any thread count.
+//
+// Most code should not use this class directly; use ParallelFor from
+// runtime/parallel_for.h.
+#ifndef MISSL_RUNTIME_THREAD_POOL_H_
+#define MISSL_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace missl::runtime {
+
+class ThreadPool {
+ public:
+  ThreadPool() = default;
+  /// Joins all workers. Any job must have completed before destruction.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Executes fn(c) for every chunk c in [0, nchunks) across `participants`
+  /// threads (the caller plus participants-1 workers, spawned on demand).
+  /// Blocks until every chunk has run. Jobs are serialized: concurrent Run
+  /// calls from different threads queue behind one mutex. `fn` must be safe
+  /// to invoke concurrently from several threads on distinct chunks.
+  void Run(int64_t nchunks, int participants,
+           const std::function<void(int64_t)>& fn);
+
+  /// Workers currently alive (grows on demand, never shrinks).
+  int num_workers() const;
+
+  /// Process-wide pool shared by all ParallelFor call sites.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop(int worker_index, uint64_t initial_gen);
+  /// Spawns workers until at least `n` exist. Caller must hold job_mu_.
+  void EnsureWorkers(int n);
+
+  /// Serializes whole jobs (one Run at a time).
+  std::mutex job_mu_;
+
+  /// Guards the per-job state below.
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers wait here for a new job
+  std::condition_variable done_cv_;  ///< the caller waits here for completion
+  std::vector<std::thread> workers_;
+  const std::function<void(int64_t)>* fn_ = nullptr;
+  int64_t nchunks_ = 0;
+  int participants_ = 0;
+  uint64_t gen_ = 0;     ///< job generation counter (workers detect new jobs)
+  int remaining_ = 0;    ///< participating workers that have not finished
+  bool shutdown_ = false;
+};
+
+}  // namespace missl::runtime
+
+#endif  // MISSL_RUNTIME_THREAD_POOL_H_

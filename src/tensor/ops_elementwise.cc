@@ -1,5 +1,6 @@
 #include <cmath>
 
+#include "runtime/parallel_for.h"
 #include "tensor/broadcast.h"
 #include "tensor/ops.h"
 
@@ -25,9 +26,14 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F fwd, Dx dfdx, Dy dfdy) {
   const float* pb = b.data();
   float* po = out.data();
   if (sa == sb) {
-    int64_t n = out.numel();
-    for (int64_t i = 0; i < n; ++i) po[i] = fwd(pa[i], pb[i]);
+    // Elementwise slots are independent — parallel over the flat index.
+    runtime::ParallelFor(0, out.numel(), runtime::GrainForCost(1),
+                         [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) po[i] = fwd(pa[i], pb[i]);
+    });
   } else {
+    // The broadcast walk is a stateful iterator; it stays serial (broadcast
+    // operands are small — biases, masks — so this path is never hot).
     BroadcastIterate(so, sa, sb, [&](int64_t i, int64_t ia, int64_t ib) {
       po[i] = fwd(pa[ia], pb[ib]);
     });
@@ -46,12 +52,18 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F fwd, Dx dfdx, Dy dfdy) {
       if (need_a) {
         a.impl()->EnsureGrad();
         float* ga = a.impl()->grad.data();
-        for (int64_t i = 0; i < n; ++i) ga[i] += dfdx(pa[i], pb[i]) * g[i];
+        runtime::ParallelFor(0, n, runtime::GrainForCost(2),
+                             [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) ga[i] += dfdx(pa[i], pb[i]) * g[i];
+        });
       }
       if (need_b) {
         b.impl()->EnsureGrad();
         float* gb = b.impl()->grad.data();
-        for (int64_t i = 0; i < n; ++i) gb[i] += dfdy(pa[i], pb[i]) * g[i];
+        runtime::ParallelFor(0, n, runtime::GrainForCost(2),
+                             [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) gb[i] += dfdy(pa[i], pb[i]) * g[i];
+        });
       }
       return;
     }
@@ -83,16 +95,20 @@ Tensor UnaryOp(const Tensor& a, F fwd, D dfd) {
   Tensor out = MakeResult(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = fwd(pa[i]);
+  runtime::ParallelFor(0, a.numel(), runtime::GrainForCost(1),
+                       [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) po[i] = fwd(pa[i]);
+  });
   AttachGrad(&out, {a}, [a, out, dfd]() {
     const float* g = out.impl()->grad.data();
     const float* pa = a.data();
     const float* po = out.data();
     a.impl()->EnsureGrad();
     float* ga = a.impl()->grad.data();
-    int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i) ga[i] += dfd(pa[i], po[i]) * g[i];
+    runtime::ParallelFor(0, a.numel(), runtime::GrainForCost(2),
+                         [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) ga[i] += dfd(pa[i], po[i]) * g[i];
+    });
   });
   return out;
 }

@@ -1,5 +1,6 @@
 #include <cstring>
 
+#include "runtime/parallel_for.h"
 #include "tensor/ops.h"
 
 namespace missl {
@@ -9,10 +10,13 @@ using internal::MakeResult;
 
 namespace {
 
-// C[m,n] += A[m,k] * B[k,n] — ikj ordering keeps the inner loop contiguous.
-void GemmAcc(const float* a, const float* b, float* c, int64_t m, int64_t k,
-             int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
+// C[i,:] += A[i,:] * B for output rows i in [r0, r1) of one [m,k]x[k,n]
+// product — ikj ordering keeps the inner loop contiguous. Each call writes
+// only its own output rows, so row ranges parallelize without changing any
+// result bit (see runtime/parallel_for.h).
+void GemmRows(const float* a, const float* b, float* c, int64_t k, int64_t n,
+              int64_t r0, int64_t r1) {
+  for (int64_t i = r0; i < r1; ++i) {
     const float* arow = a + i * k;
     float* crow = c + i * n;
     for (int64_t kk = 0; kk < k; ++kk) {
@@ -45,10 +49,17 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* pb = b.data();
   float* po = out.data();
   bool b_batched = (rb == 3);
-  for (int64_t s = 0; s < batch; ++s) {
-    GemmAcc(pa + s * m * k, pb + (b_batched ? s * k * n : 0), po + s * m * n, m, k,
-            n);
-  }
+  // Parallel over all batch*m output rows; each row is produced start to
+  // finish by one chunk, so the partition cannot change the result.
+  runtime::ParallelFor(
+      0, batch * m, runtime::GrainForCost(2 * k * n),
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          int64_t s = r / m;
+          GemmRows(pa + s * m * k, pb + (b_batched ? s * k * n : 0),
+                   po + s * m * n, k, n, r - s * m, r - s * m + 1);
+        }
+      });
   AttachGrad(&out, {a, b}, [a, b, out, batch, m, k, n, b_batched]() {
     const float* g = out.impl()->grad.data();
     const float* pa = a.data();
@@ -56,45 +67,52 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     if (a.requires_grad()) {
       a.impl()->EnsureGrad();
       float* ga = a.impl()->grad.data();
-      // dA = dC * B^T ; B is [k,n] so use the BT kernel with bt = B treated
-      // as [n,k] transposed — i.e. dA[m,k] += g[m,n] * B[k,n]^T.
-      for (int64_t s = 0; s < batch; ++s) {
-        const float* bs = pb + (b_batched ? s * k * n : 0);
-        // dA[i,kk] += sum_j g[i,j] * B[kk,j]
-        const float* gs = g + s * m * n;
-        float* gas = ga + s * m * k;
-        for (int64_t i = 0; i < m; ++i) {
-          const float* grow = gs + i * n;
-          float* garow = gas + i * k;
-          for (int64_t kk = 0; kk < k; ++kk) {
-            const float* brow = bs + kk * n;
-            float acc = 0.0f;
-            for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
-            garow[kk] += acc;
-          }
-        }
-      }
+      // dA[i,kk] += sum_j g[i,j] * B[kk,j] — each dA row is owned by one
+      // chunk, so rows parallelize with bitwise-stable results.
+      runtime::ParallelFor(
+          0, batch * m, runtime::GrainForCost(2 * k * n),
+          [&](int64_t r0, int64_t r1) {
+            for (int64_t r = r0; r < r1; ++r) {
+              int64_t s = r / m;
+              const float* bs = pb + (b_batched ? s * k * n : 0);
+              const float* grow = g + r * n;
+              float* garow = ga + r * k;
+              for (int64_t kk = 0; kk < k; ++kk) {
+                const float* brow = bs + kk * n;
+                float acc = 0.0f;
+                for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
+                garow[kk] += acc;
+              }
+            }
+          });
     }
     if (b.requires_grad()) {
       b.impl()->EnsureGrad();
       float* gb = b.impl()->grad.data();
-      // dB = A^T * dC; when B is shared across the batch, contributions sum.
-      for (int64_t s = 0; s < batch; ++s) {
-        const float* as = pa + s * m * k;
-        const float* gs = g + s * m * n;
-        float* gbs = gb + (b_batched ? s * k * n : 0);
-        // dB[kk,j] += sum_i A[i,kk] * g[i,j]
-        for (int64_t i = 0; i < m; ++i) {
-          const float* arow = as + i * k;
-          const float* grow = gs + i * n;
-          for (int64_t kk = 0; kk < k; ++kk) {
-            float av = arow[kk];
-            if (av == 0.0f) continue;
-            float* gbrow = gbs + kk * n;
-            for (int64_t j = 0; j < n; ++j) gbrow[j] += av * grow[j];
-          }
-        }
-      }
+      // dB[kk,j] += sum_i A[i,kk] * g[i,j]; when B is shared across the
+      // batch, contributions also sum over s. Owner-computes over kk: the
+      // chunk owning kk accumulates all of row kk's contributions in the
+      // serial (s, i) order, so duplicate accumulation never races and the
+      // sum order matches the serial path exactly.
+      runtime::ParallelFor(
+          0, k, runtime::GrainForCost(2 * batch * m * n),
+          [&](int64_t k0, int64_t k1) {
+            for (int64_t s = 0; s < batch; ++s) {
+              const float* as = pa + s * m * k;
+              const float* gs = g + s * m * n;
+              float* gbs = gb + (b_batched ? s * k * n : 0);
+              for (int64_t i = 0; i < m; ++i) {
+                const float* arow = as + i * k;
+                const float* grow = gs + i * n;
+                for (int64_t kk = k0; kk < k1; ++kk) {
+                  float av = arow[kk];
+                  if (av == 0.0f) continue;
+                  float* gbrow = gbs + kk * n;
+                  for (int64_t j = 0; j < n; ++j) gbrow[j] += av * grow[j];
+                }
+              }
+            }
+          });
     }
   });
   return out;

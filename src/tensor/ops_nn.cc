@@ -1,5 +1,6 @@
 #include <cmath>
 
+#include "runtime/parallel_for.h"
 #include "tensor/ops.h"
 
 namespace missl {
@@ -25,32 +26,40 @@ Tensor Softmax(const Tensor& a) {
   Tensor out = MakeResult(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* x = pa + r * d;
-    float* y = po + r * d;
-    float mx = x[0];
-    for (int64_t i = 1; i < d; ++i) mx = std::max(mx, x[i]);
-    float sum = 0.0f;
-    for (int64_t i = 0; i < d; ++i) {
-      y[i] = std::exp(x[i] - mx);
-      sum += y[i];
+  // Each softmax row is computed start to finish by one chunk (disjoint
+  // writes), so the partition cannot change any output bit.
+  runtime::ParallelFor(0, rows, runtime::GrainForCost(4 * d),
+                       [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* x = pa + r * d;
+      float* y = po + r * d;
+      float mx = x[0];
+      for (int64_t i = 1; i < d; ++i) mx = std::max(mx, x[i]);
+      float sum = 0.0f;
+      for (int64_t i = 0; i < d; ++i) {
+        y[i] = std::exp(x[i] - mx);
+        sum += y[i];
+      }
+      float inv = 1.0f / sum;
+      for (int64_t i = 0; i < d; ++i) y[i] *= inv;
     }
-    float inv = 1.0f / sum;
-    for (int64_t i = 0; i < d; ++i) y[i] *= inv;
-  }
+  });
   AttachGrad(&out, {a}, [a, out, rows, d]() {
     const float* g = out.impl()->grad.data();
     const float* y = out.data();
     a.impl()->EnsureGrad();
     float* ga = a.impl()->grad.data();
-    for (int64_t r = 0; r < rows; ++r) {
-      const float* gr = g + r * d;
-      const float* yr = y + r * d;
-      float* gar = ga + r * d;
-      float dot = 0.0f;
-      for (int64_t i = 0; i < d; ++i) dot += gr[i] * yr[i];
-      for (int64_t i = 0; i < d; ++i) gar[i] += yr[i] * (gr[i] - dot);
-    }
+    runtime::ParallelFor(0, rows, runtime::GrainForCost(4 * d),
+                         [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const float* gr = g + r * d;
+        const float* yr = y + r * d;
+        float* gar = ga + r * d;
+        float dot = 0.0f;
+        for (int64_t i = 0; i < d; ++i) dot += gr[i] * yr[i];
+        for (int64_t i = 0; i < d; ++i) gar[i] += yr[i] * (gr[i] - dot);
+      }
+    });
   });
   return out;
 }
@@ -61,29 +70,35 @@ Tensor LogSoftmax(const Tensor& a) {
   Tensor out = MakeResult(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* x = pa + r * d;
-    float* y = po + r * d;
-    float mx = x[0];
-    for (int64_t i = 1; i < d; ++i) mx = std::max(mx, x[i]);
-    float sum = 0.0f;
-    for (int64_t i = 0; i < d; ++i) sum += std::exp(x[i] - mx);
-    float lse = mx + std::log(sum);
-    for (int64_t i = 0; i < d; ++i) y[i] = x[i] - lse;
-  }
+  runtime::ParallelFor(0, rows, runtime::GrainForCost(4 * d),
+                       [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* x = pa + r * d;
+      float* y = po + r * d;
+      float mx = x[0];
+      for (int64_t i = 1; i < d; ++i) mx = std::max(mx, x[i]);
+      float sum = 0.0f;
+      for (int64_t i = 0; i < d; ++i) sum += std::exp(x[i] - mx);
+      float lse = mx + std::log(sum);
+      for (int64_t i = 0; i < d; ++i) y[i] = x[i] - lse;
+    }
+  });
   AttachGrad(&out, {a}, [a, out, rows, d]() {
     const float* g = out.impl()->grad.data();
     const float* y = out.data();
     a.impl()->EnsureGrad();
     float* ga = a.impl()->grad.data();
-    for (int64_t r = 0; r < rows; ++r) {
-      const float* gr = g + r * d;
-      const float* yr = y + r * d;
-      float* gar = ga + r * d;
-      float gsum = 0.0f;
-      for (int64_t i = 0; i < d; ++i) gsum += gr[i];
-      for (int64_t i = 0; i < d; ++i) gar[i] += gr[i] - std::exp(yr[i]) * gsum;
-    }
+    runtime::ParallelFor(0, rows, runtime::GrainForCost(4 * d),
+                         [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const float* gr = g + r * d;
+        const float* yr = y + r * d;
+        float* gar = ga + r * d;
+        float gsum = 0.0f;
+        for (int64_t i = 0; i < d; ++i) gsum += gr[i];
+        for (int64_t i = 0; i < d; ++i) gar[i] += gr[i] - std::exp(yr[i]) * gsum;
+      }
+    });
   });
   return out;
 }
@@ -105,73 +120,91 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   const float* pg = gamma.data();
   const float* pb = beta.data();
   float* po = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xr = px + r * d;
-    float mu = 0.0f;
-    for (int64_t i = 0; i < d; ++i) mu += xr[i];
-    mu /= static_cast<float>(d);
-    float var = 0.0f;
-    for (int64_t i = 0; i < d; ++i) {
-      float c = xr[i] - mu;
-      var += c * c;
+  runtime::ParallelFor(0, rows, runtime::GrainForCost(6 * d),
+                       [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xr = px + r * d;
+      float mu = 0.0f;
+      for (int64_t i = 0; i < d; ++i) mu += xr[i];
+      mu /= static_cast<float>(d);
+      float var = 0.0f;
+      for (int64_t i = 0; i < d; ++i) {
+        float c = xr[i] - mu;
+        var += c * c;
+      }
+      var /= static_cast<float>(d);
+      float is = 1.0f / std::sqrt(var + eps);
+      (*istd)[static_cast<size_t>(r)] = is;
+      float* xh = xhat->data() + r * d;
+      float* yr = po + r * d;
+      for (int64_t i = 0; i < d; ++i) {
+        xh[i] = (xr[i] - mu) * is;
+        yr[i] = pg[i] * xh[i] + pb[i];
+      }
     }
-    var /= static_cast<float>(d);
-    float is = 1.0f / std::sqrt(var + eps);
-    (*istd)[static_cast<size_t>(r)] = is;
-    float* xh = xhat->data() + r * d;
-    float* yr = po + r * d;
-    for (int64_t i = 0; i < d; ++i) {
-      xh[i] = (xr[i] - mu) * is;
-      yr[i] = pg[i] * xh[i] + pb[i];
-    }
-  }
+  });
   AttachGrad(&out, {x, gamma, beta}, [x, gamma, beta, out, xhat, istd, rows, d]() {
     const float* g = out.impl()->grad.data();
     const float* pg = gamma.data();
     if (gamma.requires_grad()) {
       gamma.impl()->EnsureGrad();
       float* gg = gamma.impl()->grad.data();
-      for (int64_t r = 0; r < rows; ++r) {
-        const float* gr = g + r * d;
-        const float* xh = xhat->data() + r * d;
-        for (int64_t i = 0; i < d; ++i) gg[i] += gr[i] * xh[i];
-      }
+      // gg[i] sums over all rows: owner-computes over the feature dims so
+      // each gg[i] accumulates in the serial row order on one thread.
+      runtime::ParallelFor(0, d, runtime::GrainForCost(2 * rows),
+                           [&](int64_t i0, int64_t i1) {
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* gr = g + r * d;
+          const float* xh = xhat->data() + r * d;
+          for (int64_t i = i0; i < i1; ++i) gg[i] += gr[i] * xh[i];
+        }
+      });
     }
     if (beta.requires_grad()) {
       beta.impl()->EnsureGrad();
       float* gb = beta.impl()->grad.data();
-      for (int64_t r = 0; r < rows; ++r) {
-        const float* gr = g + r * d;
-        for (int64_t i = 0; i < d; ++i) gb[i] += gr[i];
-      }
+      runtime::ParallelFor(0, d, runtime::GrainForCost(rows),
+                           [&](int64_t i0, int64_t i1) {
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* gr = g + r * d;
+          for (int64_t i = i0; i < i1; ++i) gb[i] += gr[i];
+        }
+      });
     }
     if (x.requires_grad()) {
       x.impl()->EnsureGrad();
       float* gx = x.impl()->grad.data();
       float invd = 1.0f / static_cast<float>(d);
-      for (int64_t r = 0; r < rows; ++r) {
-        const float* gr = g + r * d;
-        const float* xh = xhat->data() + r * d;
-        float is = (*istd)[static_cast<size_t>(r)];
-        float m1 = 0.0f, m2 = 0.0f;  // mean(gamma*g), mean(gamma*g*xhat)
-        for (int64_t i = 0; i < d; ++i) {
-          float gg = pg[i] * gr[i];
-          m1 += gg;
-          m2 += gg * xh[i];
+      runtime::ParallelFor(0, rows, runtime::GrainForCost(6 * d),
+                           [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const float* gr = g + r * d;
+          const float* xh = xhat->data() + r * d;
+          float is = (*istd)[static_cast<size_t>(r)];
+          float m1 = 0.0f, m2 = 0.0f;  // mean(gamma*g), mean(gamma*g*xhat)
+          for (int64_t i = 0; i < d; ++i) {
+            float gg = pg[i] * gr[i];
+            m1 += gg;
+            m2 += gg * xh[i];
+          }
+          m1 *= invd;
+          m2 *= invd;
+          float* gxr = gx + r * d;
+          for (int64_t i = 0; i < d; ++i) {
+            float gg = pg[i] * gr[i];
+            gxr[i] += (gg - m1 - xh[i] * m2) * is;
+          }
         }
-        m1 *= invd;
-        m2 *= invd;
-        float* gxr = gx + r * d;
-        for (int64_t i = 0; i < d; ++i) {
-          float gg = pg[i] * gr[i];
-          gxr[i] += (gg - m1 - xh[i] * m2) * is;
-        }
-      }
+      });
     }
   });
   return out;
 }
 
+// Dropout stays serial: its mask consumes a sequential RNG stream, so any
+// parallel split would either race on the generator or change which draws
+// land on which element. The kernel is a single cheap pass; the surrounding
+// matmuls dominate.
 Tensor Dropout(const Tensor& x, float p, bool training, Rng* rng) {
   MISSL_CHECK(p >= 0.0f && p < 1.0f) << "Dropout p out of range";
   if (!training || p == 0.0f) return x;

@@ -1,5 +1,6 @@
 #include <cstring>
 
+#include "runtime/parallel_for.h"
 #include "tensor/ops.h"
 
 namespace missl {
@@ -140,15 +141,24 @@ Tensor IndexSelect0(const Tensor& a, const std::vector<int32_t>& idx) {
     std::memcpy(po + static_cast<int64_t>(i) * inner, pa + r * inner,
                 sizeof(float) * static_cast<size_t>(inner));
   }
-  AttachGrad(&out, {a}, [a, out, idx, inner]() {
+  AttachGrad(&out, {a}, [a, out, idx, rows, inner]() {
     const float* g = out.impl()->grad.data();
     a.impl()->EnsureGrad();
     float* ga = a.impl()->grad.data();
-    for (size_t i = 0; i < idx.size(); ++i) {
-      float* dst = ga + static_cast<int64_t>(idx[i]) * inner;
-      const float* src = g + static_cast<int64_t>(i) * inner;
-      for (int64_t j = 0; j < inner; ++j) dst[j] += src[j];
-    }
+    // Scatter-add with possibly duplicated indices: owner-computes over the
+    // source rows. The chunk owning row r applies every idx[i] == r
+    // contribution itself, in input order — no races on duplicates and the
+    // accumulation order matches the serial loop bit for bit.
+    runtime::ParallelFor(
+        0, rows, runtime::GrainForChunks(rows), [&](int64_t v0, int64_t v1) {
+          for (size_t i = 0; i < idx.size(); ++i) {
+            int64_t r = idx[i];
+            if (r < v0 || r >= v1) continue;
+            float* dst = ga + r * inner;
+            const float* src = g + static_cast<int64_t>(i) * inner;
+            for (int64_t j = 0; j < inner; ++j) dst[j] += src[j];
+          }
+        });
   });
   return out;
 }
@@ -166,24 +176,37 @@ Tensor EmbeddingLookup(const Tensor& weight, const std::vector<int32_t>& ids,
   Tensor out = MakeResult(so);
   const float* pw = weight.data();
   float* po = out.data();
-  for (size_t i = 0; i < ids.size(); ++i) {
-    int32_t id = ids[i];
-    if (id < 0) continue;  // padding -> zeros
-    MISSL_CHECK(id < v) << "embedding id " << id << " out of vocab " << v;
-    std::memcpy(po + static_cast<int64_t>(i) * d, pw + static_cast<int64_t>(id) * d,
-                sizeof(float) * static_cast<size_t>(d));
-  }
-  AttachGrad(&out, {weight}, [weight, out, ids, d]() {
+  // Gather: every output row is written by exactly one index slot.
+  runtime::ParallelFor(
+      0, static_cast<int64_t>(ids.size()), runtime::GrainForCost(d),
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          int32_t id = ids[static_cast<size_t>(i)];
+          if (id < 0) continue;  // padding -> zeros
+          MISSL_CHECK(id < v) << "embedding id " << id << " out of vocab " << v;
+          std::memcpy(po + i * d, pw + static_cast<int64_t>(id) * d,
+                      sizeof(float) * static_cast<size_t>(d));
+        }
+      });
+  AttachGrad(&out, {weight}, [weight, out, ids, v, d]() {
     const float* g = out.impl()->grad.data();
     weight.impl()->EnsureGrad();
     float* gw = weight.impl()->grad.data();
-    for (size_t i = 0; i < ids.size(); ++i) {
-      int32_t id = ids[i];
-      if (id < 0) continue;
-      float* dst = gw + static_cast<int64_t>(id) * d;
-      const float* src = g + static_cast<int64_t>(i) * d;
-      for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
-    }
+    // Scatter-add: owner-computes over the vocab. Each chunk scans the full
+    // id list and accumulates only the rows it owns, so duplicate ids (the
+    // common case — popular items repeat within a batch) never race, and
+    // each weight row sums its contributions in input order, exactly like
+    // the serial loop.
+    runtime::ParallelFor(
+        0, v, runtime::GrainForChunks(v), [&](int64_t v0, int64_t v1) {
+          for (size_t i = 0; i < ids.size(); ++i) {
+            int64_t id = ids[i];
+            if (id < v0 || id >= v1) continue;  // also skips padding (-1)
+            float* dst = gw + id * d;
+            const float* src = g + static_cast<int64_t>(i) * d;
+            for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+          }
+        });
   });
   return out;
 }

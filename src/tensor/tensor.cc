@@ -39,13 +39,21 @@ void TensorImpl::AccumGrad(const float* g, int64_t n) {
 }
 
 namespace {
-bool g_grad_enabled = true;
+thread_local bool t_grad_enabled = true;
 }  // namespace
 
-bool GradEnabled() { return g_grad_enabled; }
+bool GradEnabled() { return t_grad_enabled; }
 
-NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
-NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
+NoGradGuard::NoGradGuard() : prev_(t_grad_enabled) { t_grad_enabled = false; }
+NoGradGuard::~NoGradGuard() { t_grad_enabled = prev_; }
+
+namespace internal {
+bool ExchangeGradEnabled(bool enabled) {
+  bool prev = t_grad_enabled;
+  t_grad_enabled = enabled;
+  return prev;
+}
+}  // namespace internal
 
 // ---- Factories --------------------------------------------------------------
 

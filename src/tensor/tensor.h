@@ -7,8 +7,9 @@
 //    dominated by matmul cost anyway;
 //  - the autograd graph is built eagerly: each op records its parent impls
 //    and a closure that pushes gradient from the output into the parents;
-//  - gradient mode is a global flag (the library is single-threaded), see
-//    NoGradGuard.
+//  - gradient mode is a thread-local flag (see NoGradGuard); ParallelFor
+//    workers inherit the dispatching thread's mode for the duration of a
+//    job (see runtime/parallel_for.h).
 #ifndef MISSL_TENSOR_TENSOR_H_
 #define MISSL_TENSOR_TENSOR_H_
 
@@ -57,7 +58,8 @@ class TensorImpl {
   void AccumGrad(const float* g, int64_t n);
 };
 
-/// Returns true while gradient recording is enabled (default true).
+/// Returns true while gradient recording is enabled on the calling thread
+/// (default true; fresh threads start enabled).
 bool GradEnabled();
 
 /// RAII guard that disables autograd graph construction in its scope; used
@@ -152,6 +154,11 @@ class Tensor {
 };
 
 namespace internal {
+/// Sets the calling thread's gradient-mode flag and returns the previous
+/// value. Used by the runtime to propagate the dispatching thread's mode
+/// into pool workers; everyone else should use NoGradGuard.
+bool ExchangeGradEnabled(bool enabled);
+
 /// Creates a fresh tensor for op outputs; requires_grad is set if recording
 /// is enabled and any parent requires grad, in which case `parents` and the
 /// backward closure should be attached by the op.

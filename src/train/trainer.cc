@@ -2,9 +2,11 @@
 
 #include <chrono>
 #include <memory>
+#include <optional>
 
 #include "nn/serialize.h"
 #include "optim/optimizer.h"
+#include "runtime/runtime.h"
 #include "utils/logging.h"
 
 namespace missl::train {
@@ -32,6 +34,10 @@ TrainResult Fit(core::SeqRecModel* model, const data::Dataset& ds,
                 const TrainConfig& config) {
   MISSL_CHECK(model != nullptr);
   MISSL_CHECK(!split.train_examples.empty()) << "no training examples";
+  // Thread count only affects wall clock, never results (see docs/RUNTIME.md);
+  // 0 keeps whatever the process-wide setting is.
+  std::optional<runtime::ScopedNumThreads> scoped_threads;
+  if (config.num_threads > 0) scoped_threads.emplace(config.num_threads);
   if (model->Parameters().empty()) {
     // Statistics-based models (POP, ItemKNN) have nothing to train.
     TrainResult r;

@@ -29,6 +29,10 @@ struct TrainConfig {
   /// (0 = full-catalog softmax). Supported by models that honor
   /// Batch::train_negatives (currently MISSL); others ignore it.
   int32_t train_negatives = 0;
+  /// Worker threads for the run (forward/backward kernels and evaluation).
+  /// 0 = keep the process-wide setting (MISSL_NUM_THREADS, default serial).
+  /// Any value produces bitwise-identical results; see docs/RUNTIME.md.
+  int num_threads = 0;
   /// When non-empty, the best-validation checkpoint is also written here
   /// (nn::SaveParameters format).
   std::string checkpoint_path;

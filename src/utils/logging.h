@@ -1,5 +1,6 @@
-// Tiny leveled logger used by the trainer and benches. Not thread-safe by
-// design (the library is single-threaded); writes to stderr.
+// Tiny leveled logger used by the trainer and benches; writes to stderr.
+// Call it from the main thread only — ParallelFor bodies must not log
+// (trainer/evaluator log outside parallel regions).
 #ifndef MISSL_UTILS_LOGGING_H_
 #define MISSL_UTILS_LOGGING_H_
 

@@ -18,6 +18,12 @@ class Rng {
  public:
   explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
 
+  /// Independent sub-stream `stream` of `seed` (PCG stream selection via the
+  /// increment). Same (seed, stream) -> same draws, regardless of what any
+  /// other stream has consumed; used for per-user / per-task RNG so results
+  /// do not depend on iteration or scheduling order.
+  Rng(uint64_t seed, uint64_t stream) { Seed(seed, stream); }
+
   /// Re-seeds the generator; identical seeds give identical streams.
   void Seed(uint64_t seed) {
     state_ = 0;
@@ -25,6 +31,22 @@ class Rng {
     Next32();
     state_ += 0x9e3779b97f4a7c15ULL + seed;
     Next32();
+  }
+
+  /// Re-seeds onto sub-stream `stream` of `seed`. The stream id is bit-mixed
+  /// (splitmix64 finalizer) before becoming the LCG increment so that nearby
+  /// ids (0, 1, 2, ...) still select well-separated sequences.
+  void Seed(uint64_t seed, uint64_t stream) {
+    uint64_t z = stream + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    state_ = 0;
+    inc_ = (z << 1u) | 1u;
+    Next32();
+    state_ += 0x9e3779b97f4a7c15ULL + seed;
+    Next32();
+    has_cached_ = false;
   }
 
   /// Uniform 32-bit draw.

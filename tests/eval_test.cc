@@ -150,6 +150,28 @@ TEST_F(EvaluatorTest, EvalRestoresTrainingMode) {
   EXPECT_TRUE(oracle.training());
 }
 
+TEST_F(EvaluatorTest, NegativesInvariantToOtherUsers) {
+  // Negatives come from an independent per-user RNG stream, so filtering a
+  // user out of the split must not perturb anyone else's candidates. (A
+  // single shared RNG would shift every later user's draws.)
+  ASSERT_GE(evaluator_.eval_users().size(), 3u);
+  int32_t removed = evaluator_.eval_users()[0];
+  int32_t kept = evaluator_.eval_users()[2];
+  data::SplitView filtered = split_;
+  filtered.test_pos[static_cast<size_t>(removed)] = -1;
+  Evaluator ev2(ds_, filtered, MakeCfg());
+  EXPECT_TRUE(ev2.test_negatives(removed).empty());
+  EXPECT_EQ(evaluator_.test_negatives(kept), ev2.test_negatives(kept));
+  EXPECT_EQ(evaluator_.valid_negatives(kept), ev2.valid_negatives(kept));
+}
+
+TEST_F(EvaluatorTest, TestAndValidNegativesDifferPerUser) {
+  // Both cuts draw from the same per-user stream sequentially; they should
+  // not be byte-identical lists (targets differ and draws continue).
+  int32_t u = evaluator_.eval_users()[0];
+  EXPECT_NE(evaluator_.test_negatives(u), evaluator_.valid_negatives(u));
+}
+
 TEST_F(EvaluatorTest, NegativesAreReproducibleAcrossEvaluators) {
   // Two evaluators with the same seed must rank identically.
   Evaluator ev2(ds_, split_, MakeCfg());

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "runtime/runtime.h"
 #include "test_util.h"
 #include "utils/rng.h"
 
@@ -462,6 +463,62 @@ TEST(OpsNN, L2NormalizeGradCheck) {
         return Sum(Mul(L2Normalize(in[0]), w));
       },
       {x.Clone()});
+}
+
+// Gradchecks under a multi-threaded runtime: the analytic backward passes
+// run through ParallelFor with 4 threads while the finite-difference probes
+// re-run the forward the same way. Covers the reduction-style backwards
+// (scatter-add, matmul dB) whose owner-computes partitioning is easiest to
+// get wrong.
+TEST(OpsThreaded, EmbeddingScatterAddGradCheckWithDuplicates) {
+  runtime::ScopedNumThreads t(4);
+  Rng rng(7);
+  // Duplicate ids force several contributions into the same weight row.
+  std::vector<int32_t> ids = {2, 0, 2, 5, 2, -1, 0, 5};
+  GradCheck(
+      [ids](const std::vector<Tensor>& in) {
+        return Sum(EmbeddingLookup(in[0], ids,
+                                   {static_cast<int64_t>(ids.size())}));
+      },
+      {Tensor::Randn({6, 5}, &rng)});
+}
+
+TEST(OpsThreaded, IndexSelect0GradCheckWithDuplicates) {
+  runtime::ScopedNumThreads t(4);
+  Rng rng(8);
+  std::vector<int32_t> idx = {1, 1, 3, 0, 1, 3};
+  GradCheck(
+      [idx](const std::vector<Tensor>& in) {
+        return Sum(Square(IndexSelect0(in[0], idx)));
+      },
+      {Tensor::Randn({4, 6}, &rng)});
+}
+
+TEST(OpsThreaded, BatchedMatMulGradCheck) {
+  runtime::ScopedNumThreads t(4);
+  Rng rng(9);
+  GradCheck(
+      [](const std::vector<Tensor>& in) { return Sum(MatMul(in[0], in[1])); },
+      {Tensor::Randn({3, 4, 5}, &rng), Tensor::Randn({3, 5, 2}, &rng)});
+  // Shared right operand: dB accumulates across the batch dimension too.
+  GradCheck(
+      [](const std::vector<Tensor>& in) { return Sum(MatMul(in[0], in[1])); },
+      {Tensor::Randn({3, 4, 5}, &rng), Tensor::Randn({5, 2}, &rng)});
+}
+
+TEST(OpsThreaded, SoftmaxGradCheck) {
+  runtime::ScopedNumThreads t(4);
+  Rng rng(10);
+  GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return Sum(Square(Softmax(in[0])));
+      },
+      {Tensor::Randn({6, 9}, &rng)});
+  GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return Sum(Square(LogSoftmax(in[0])));
+      },
+      {Tensor::Randn({6, 9}, &rng)});
 }
 
 TEST(OpsDeath, MatMulDimMismatchAborts) {
