@@ -4,11 +4,80 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "obs/json.h"
+#include "runtime/runtime.h"
+
+#ifndef MISSL_GIT_REV
+#define MISSL_GIT_REV "unknown"
+#endif
 
 namespace missl::bench {
 
 namespace {
 bool g_smoke = false;
+
+// Machine-readable mirror of every table the bench prints, written to
+// $MISSL_BENCH_JSON_DIR/BENCH_<name>.json at exit (see docs/OBSERVABILITY.md).
+struct JsonTable {
+  std::string section;  ///< experiment id of the enclosing PrintHeader
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+struct JsonSink {
+  std::string path;
+  std::string bench_name;
+  std::string current_section;
+  std::vector<JsonTable> tables;
+};
+
+JsonSink* g_json = nullptr;  // leaked; read by the atexit writer
+
+std::string CellList(const std::vector<std::string>& cells) {
+  std::string out = "[";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i) out += ",";
+    out += "\"" + obs::JsonEscape(cells[i]) + "\"";
+  }
+  return out + "]";
+}
+
+void WriteBenchJson() {
+  if (g_json == nullptr) return;
+  std::ofstream out(g_json->path, std::ios::trunc);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "bench: cannot write %s\n", g_json->path.c_str());
+    return;
+  }
+  out << "{\"bench\":\"" << obs::JsonEscape(g_json->bench_name) << "\""
+      << ",\"git_rev\":\"" << obs::JsonEscape(MISSL_GIT_REV) << "\""
+      << ",\"mode\":\"" << (SmokeMode() ? "smoke" : FastMode() ? "fast" : "full")
+      << "\"" << ",\"threads\":" << runtime::NumThreads() << ",\"repeats\":1"
+      << ",\"tables\":[";
+  for (size_t t = 0; t < g_json->tables.size(); ++t) {
+    const JsonTable& jt = g_json->tables[t];
+    if (t) out << ",";
+    out << "{\"section\":\"" << obs::JsonEscape(jt.section) << "\""
+        << ",\"header\":" << CellList(jt.header) << ",\"rows\":[";
+    for (size_t r = 0; r < jt.rows.size(); ++r) {
+      if (r) out << ",";
+      out << CellList(jt.rows[r]);
+    }
+    out << "]}";
+  }
+  out << "]}\n";
+}
+
+std::string Basename(const char* argv0) {
+  std::string s = argv0 != nullptr ? argv0 : "bench";
+  size_t slash = s.find_last_of('/');
+  if (slash != std::string::npos) s = s.substr(slash + 1);
+  return s.empty() ? "bench" : s;
+}
+
 }  // namespace
 
 void InitBench(int* argc, char** argv) {
@@ -21,6 +90,22 @@ void InitBench(int* argc, char** argv) {
     }
   }
   *argc = w;
+
+  const char* dir = std::getenv("MISSL_BENCH_JSON_DIR");
+  if (dir != nullptr && dir[0] != '\0' && g_json == nullptr) {
+    g_json = new JsonSink();
+    g_json->bench_name = Basename(*argc > 0 ? argv[0] : nullptr);
+    g_json->path =
+        std::string(dir) + "/BENCH_" + g_json->bench_name + ".json";
+    SetTablePrintHook([](const Table& table) {
+      JsonTable jt;
+      jt.section = g_json->current_section;
+      jt.header = table.header();
+      jt.rows = table.rows();
+      g_json->tables.push_back(std::move(jt));
+    });
+    std::atexit(WriteBenchJson);
+  }
 }
 
 bool SmokeMode() { return g_smoke; }
@@ -120,6 +205,7 @@ train::TrainResult Workbench::Train(core::SeqRecModel* model,
 }
 
 void PrintHeader(const std::string& id, const std::string& title) {
+  if (g_json != nullptr) g_json->current_section = id;
   std::printf("\n=== %s: %s ===\n", id.c_str(), title.c_str());
   std::printf("(synthetic latent-interest data substitutes the paper's "
               "datasets; see DESIGN.md)\n");

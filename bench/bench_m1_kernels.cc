@@ -3,6 +3,7 @@
 // experiment wall-clock is dominated by matmul as designed.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -220,6 +221,17 @@ int main(int argc, char** argv) {
   }
   std::string min_time = "--benchmark_min_time=0.01";
   if (smoke) args.push_back(min_time.data());
+  // This bench speaks google-benchmark, so MISSL_BENCH_JSON_DIR maps onto
+  // the library's native JSON reporter rather than the table mirror the
+  // other benches use (bench/bench_common.cc).
+  std::string out_flag, fmt_flag = "--benchmark_out_format=json";
+  if (const char* dir = std::getenv("MISSL_BENCH_JSON_DIR");
+      dir != nullptr && dir[0] != '\0') {
+    out_flag = std::string("--benchmark_out=") + dir +
+               "/BENCH_bench_m1_kernels.json";
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
   int args_count = static_cast<int>(args.size());
   benchmark::Initialize(&args_count, args.data());
   if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {

@@ -4,22 +4,52 @@
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
+//
+// Flags:
+//   --smoke            tiny dataset + 2 epochs (CI-sized, finishes in seconds)
+//   --trace PATH       write a Chrome trace-event JSON of the run
+//   --telemetry PATH   write per-epoch JSONL training telemetry
+// The trace/telemetry flags also enable the metrics registry and print it at
+// exit; see docs/OBSERVABILITY.md.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "core/missl.h"
 #include "data/synthetic.h"
 #include "eval/evaluator.h"
+#include "obs/metrics.h"
 #include "train/trainer.h"
 #include "utils/logging.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace missl;
+
+  bool smoke = false;
+  std::string trace_path, telemetry_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--telemetry") == 0 && i + 1 < argc) {
+      telemetry_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--trace PATH] [--telemetry PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (!trace_path.empty() || !telemetry_path.empty()) {
+    obs::SetMetricsEnabled(true);
+  }
 
   // 1. Data: a Taobao-like synthetic log (clicks/carts/favs/buys) with
   //    3 planted interests per user. Swap in Dataset::LoadTsv for real logs.
   data::SyntheticConfig dcfg = data::TaobaoSimConfig();
-  dcfg.num_users = 300;
-  dcfg.num_items = 500;
+  dcfg.num_users = smoke ? 80 : 300;
+  dcfg.num_items = smoke ? 320 : 500;
   data::Dataset ds = data::GenerateSynthetic(dcfg);
   data::DatasetStats stats = ds.Stats();
   std::printf("dataset %s: %d users, %d items, %lld interactions\n",
@@ -36,7 +66,7 @@ int main() {
               split.train_examples.size(),
               static_cast<long long>(split.NumEvalUsers()));
 
-  // 3. Model: MISSL with 4 interests.
+  // 3. Model: MISSL with 3 interests.
   core::MisslConfig mcfg;
   mcfg.dim = 32;
   mcfg.num_interests = 3;
@@ -44,11 +74,18 @@ int main() {
   std::printf("model %s with %lld parameters\n", model.Name().c_str(),
               static_cast<long long>(model.NumParams()));
 
-  // 4. Train with early stopping on validation NDCG@10.
+  // 4. Train with early stopping on validation NDCG@10. Smoke mode runs
+  //    2 threads so a trace captures pool-worker tracks too.
   train::TrainConfig tcfg;
-  tcfg.max_epochs = 8;
+  tcfg.max_epochs = smoke ? 2 : 8;
   tcfg.max_len = ecfg.max_len;
   tcfg.verbose = true;
+  tcfg.trace_path = trace_path;
+  tcfg.telemetry_path = telemetry_path;
+  if (smoke) {
+    tcfg.max_batches_per_epoch = 8;
+    tcfg.num_threads = 2;
+  }
   SetLogLevel(LogLevel::kInfo);
   train::TrainResult result = train::Fit(&model, ds, split, evaluator, tcfg);
 
@@ -61,5 +98,9 @@ int main() {
               static_cast<long long>(result.epochs_run), result.total_seconds,
               result.seconds_per_epoch);
   std::printf("(random ranking over 100 candidates would give HR@10=0.10)\n");
+  if (obs::MetricsEnabled()) {
+    std::printf("\n== metrics ==\n%s",
+                obs::MetricsRegistry::Global().ToText().c_str());
+  }
   return 0;
 }

@@ -30,9 +30,9 @@ run_asan() {
   cmake -B build-check-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DMISSL_SANITIZE=address,undefined
   cmake --build build-check-asan -j"$(nproc)"
-  # detect_leaks=0: autograd graphs are intentional shared_ptr cycles (the
-  # backward closure lives in the node it reads from), which LSan reports.
-  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  # detect_leaks=1 guards the autograd graph-lifetime fix: backward closures
+  # hold their output via a non-owning TensorRef, so LSan must stay clean.
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
     MISSL_NUM_THREADS=4 \
     ctest --test-dir build-check-asan --output-on-failure -j"$(nproc)"
 }

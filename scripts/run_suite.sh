@@ -13,6 +13,11 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Each bench also mirrors its tables into bench_results/BENCH_<name>.json
+# (machine-readable; see docs/OBSERVABILITY.md).
+export MISSL_BENCH_JSON_DIR="${MISSL_BENCH_JSON_DIR:-$PWD/bench_results}"
+mkdir -p "$MISSL_BENCH_JSON_DIR"
+
 {
   for b in build/bench/bench_t1_datasets build/bench/bench_t2_main \
            build/bench/bench_f1_ablation build/bench/bench_f2_interests \
@@ -26,3 +31,6 @@ ctest --test-dir build 2>&1 | tee test_output.txt
     echo
   done
 } 2>&1 | tee bench_output.txt
+
+echo "machine-readable results:"
+ls -l "$MISSL_BENCH_JSON_DIR"/BENCH_*.json

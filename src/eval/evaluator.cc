@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/parallel_for.h"
 #include "tensor/ops.h"
 #include "utils/check.h"
@@ -51,6 +53,15 @@ EvalResult Evaluator::EvaluateSubset(core::SeqRecModel* model,
                                      const std::vector<int32_t>& users,
                                      bool test) const {
   MISSL_CHECK(model != nullptr);
+  obs::TraceSpan eval_span(
+      "eval.evaluate", "eval",
+      obs::TracingEnabled()
+          ? "{\"users\":" + std::to_string(users.size()) +
+                ",\"test\":" + (test ? "true" : "false") + "}"
+          : std::string());
+  static obs::Counter& user_counter =
+      obs::MetricsRegistry::Global().GetCounter("eval.users");
+  user_counter.Add(static_cast<int64_t>(users.size()));
   NoGradGuard ng;
   bool was_training = model->training();
   model->SetTraining(false);
@@ -74,6 +85,7 @@ EvalResult Evaluator::EvaluateSubset(core::SeqRecModel* model,
       (static_cast<int64_t>(users.size()) + batch_size - 1) / batch_size;
   std::vector<MetricAccumulator> partials(static_cast<size_t>(num_batches));
   runtime::ParallelFor(0, num_batches, 1, [&](int64_t b0, int64_t b1) {
+    obs::TraceSpan batch_span("eval.batch", "eval");
     for (int64_t bi = b0; bi < b1; ++bi) {
       size_t start = static_cast<size_t>(bi * batch_size);
       size_t end =

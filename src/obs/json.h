@@ -1,0 +1,21 @@
+// Minimal JSON emission helpers shared by the observability exporters
+// (metrics registry, trace profiler, training telemetry, bench results).
+// This is a writer only — nothing in the library parses JSON.
+#ifndef MISSL_OBS_JSON_H_
+#define MISSL_OBS_JSON_H_
+
+#include <string>
+
+namespace missl::obs {
+
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters). Does not add the surrounding quotes.
+std::string JsonEscape(const std::string& s);
+
+/// Renders a double as a JSON number token. Infinities and NaN (which JSON
+/// cannot represent) are emitted as 0 so exported documents always parse.
+std::string JsonNumber(double v);
+
+}  // namespace missl::obs
+
+#endif  // MISSL_OBS_JSON_H_

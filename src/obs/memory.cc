@@ -1,0 +1,52 @@
+#include "obs/memory.h"
+
+#include <atomic>
+
+namespace missl::obs {
+
+namespace {
+
+std::atomic<int64_t> g_live_bytes{0};
+std::atomic<int64_t> g_peak_bytes{0};
+std::atomic<int64_t> g_live_tensors{0};
+std::atomic<int64_t> g_live_autograd_nodes{0};
+
+}  // namespace
+
+MemoryStats CurrentMemoryStats() {
+  MemoryStats s;
+  s.live_bytes = g_live_bytes.load(std::memory_order_relaxed);
+  s.peak_bytes = g_peak_bytes.load(std::memory_order_relaxed);
+  s.live_tensors = g_live_tensors.load(std::memory_order_relaxed);
+  s.live_autograd_nodes = g_live_autograd_nodes.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ResetPeakBytes() {
+  g_peak_bytes.store(g_live_bytes.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
+namespace memory_internal {
+
+void AddBytes(int64_t delta) {
+  int64_t now = g_live_bytes.fetch_add(delta, std::memory_order_relaxed) + delta;
+  if (delta > 0) {
+    int64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+    while (now > peak && !g_peak_bytes.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+void AddTensors(int64_t delta) {
+  g_live_tensors.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void AddAutogradNodes(int64_t delta) {
+  g_live_autograd_nodes.fetch_add(delta, std::memory_order_relaxed);
+}
+
+}  // namespace memory_internal
+
+}  // namespace missl::obs

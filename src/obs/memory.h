@@ -1,0 +1,43 @@
+// Process-wide tensor memory accounting. TensorImpl reports allocations,
+// frees and autograd-edge attachment here (see tensor/tensor.cc), so the
+// cost of live tensors — and of any forgotten autograd graph — is a gauge
+// that tests and telemetry can read, instead of a sanitizer footnote.
+//
+// Unlike the metrics registry (obs/metrics.h), these gauges are always on:
+// they are maintained with relaxed atomic adds whose cost is negligible
+// next to the allocations they track, and gating them would leave the live
+// counts wrong for anything allocated while disabled.
+#ifndef MISSL_OBS_MEMORY_H_
+#define MISSL_OBS_MEMORY_H_
+
+#include <cstdint>
+
+namespace missl::obs {
+
+/// Snapshot of the tensor-memory gauges.
+struct MemoryStats {
+  int64_t live_bytes = 0;      ///< bytes currently held by tensor data + grad
+  int64_t peak_bytes = 0;      ///< high-water mark since start / ResetPeakBytes
+  int64_t live_tensors = 0;    ///< TensorImpl objects currently alive
+  int64_t live_autograd_nodes = 0;  ///< impls currently holding a backward_fn
+};
+
+/// Reads all gauges (each individually consistent; the snapshot is not
+/// atomic across fields).
+MemoryStats CurrentMemoryStats();
+
+/// Restarts the peak-bytes high-water mark from the current live bytes.
+/// The trainer calls this at each epoch boundary so telemetry reports a
+/// per-epoch peak.
+void ResetPeakBytes();
+
+namespace memory_internal {
+// Accounting entry points for tensor/tensor.cc only.
+void AddBytes(int64_t delta);
+void AddTensors(int64_t delta);
+void AddAutogradNodes(int64_t delta);
+}  // namespace memory_internal
+
+}  // namespace missl::obs
+
+#endif  // MISSL_OBS_MEMORY_H_

@@ -1,0 +1,172 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/memory.h"
+
+namespace missl::obs {
+
+namespace {
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled = [] {
+    const char* v = std::getenv("MISSL_METRICS");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+  }();
+  return enabled;
+}
+
+}  // namespace
+
+bool MetricsEnabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void SetMetricsEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+void Histogram::Observe(int64_t v) {
+  if (!MetricsEnabled()) return;
+  if (v < 0) v = 0;
+  int idx = std::bit_width(static_cast<uint64_t>(v));  // 0 -> 0, else log2+1
+  if (idx >= kNumBuckets) idx = kNumBuckets - 1;
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  int64_t n = count();
+  return n > 0 ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
+}
+
+int64_t Histogram::BucketUpperBound(int i) {
+  if (i <= 0) return 0;
+  return (int64_t{1} << i) - 1;
+}
+
+int64_t Histogram::ApproxPercentile(double p) const {
+  int64_t n = count();
+  if (n <= 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  int64_t target = static_cast<int64_t>(p * static_cast<double>(n - 1)) + 1;
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += bucket(i);
+    if (seen >= target) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked so instrument references handed out to worker threads stay valid
+  // through static destruction (still reachable, so LSan stays quiet).
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::ostringstream ss;
+  std::lock_guard<std::mutex> l(mu_);
+  for (const auto& [name, c] : counters_) {
+    ss << name << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    ss << name << " " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    ss << name << " count=" << h->count() << " sum=" << h->sum()
+       << " mean=" << h->mean() << " p50<=" << h->ApproxPercentile(0.5)
+       << " p99<=" << h->ApproxPercentile(0.99) << "\n";
+  }
+  MemoryStats m = CurrentMemoryStats();
+  ss << "memory.live_bytes " << m.live_bytes << "\n";
+  ss << "memory.peak_bytes " << m.peak_bytes << "\n";
+  ss << "memory.live_tensors " << m.live_tensors << "\n";
+  ss << "memory.live_autograd_nodes " << m.live_autograd_nodes << "\n";
+  return ss.str();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::ostringstream ss;
+  std::lock_guard<std::mutex> l(mu_);
+  ss << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) ss << ",";
+    first = false;
+    ss << "\"" << JsonEscape(name) << "\":" << c->value();
+  }
+  ss << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) ss << ",";
+    first = false;
+    ss << "\"" << JsonEscape(name) << "\":" << g->value();
+  }
+  ss << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) ss << ",";
+    first = false;
+    ss << "\"" << JsonEscape(name) << "\":{\"count\":" << h->count()
+       << ",\"sum\":" << h->sum() << ",\"mean\":" << JsonNumber(h->mean())
+       << ",\"p50\":" << h->ApproxPercentile(0.5)
+       << ",\"p99\":" << h->ApproxPercentile(0.99) << ",\"buckets\":[";
+    bool bfirst = true;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      int64_t n = h->bucket(i);
+      if (n == 0) continue;
+      if (!bfirst) ss << ",";
+      bfirst = false;
+      ss << "{\"le\":" << Histogram::BucketUpperBound(i) << ",\"n\":" << n
+         << "}";
+    }
+    ss << "]}";
+  }
+  MemoryStats m = CurrentMemoryStats();
+  ss << "},\"memory\":{\"live_bytes\":" << m.live_bytes
+     << ",\"peak_bytes\":" << m.peak_bytes
+     << ",\"live_tensors\":" << m.live_tensors
+     << ",\"live_autograd_nodes\":" << m.live_autograd_nodes << "}}";
+  return ss.str();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> l(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace missl::obs

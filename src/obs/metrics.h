@@ -1,0 +1,121 @@
+// Thread-safe metrics registry: named counters, gauges and log2-bucketed
+// histograms with O(1) hot-path updates.
+//
+// Usage pattern: resolve the instrument once (registry lookup takes a mutex)
+// and keep the reference — references stay valid for the process lifetime:
+//
+//   static obs::Counter& c =
+//       obs::MetricsRegistry::Global().GetCounter("runtime.pool.jobs");
+//   c.Add(1);
+//
+// Every update is gated on the process-wide enabled flag (default off,
+// opt-in via SetMetricsEnabled or MISSL_METRICS=1), so the disabled hot
+// path costs one predictable branch on a relaxed atomic load and leaves
+// every instrument untouched. Tensor memory accounting is deliberately NOT
+// behind this flag — see obs/memory.h.
+#ifndef MISSL_OBS_METRICS_H_
+#define MISSL_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace missl::obs {
+
+/// True while metric updates are recorded. Initialized from MISSL_METRICS
+/// ("1" enables) on first use; flipped at runtime with SetMetricsEnabled.
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+/// Monotonically increasing count. Add is safe from any thread.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) {
+    if (MetricsEnabled()) v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Point-in-time value that can move both ways.
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if (MetricsEnabled()) v_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t delta) {
+    if (MetricsEnabled()) v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Histogram over non-negative integer samples (durations in ns, sizes in
+/// bytes, ...) with power-of-two buckets: bucket 0 holds the value 0 and
+/// bucket i >= 1 holds values in [2^(i-1), 2^i). Observe is one relaxed
+/// atomic increment plus a bit scan.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 44;  ///< covers up to ~2^43 (~2.4h in ns)
+
+  void Observe(int64_t v);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  int64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Inclusive upper bound of bucket i (0 for bucket 0, 2^i - 1 otherwise).
+  static int64_t BucketUpperBound(int i);
+  /// Upper bound of the bucket containing the p-quantile (p in [0, 1]);
+  /// 0 when empty.
+  int64_t ApproxPercentile(double p) const;
+  void Reset();
+
+ private:
+  std::atomic<int64_t> buckets_[kNumBuckets]{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// Name -> instrument map. Get* registers on first use and returns a
+/// reference that remains valid for the process lifetime (instruments are
+/// never destroyed), so callers cache it and pay the lock once.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// One "name value" line per instrument, sorted by name, plus the
+  /// always-on memory gauges (obs/memory.h).
+  std::string ToText() const;
+  /// JSON document: {"counters":{...},"gauges":{...},"histograms":{...},
+  /// "memory":{...}}.
+  std::string ToJson() const;
+  /// Zeroes every registered counter/gauge/histogram (names stay
+  /// registered). Does not touch the memory gauges.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace missl::obs
+
+#endif  // MISSL_OBS_METRICS_H_

@@ -1,0 +1,150 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace missl::obs {
+
+namespace {
+
+struct TraceEvent {
+  std::string name;
+  const char* cat;
+  int64_t start_ns;
+  int64_t dur_ns;
+  std::string args_json;
+};
+
+// One buffer per thread. The owning thread appends; the exporter reads from
+// another thread — both under the buffer's own mutex, which is uncontended
+// except during an export. Buffers are kept alive via shared_ptr in the
+// process-wide registry so events survive their thread's exit (pool workers
+// live until static teardown; short-lived test threads do not).
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  int tid;
+};
+
+struct TraceRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  int next_tid = 0;
+};
+
+TraceRegistry& Registry() {
+  // Leaked: thread_local destructors of late-exiting threads may still touch
+  // the registry after main() returns (still reachable, LSan-clean).
+  static TraceRegistry* registry = new TraceRegistry();
+  return *registry;
+}
+
+std::atomic<bool> g_tracing{false};
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    TraceRegistry& reg = Registry();
+    std::lock_guard<std::mutex> l(reg.mu);
+    b->tid = reg.next_tid++;
+    reg.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+bool TracingEnabled() { return g_tracing.load(std::memory_order_relaxed); }
+
+void StartTracing() {
+  ClearTrace();
+  g_tracing.store(true, std::memory_order_relaxed);
+}
+
+void StopTracing() { g_tracing.store(false, std::memory_order_relaxed); }
+
+void ClearTrace() {
+  TraceRegistry& reg = Registry();
+  std::lock_guard<std::mutex> l(reg.mu);
+  for (auto& b : reg.buffers) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    b->events.clear();
+  }
+}
+
+size_t TraceEventCount() {
+  TraceRegistry& reg = Registry();
+  std::lock_guard<std::mutex> l(reg.mu);
+  size_t n = 0;
+  for (auto& b : reg.buffers) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    n += b->events.size();
+  }
+  return n;
+}
+
+int64_t NowNanos() {
+  static const std::chrono::steady_clock::time_point base =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - base)
+      .count();
+}
+
+void EmitCompleteSpan(std::string name, const char* cat, int64_t start_ns,
+                      int64_t dur_ns, std::string args_json) {
+  if (!TracingEnabled()) return;
+  ThreadBuffer& buf = LocalBuffer();
+  std::lock_guard<std::mutex> l(buf.mu);
+  buf.events.push_back(
+      {std::move(name), cat, start_ns, dur_ns, std::move(args_json)});
+}
+
+std::string TraceToJson() {
+  std::ostringstream ss;
+  ss << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  TraceRegistry& reg = Registry();
+  std::lock_guard<std::mutex> l(reg.mu);
+  bool first = true;
+  for (auto& b : reg.buffers) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    for (const TraceEvent& e : b->events) {
+      if (!first) ss << ",";
+      first = false;
+      // Chrome trace timestamps are microseconds; keep ns precision via the
+      // fractional part.
+      ss << "{\"name\":\"" << JsonEscape(e.name) << "\",\"cat\":\"" << e.cat
+         << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << b->tid
+         << ",\"ts\":" << JsonNumber(static_cast<double>(e.start_ns) / 1e3)
+         << ",\"dur\":" << JsonNumber(static_cast<double>(e.dur_ns) / 1e3);
+      if (!e.args_json.empty()) ss << ",\"args\":" << e.args_json;
+      ss << "}";
+    }
+  }
+  ss << "]}";
+  return ss.str();
+}
+
+Status WriteTrace(const std::string& path) {
+  std::string json = TraceToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_err = std::fclose(f);
+  if (written != json.size() || close_err != 0) {
+    return Status::IOError("short write to trace file " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace missl::obs

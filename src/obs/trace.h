@@ -1,0 +1,93 @@
+// Scoped-timer tracing profiler emitting Chrome trace-event JSON.
+//
+// Spans are recorded into per-thread buffers (one uncontended mutex lock and
+// one vector append per span, paid only while tracing is on; the disabled
+// path is a single relaxed atomic load in the TraceSpan constructor).
+// WriteTrace exports everything as a Chrome trace-event file: open it at
+// https://ui.perfetto.dev or chrome://tracing to see the timeline — tensor
+// ops, pool workers, evaluation batches and training epochs each show up as
+// nested "X" (complete) events on their thread's track.
+//
+// Typical use is via TrainConfig::trace_path (the trainer brackets the run),
+// or manually:
+//
+//   obs::StartTracing();
+//   { obs::TraceSpan span("my.phase", "app"); ...work...; }
+//   obs::StopTracing();
+//   obs::WriteTrace("trace.json");
+#ifndef MISSL_OBS_TRACE_H_
+#define MISSL_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "utils/status.h"
+
+namespace missl::obs {
+
+/// True while spans are being recorded.
+bool TracingEnabled();
+
+/// Discards previously recorded events and starts recording.
+void StartTracing();
+
+/// Stops recording; already-recorded events are kept for WriteTrace.
+void StopTracing();
+
+/// Drops all recorded events without touching the enabled flag.
+void ClearTrace();
+
+/// Number of events recorded so far (for tests and sanity checks).
+size_t TraceEventCount();
+
+/// Writes all recorded events as a Chrome trace-event JSON document.
+Status WriteTrace(const std::string& path);
+
+/// Serializes the recorded events to a Chrome trace-event JSON string.
+std::string TraceToJson();
+
+/// Monotonic nanoseconds since a process-wide base; the time axis for all
+/// spans (and for the metric timers in obs/op_stats.h).
+int64_t NowNanos();
+
+/// Appends a complete ("ph":"X") event for the calling thread. `args_json`,
+/// when non-empty, must be a complete JSON object (e.g. "{\"epoch\":3}").
+/// No-op unless tracing is enabled.
+void EmitCompleteSpan(std::string name, const char* cat, int64_t start_ns,
+                      int64_t dur_ns, std::string args_json = std::string());
+
+/// RAII span covering its C++ scope. Constructing one while tracing is
+/// disabled records the disabled state and costs nothing at destruction.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name, const char* cat = "missl",
+                     std::string args_json = std::string())
+      : active_(TracingEnabled()) {
+    if (active_) {
+      name_ = std::move(name);
+      cat_ = cat;
+      args_ = std::move(args_json);
+      start_ = NowNanos();
+    }
+  }
+  ~TraceSpan() {
+    if (active_) {
+      EmitCompleteSpan(std::move(name_), cat_, start_, NowNanos() - start_,
+                       std::move(args_));
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool active_;
+  std::string name_;
+  const char* cat_ = "";
+  std::string args_;
+  int64_t start_ = 0;
+};
+
+}  // namespace missl::obs
+
+#endif  // MISSL_OBS_TRACE_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "runtime/thread_pool.h"
 #include "tensor/tensor.h"
 #include "utils/check.h"
@@ -36,7 +37,13 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   int64_t range = end - begin;
   int64_t nchunks = (range + grain - 1) / grain;
   int threads = NumThreads();
+  static obs::Counter& call_counter =
+      obs::MetricsRegistry::Global().GetCounter("runtime.parallel_for.calls");
+  static obs::Counter& serial_counter =
+      obs::MetricsRegistry::Global().GetCounter("runtime.parallel_for.serial");
+  call_counter.Add(1);
   if (threads <= 1 || nchunks <= 1 || t_in_parallel_region) {
+    serial_counter.Add(1);
     // Serial fast path: a single call over the whole range, on this thread —
     // the exact pre-runtime code path.
     fn(begin, end);

@@ -1,5 +1,9 @@
 #include "runtime/thread_pool.h"
 
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "utils/check.h"
 
 namespace missl::runtime {
@@ -35,6 +39,12 @@ void ThreadPool::EnsureWorkers(int n) {
 }
 
 void ThreadPool::WorkerLoop(int worker_index, uint64_t initial_gen) {
+  // Per-worker instruments, resolved once per thread (the registry lookup
+  // takes a lock; Add/Observe afterwards are gated relaxed atomics).
+  obs::Counter& chunk_counter = obs::MetricsRegistry::Global().GetCounter(
+      "runtime.pool.worker." + std::to_string(worker_index) + ".chunks");
+  obs::Histogram& queue_wait =
+      obs::MetricsRegistry::Global().GetHistogram("runtime.pool.queue_wait_ns");
   uint64_t seen = initial_gen;
   std::unique_lock<std::mutex> l(mu_);
   for (;;) {
@@ -46,8 +56,16 @@ void ThreadPool::WorkerLoop(int worker_index, uint64_t initial_gen) {
     const std::function<void(int64_t)>* fn = fn_;
     int64_t nchunks = nchunks_;
     int stride = participants_;
+    int64_t publish_ns = publish_ns_;
     l.unlock();
-    for (int64_t c = participant; c < nchunks; c += stride) (*fn)(c);
+    if (obs::MetricsEnabled() && publish_ns != 0) {
+      queue_wait.Observe(obs::NowNanos() - publish_ns);
+    }
+    {
+      obs::TraceSpan run_span("pool.run", "runtime");
+      for (int64_t c = participant; c < nchunks; c += stride) (*fn)(c);
+    }
+    chunk_counter.Add((nchunks - participant + stride - 1) / stride);
     l.lock();
     if (--remaining_ == 0) done_cv_.notify_all();
   }
@@ -65,6 +83,21 @@ void ThreadPool::Run(int64_t nchunks, int participants,
     return;
   }
   std::lock_guard<std::mutex> job_lock(job_mu_);
+  std::string span_args;
+  if (obs::TracingEnabled()) {
+    span_args = "{\"chunks\":" + std::to_string(nchunks) +
+                ",\"participants\":" + std::to_string(participants) + "}";
+  }
+  obs::TraceSpan job_span("pool.job", "runtime", std::move(span_args));
+  static obs::Counter& job_counter =
+      obs::MetricsRegistry::Global().GetCounter("runtime.pool.jobs");
+  static obs::Counter& total_chunks =
+      obs::MetricsRegistry::Global().GetCounter("runtime.pool.chunks");
+  static obs::Counter& caller_chunks =
+      obs::MetricsRegistry::Global().GetCounter("runtime.pool.caller.chunks");
+  job_counter.Add(1);
+  total_chunks.Add(nchunks);
+  caller_chunks.Add((nchunks + participants - 1) / participants);
   EnsureWorkers(participants - 1);
   {
     std::lock_guard<std::mutex> l(mu_);
@@ -72,6 +105,7 @@ void ThreadPool::Run(int64_t nchunks, int participants,
     nchunks_ = nchunks;
     participants_ = participants;
     remaining_ = participants - 1;
+    publish_ns_ = obs::MetricsEnabled() ? obs::NowNanos() : 0;
     ++gen_;
   }
   work_cv_.notify_all();

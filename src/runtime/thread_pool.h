@@ -61,6 +61,7 @@ class ThreadPool {
   int participants_ = 0;
   uint64_t gen_ = 0;     ///< job generation counter (workers detect new jobs)
   int remaining_ = 0;    ///< participating workers that have not finished
+  int64_t publish_ns_ = 0;  ///< when the current job was posted (metrics only)
   bool shutdown_ = false;
 };
 

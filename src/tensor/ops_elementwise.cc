@@ -1,5 +1,6 @@
 #include <cmath>
 
+#include "obs/op_stats.h"
 #include "runtime/parallel_for.h"
 #include "tensor/broadcast.h"
 #include "tensor/ops.h"
@@ -17,7 +18,11 @@ namespace {
 // Generic broadcasting binary op. `fwd(x, y)` computes the value;
 // `dfdx(x, y)` / `dfdy(x, y)` compute local partials at the element.
 template <typename F, typename Dx, typename Dy>
-Tensor BinaryOp(const Tensor& a, const Tensor& b, F fwd, Dx dfdx, Dy dfdy) {
+Tensor BinaryOp(const char* name, const Tensor& a, const Tensor& b, F fwd,
+                Dx dfdx, Dy dfdy) {
+  // Each public op instantiates BinaryOp with unique lambda types, so the
+  // function-local static inside MISSL_OP_SCOPE is per-op, not shared.
+  MISSL_OP_SCOPE(name);
   const Shape& sa = a.shape();
   const Shape& sb = b.shape();
   Shape so = BroadcastShape(sa, sb);
@@ -38,7 +43,7 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F fwd, Dx dfdx, Dy dfdy) {
       po[i] = fwd(pa[ia], pb[ib]);
     });
   }
-  AttachGrad(&out, {a, b}, [a, b, out, dfdx, dfdy]() {
+  AttachGrad(&out, {a, b}, [a, b, out = TensorRef(out), dfdx, dfdy]() {
     const Shape& sa = a.shape();
     const Shape& sb = b.shape();
     const Shape& so = out.shape();
@@ -91,7 +96,8 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F fwd, Dx dfdx, Dy dfdy) {
 // Generic unary op: fwd(x) value, dfd(x, y) local derivative given input x
 // and output y (lets tanh/sigmoid reuse the output).
 template <typename F, typename D>
-Tensor UnaryOp(const Tensor& a, F fwd, D dfd) {
+Tensor UnaryOp(const char* name, const Tensor& a, F fwd, D dfd) {
+  MISSL_OP_SCOPE(name);  // per-instantiation static; see BinaryOp
   Tensor out = MakeResult(a.shape());
   const float* pa = a.data();
   float* po = out.data();
@@ -99,7 +105,7 @@ Tensor UnaryOp(const Tensor& a, F fwd, D dfd) {
                        [&](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i) po[i] = fwd(pa[i]);
   });
-  AttachGrad(&out, {a}, [a, out, dfd]() {
+  AttachGrad(&out, {a}, [a, out = TensorRef(out), dfd]() {
     const float* g = out.impl()->grad.data();
     const float* pa = a.data();
     const float* po = out.data();
@@ -117,44 +123,46 @@ Tensor UnaryOp(const Tensor& a, F fwd, D dfd) {
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      a, b, [](float x, float y) { return x + y; },
+      "Add", a, b, [](float x, float y) { return x + y; },
       [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      a, b, [](float x, float y) { return x - y; },
+      "Sub", a, b, [](float x, float y) { return x - y; },
       [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      a, b, [](float x, float y) { return x * y; },
+      "Mul", a, b, [](float x, float y) { return x * y; },
       [](float, float y) { return y; }, [](float x, float) { return x; });
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      a, b, [](float x, float y) { return x / y; },
+      "Div", a, b, [](float x, float y) { return x / y; },
       [](float, float y) { return 1.0f / y; },
       [](float x, float y) { return -x / (y * y); });
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
   return UnaryOp(
-      a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; });
+      "AddScalar", a, [s](float x) { return x + s; },
+      [](float, float) { return 1.0f; });
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
   return UnaryOp(
-      a, [s](float x) { return x * s; }, [s](float, float) { return s; });
+      "MulScalar", a, [s](float x) { return x * s; },
+      [s](float, float) { return s; });
 }
 
 Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
 
 Tensor Relu(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      "Relu", a, [](float x) { return x > 0.0f ? x : 0.0f; },
       [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
 }
 
@@ -162,7 +170,7 @@ Tensor Gelu(const Tensor& a) {
   // tanh approximation: 0.5 x (1 + tanh(c (x + 0.044715 x^3)))
   constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
   return UnaryOp(
-      a,
+      "Gelu", a,
       [](float x) {
         float u = kC * (x + 0.044715f * x * x * x);
         return 0.5f * x * (1.0f + std::tanh(u));
@@ -177,54 +185,56 @@ Tensor Gelu(const Tensor& a) {
 
 Tensor Sigmoid(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      "Sigmoid", a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
       [](float, float y) { return y * (1.0f - y); });
 }
 
 Tensor Tanh(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::tanh(x); },
+      "Tanh", a, [](float x) { return std::tanh(x); },
       [](float, float y) { return 1.0f - y * y; });
 }
 
 Tensor Exp(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::exp(x); }, [](float, float y) { return y; });
+      "Exp", a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
 }
 
 Tensor Log(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::log(x); },
+      "Log", a, [](float x) { return std::log(x); },
       [](float x, float) { return 1.0f / x; });
 }
 
 Tensor Sqrt(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::sqrt(x); },
+      "Sqrt", a, [](float x) { return std::sqrt(x); },
       [](float, float y) { return 0.5f / (y > 1e-12f ? y : 1e-12f); });
 }
 
 Tensor Square(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return x * x; }, [](float x, float) { return 2.0f * x; });
+      "Square", a, [](float x) { return x * x; },
+      [](float x, float) { return 2.0f * x; });
 }
 
 Tensor Abs(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::fabs(x); },
+      "Abs", a, [](float x) { return std::fabs(x); },
       [](float x, float) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
 }
 
 Tensor Clamp(const Tensor& a, float lo, float hi) {
   MISSL_CHECK(lo <= hi) << "Clamp with lo > hi";
   return UnaryOp(
-      a, [lo, hi](float x) { return x < lo ? lo : (x > hi ? hi : x); },
+      "Clamp", a, [lo, hi](float x) { return x < lo ? lo : (x > hi ? hi : x); },
       [lo, hi](float x, float) { return (x >= lo && x <= hi) ? 1.0f : 0.0f; });
 }
 
 Tensor Pow(const Tensor& a, float p) {
   return UnaryOp(
-      a, [p](float x) { return std::pow(x, p); },
+      "Pow", a, [p](float x) { return std::pow(x, p); },
       [p](float x, float) { return p * std::pow(x, p - 1.0f); });
 }
 

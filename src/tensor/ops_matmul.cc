@@ -1,5 +1,6 @@
 #include <cstring>
 
+#include "obs/op_stats.h"
 #include "runtime/parallel_for.h"
 #include "tensor/ops.h"
 
@@ -31,6 +32,7 @@ void GemmRows(const float* a, const float* b, float* c, int64_t k, int64_t n,
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  MISSL_OP_SCOPE("MatMul");
   int64_t ra = a.dim(), rb = b.dim();
   MISSL_CHECK((ra == 2 && rb == 2) || (ra == 3 && rb == 3) || (ra == 3 && rb == 2))
       << "MatMul unsupported ranks " << ShapeToString(a.shape()) << " x "
@@ -60,7 +62,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                    po + s * m * n, k, n, r - s * m, r - s * m + 1);
         }
       });
-  AttachGrad(&out, {a, b}, [a, b, out, batch, m, k, n, b_batched]() {
+  AttachGrad(&out, {a, b},
+             [a, b, out = TensorRef(out), batch, m, k, n, b_batched]() {
     const float* g = out.impl()->grad.data();
     const float* pa = a.data();
     const float* pb = b.data();
@@ -119,6 +122,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Transpose(const Tensor& a) {
+  MISSL_OP_SCOPE("Transpose");
   int64_t r = a.dim();
   MISSL_CHECK(r == 2 || r == 3) << "Transpose supports rank 2/3, got "
                                 << ShapeToString(a.shape());
@@ -134,7 +138,7 @@ Tensor Transpose(const Tensor& a) {
     for (int64_t i = 0; i < m; ++i)
       for (int64_t j = 0; j < n; ++j) os[j * m + i] = as[i * n + j];
   }
-  AttachGrad(&out, {a}, [a, out, batch, m, n]() {
+  AttachGrad(&out, {a}, [a, out = TensorRef(out), batch, m, n]() {
     const float* g = out.impl()->grad.data();
     a.impl()->EnsureGrad();
     float* ga = a.impl()->grad.data();

@@ -1,5 +1,6 @@
 #include <cmath>
 
+#include "obs/op_stats.h"
 #include "runtime/parallel_for.h"
 #include "tensor/ops.h"
 
@@ -21,6 +22,7 @@ void LastDimView(const Tensor& a, int64_t* rows, int64_t* d) {
 }  // namespace
 
 Tensor Softmax(const Tensor& a) {
+  MISSL_OP_SCOPE("Softmax");
   int64_t rows, d;
   LastDimView(a, &rows, &d);
   Tensor out = MakeResult(a.shape());
@@ -44,7 +46,7 @@ Tensor Softmax(const Tensor& a) {
       for (int64_t i = 0; i < d; ++i) y[i] *= inv;
     }
   });
-  AttachGrad(&out, {a}, [a, out, rows, d]() {
+  AttachGrad(&out, {a}, [a, out = TensorRef(out), rows, d]() {
     const float* g = out.impl()->grad.data();
     const float* y = out.data();
     a.impl()->EnsureGrad();
@@ -65,6 +67,7 @@ Tensor Softmax(const Tensor& a) {
 }
 
 Tensor LogSoftmax(const Tensor& a) {
+  MISSL_OP_SCOPE("LogSoftmax");
   int64_t rows, d;
   LastDimView(a, &rows, &d);
   Tensor out = MakeResult(a.shape());
@@ -83,7 +86,7 @@ Tensor LogSoftmax(const Tensor& a) {
       for (int64_t i = 0; i < d; ++i) y[i] = x[i] - lse;
     }
   });
-  AttachGrad(&out, {a}, [a, out, rows, d]() {
+  AttachGrad(&out, {a}, [a, out = TensorRef(out), rows, d]() {
     const float* g = out.impl()->grad.data();
     const float* y = out.data();
     a.impl()->EnsureGrad();
@@ -105,6 +108,7 @@ Tensor LogSoftmax(const Tensor& a) {
 
 Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                  float eps) {
+  MISSL_OP_SCOPE("LayerNorm");
   int64_t rows, d;
   LastDimView(x, &rows, &d);
   MISSL_CHECK(gamma.dim() == 1 && gamma.size(0) == d)
@@ -143,7 +147,8 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
       }
     }
   });
-  AttachGrad(&out, {x, gamma, beta}, [x, gamma, beta, out, xhat, istd, rows, d]() {
+  AttachGrad(&out, {x, gamma, beta},
+             [x, gamma, beta, out = TensorRef(out), xhat, istd, rows, d]() {
     const float* g = out.impl()->grad.data();
     const float* pg = gamma.data();
     if (gamma.requires_grad()) {
@@ -206,6 +211,7 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
 // land on which element. The kernel is a single cheap pass; the surrounding
 // matmuls dominate.
 Tensor Dropout(const Tensor& x, float p, bool training, Rng* rng) {
+  MISSL_OP_SCOPE("Dropout");
   MISSL_CHECK(p >= 0.0f && p < 1.0f) << "Dropout p out of range";
   if (!training || p == 0.0f) return x;
   MISSL_CHECK(rng != nullptr);
@@ -220,7 +226,7 @@ Tensor Dropout(const Tensor& x, float p, bool training, Rng* rng) {
     (*mask)[static_cast<size_t>(i)] = m;
     po[i] = px[i] * m;
   }
-  AttachGrad(&out, {x}, [x, out, mask]() {
+  AttachGrad(&out, {x}, [x, out = TensorRef(out), mask]() {
     const float* g = out.impl()->grad.data();
     x.impl()->EnsureGrad();
     float* gx = x.impl()->grad.data();
@@ -231,6 +237,7 @@ Tensor Dropout(const Tensor& x, float p, bool training, Rng* rng) {
 }
 
 Tensor CrossEntropyLoss(const Tensor& logits, const std::vector<int32_t>& targets) {
+  MISSL_OP_SCOPE("CrossEntropyLoss");
   MISSL_CHECK(logits.dim() == 2) << "CrossEntropyLoss expects [B, C] logits";
   int64_t bsz = logits.size(0);
   int64_t c = logits.size(1);
@@ -263,7 +270,8 @@ Tensor CrossEntropyLoss(const Tensor& logits, const std::vector<int32_t>& target
   }
   MISSL_CHECK(valid > 0) << "CrossEntropyLoss with no valid targets";
   out.data()[0] = static_cast<float>(loss / static_cast<double>(valid));
-  AttachGrad(&out, {logits}, [logits, out, prob, targets, bsz, c, valid]() {
+  AttachGrad(&out, {logits},
+             [logits, out = TensorRef(out), prob, targets, bsz, c, valid]() {
     float g = out.impl()->grad[0] / static_cast<float>(valid);
     logits.impl()->EnsureGrad();
     float* gl = logits.impl()->grad.data();
@@ -280,6 +288,7 @@ Tensor CrossEntropyLoss(const Tensor& logits, const std::vector<int32_t>& target
 }
 
 Tensor L2Normalize(const Tensor& x, float eps) {
+  MISSL_OP_SCOPE("L2Normalize");
   int64_t rows, d;
   LastDimView(x, &rows, &d);
   Tensor out = MakeResult(x.shape());
@@ -296,7 +305,7 @@ Tensor L2Normalize(const Tensor& x, float eps) {
     float* yr = po + r * d;
     for (int64_t i = 0; i < d; ++i) yr[i] = xr[i] * inv;
   }
-  AttachGrad(&out, {x}, [x, out, invnorm, rows, d]() {
+  AttachGrad(&out, {x}, [x, out = TensorRef(out), invnorm, rows, d]() {
     const float* g = out.impl()->grad.data();
     const float* y = out.data();
     x.impl()->EnsureGrad();

@@ -1,5 +1,6 @@
 #include <limits>
 
+#include "obs/op_stats.h"
 #include "tensor/ops.h"
 
 namespace missl {
@@ -35,13 +36,14 @@ Shape ReducedShape(const Shape& shape, int64_t dim, bool keepdim) {
 }  // namespace
 
 Tensor Sum(const Tensor& a) {
+  MISSL_OP_SCOPE("Sum");
   Tensor out = MakeResult({});
   const float* pa = a.data();
   double acc = 0.0;
   int64_t n = a.numel();
   for (int64_t i = 0; i < n; ++i) acc += pa[i];
   out.data()[0] = static_cast<float>(acc);
-  AttachGrad(&out, {a}, [a, out]() {
+  AttachGrad(&out, {a}, [a, out = TensorRef(out)]() {
     float g = out.impl()->grad[0];
     a.impl()->EnsureGrad();
     float* ga = a.impl()->grad.data();
@@ -57,6 +59,7 @@ Tensor Mean(const Tensor& a) {
 }
 
 Tensor Sum(const Tensor& a, int64_t dim, bool keepdim) {
+  MISSL_OP_SCOPE("SumDim");
   int64_t r = a.dim();
   if (dim < 0) dim += r;
   MISSL_CHECK(dim >= 0 && dim < r) << "Sum dim out of range";
@@ -72,7 +75,7 @@ Tensor Sum(const Tensor& a, int64_t dim, bool keepdim) {
       for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
     }
   }
-  AttachGrad(&out, {a}, [a, out, outer, mid, inner]() {
+  AttachGrad(&out, {a}, [a, out = TensorRef(out), outer, mid, inner]() {
     const float* g = out.impl()->grad.data();
     a.impl()->EnsureGrad();
     float* ga = a.impl()->grad.data();
@@ -98,6 +101,7 @@ Tensor Mean(const Tensor& a, int64_t dim, bool keepdim) {
 
 Tensor Max(const Tensor& a, int64_t dim, bool keepdim,
            std::vector<int64_t>* argmax) {
+  MISSL_OP_SCOPE("Max");
   int64_t r = a.dim();
   if (dim < 0) dim += r;
   MISSL_CHECK(dim >= 0 && dim < r) << "Max dim out of range";
@@ -125,7 +129,7 @@ Tensor Max(const Tensor& a, int64_t dim, bool keepdim,
     }
   }
   if (argmax != nullptr) *argmax = *arg;
-  AttachGrad(&out, {a}, [a, out, arg, outer, mid, inner]() {
+  AttachGrad(&out, {a}, [a, out = TensorRef(out), arg, outer, mid, inner]() {
     const float* g = out.impl()->grad.data();
     a.impl()->EnsureGrad();
     float* ga = a.impl()->grad.data();

@@ -1,5 +1,6 @@
 #include <cstring>
 
+#include "obs/op_stats.h"
 #include "runtime/parallel_for.h"
 #include "tensor/ops.h"
 
@@ -9,6 +10,7 @@ using internal::AttachGrad;
 using internal::MakeResult;
 
 Tensor Reshape(const Tensor& a, Shape shape) {
+  MISSL_OP_SCOPE("Reshape");
   // Resolve a single -1 placeholder.
   int64_t known = 1;
   int64_t infer = -1;
@@ -31,13 +33,14 @@ Tensor Reshape(const Tensor& a, Shape shape) {
       << ShapeToString(shape);
   Tensor out = MakeResult(shape);
   std::memcpy(out.data(), a.data(), sizeof(float) * static_cast<size_t>(a.numel()));
-  AttachGrad(&out, {a}, [a, out]() {
+  AttachGrad(&out, {a}, [a, out = TensorRef(out)]() {
     a.impl()->AccumGrad(out.impl()->grad.data(), out.numel());
   });
   return out;
 }
 
 Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t end) {
+  MISSL_OP_SCOPE("Slice");
   int64_t r = a.dim();
   if (dim < 0) dim += r;
   MISSL_CHECK(dim >= 0 && dim < r) << "Slice dim out of range";
@@ -59,7 +62,8 @@ Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t end) {
     std::memcpy(po + o * len * inner, pa + (o * d + start) * inner,
                 sizeof(float) * static_cast<size_t>(len * inner));
   }
-  AttachGrad(&out, {a}, [a, out, outer, inner, d, start, len]() {
+  AttachGrad(&out, {a},
+             [a, out = TensorRef(out), outer, inner, d, start, len]() {
     const float* g = out.impl()->grad.data();
     a.impl()->EnsureGrad();
     float* ga = a.impl()->grad.data();
@@ -73,6 +77,7 @@ Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t end) {
 }
 
 Tensor Concat(const std::vector<Tensor>& ts, int64_t dim) {
+  MISSL_OP_SCOPE("Concat");
   MISSL_CHECK(!ts.empty()) << "Concat of zero tensors";
   int64_t r = ts[0].dim();
   if (dim < 0) dim += r;
@@ -105,9 +110,8 @@ Tensor Concat(const std::vector<Tensor>& ts, int64_t dim) {
     }
     off += len;
   }
-  Tensor out2 = out;  // capture by value below
-  AttachGrad(&out, ts, [ts, out2, outer, inner, total, dim]() {
-    const float* g = out2.impl()->grad.data();
+  AttachGrad(&out, ts, [ts, out = TensorRef(out), outer, inner, total, dim]() {
+    const float* g = out.impl()->grad.data();
     int64_t off = 0;
     for (const auto& t : ts) {
       int64_t len = t.size(dim);
@@ -127,6 +131,7 @@ Tensor Concat(const std::vector<Tensor>& ts, int64_t dim) {
 }
 
 Tensor IndexSelect0(const Tensor& a, const std::vector<int32_t>& idx) {
+  MISSL_OP_SCOPE("IndexSelect0");
   MISSL_CHECK(a.dim() >= 1) << "IndexSelect0 on scalar";
   int64_t rows = a.size(0);
   int64_t inner = a.numel() / (rows == 0 ? 1 : rows);
@@ -141,7 +146,7 @@ Tensor IndexSelect0(const Tensor& a, const std::vector<int32_t>& idx) {
     std::memcpy(po + static_cast<int64_t>(i) * inner, pa + r * inner,
                 sizeof(float) * static_cast<size_t>(inner));
   }
-  AttachGrad(&out, {a}, [a, out, idx, rows, inner]() {
+  AttachGrad(&out, {a}, [a, out = TensorRef(out), idx, rows, inner]() {
     const float* g = out.impl()->grad.data();
     a.impl()->EnsureGrad();
     float* ga = a.impl()->grad.data();
@@ -165,6 +170,7 @@ Tensor IndexSelect0(const Tensor& a, const std::vector<int32_t>& idx) {
 
 Tensor EmbeddingLookup(const Tensor& weight, const std::vector<int32_t>& ids,
                        Shape prefix_shape) {
+  MISSL_OP_SCOPE("EmbeddingLookup");
   MISSL_CHECK(weight.dim() == 2) << "EmbeddingLookup weight must be [V, d]";
   int64_t v = weight.size(0);
   int64_t d = weight.size(1);
@@ -188,7 +194,7 @@ Tensor EmbeddingLookup(const Tensor& weight, const std::vector<int32_t>& ids,
                       sizeof(float) * static_cast<size_t>(d));
         }
       });
-  AttachGrad(&out, {weight}, [weight, out, ids, v, d]() {
+  AttachGrad(&out, {weight}, [weight, out = TensorRef(out), ids, v, d]() {
     const float* g = out.impl()->grad.data();
     weight.impl()->EnsureGrad();
     float* gw = weight.impl()->grad.data();

@@ -5,7 +5,27 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "obs/memory.h"
+#include "obs/trace.h"
+
 namespace missl {
+
+TensorImpl::TensorImpl() { obs::memory_internal::AddTensors(1); }
+
+TensorImpl::~TensorImpl() {
+  if (backward_fn) obs::memory_internal::AddAutogradNodes(-1);
+  obs::memory_internal::AddBytes(-accounted_bytes_);
+  obs::memory_internal::AddTensors(-1);
+}
+
+void TensorImpl::SyncBytesAccounting() {
+  int64_t now = static_cast<int64_t>((data.capacity() + grad.capacity()) *
+                                     sizeof(float));
+  if (now != accounted_bytes_) {
+    obs::memory_internal::AddBytes(now - accounted_bytes_);
+    accounted_bytes_ = now;
+  }
+}
 
 int64_t NumElements(const Shape& shape) {
   int64_t n = 1;
@@ -28,7 +48,10 @@ std::string ShapeToString(const Shape& shape) {
 }
 
 void TensorImpl::EnsureGrad() {
-  if (grad.empty()) grad.assign(data.size(), 0.0f);
+  if (grad.empty()) {
+    grad.assign(data.size(), 0.0f);
+    SyncBytesAccounting();
+  }
 }
 
 void TensorImpl::AccumGrad(const float* g, int64_t n) {
@@ -70,6 +93,7 @@ Tensor Tensor::Full(Shape shape, float value, bool requires_grad) {
   impl->data.assign(static_cast<size_t>(NumElements(shape)), value);
   impl->shape = std::move(shape);
   impl->requires_grad = requires_grad;
+  impl->SyncBytesAccounting();
   return Tensor(std::move(impl));
 }
 
@@ -81,6 +105,7 @@ Tensor Tensor::FromData(std::vector<float> data, Shape shape, bool requires_grad
   impl->data = std::move(data);
   impl->shape = std::move(shape);
   impl->requires_grad = requires_grad;
+  impl->SyncBytesAccounting();
   return Tensor(std::move(impl));
 }
 
@@ -148,6 +173,7 @@ void Tensor::ZeroGrad() {
 void Tensor::Backward() {
   MISSL_CHECK(numel() == 1) << "Backward() requires a scalar loss; got "
                             << ShapeToString(shape());
+  obs::TraceSpan span("Tensor::Backward", "autograd");
   TensorImpl* root = impl();
   root->EnsureGrad();
   root->grad[0] += 1.0f;
@@ -180,7 +206,10 @@ void Tensor::Backward() {
   }
   // Release the graph so intermediate buffers can be freed.
   for (TensorImpl* node : topo) {
-    node->backward_fn = nullptr;
+    if (node->backward_fn) {
+      node->backward_fn = nullptr;
+      obs::memory_internal::AddAutogradNodes(-1);
+    }
     node->parents.clear();
   }
 }
@@ -190,6 +219,7 @@ Tensor Tensor::Detach() const {
   out->shape = impl()->shape;
   out->data = impl()->data;
   out->requires_grad = false;
+  out->SyncBytesAccounting();
   return Tensor(std::move(out));
 }
 
@@ -231,6 +261,7 @@ bool AttachGrad(Tensor* out, std::vector<Tensor> parents,
     if (p.defined()) o->parents.push_back(p.impl_ptr());
   }
   o->backward_fn = std::move(backward);
+  obs::memory_internal::AddAutogradNodes(1);
   return true;
 }
 

@@ -39,8 +39,15 @@ std::string ShapeToString(const Shape& shape);
 
 /// Backing storage + autograd bookkeeping for a tensor. Users interact with
 /// the `Tensor` handle; TensorImpl is exposed only for op implementations.
+/// Construction/destruction and buffer (re)allocation feed the process-wide
+/// memory gauges in obs/memory.h.
 class TensorImpl {
  public:
+  TensorImpl();
+  ~TensorImpl();
+  TensorImpl(const TensorImpl&) = delete;
+  TensorImpl& operator=(const TensorImpl&) = delete;
+
   Shape shape;
   std::vector<float> data;
   std::vector<float> grad;  ///< lazily allocated, same numel as data
@@ -48,7 +55,9 @@ class TensorImpl {
 
   /// Parents in the autograd graph (inputs of the op that produced this).
   std::vector<TensorImplPtr> parents;
-  /// Propagates this->grad into the parents' grad buffers.
+  /// Propagates this->grad into the parents' grad buffers. Must hold no
+  /// owning reference to this impl (see TensorRef) or the node would keep
+  /// itself alive forever.
   std::function<void()> backward_fn;
 
   int64_t numel() const { return static_cast<int64_t>(data.size()); }
@@ -56,6 +65,12 @@ class TensorImpl {
   void EnsureGrad();
   /// Adds `n` values from `g` into the grad buffer (allocating if needed).
   void AccumGrad(const float* g, int64_t n);
+  /// Re-syncs this impl's contribution to the live-bytes gauge; called after
+  /// (re)allocating data or grad.
+  void SyncBytesAccounting();
+
+ private:
+  int64_t accounted_bytes_ = 0;  ///< bytes currently reported to obs/memory
 };
 
 /// Returns true while gradient recording is enabled on the calling thread
@@ -153,6 +168,28 @@ class Tensor {
   TensorImplPtr impl_;
 };
 
+/// Non-owning handle to a TensorImpl with the read-only accessors an op's
+/// backward closure needs. Backward closures must capture the op's own
+/// output through a TensorRef rather than a Tensor: the closure is stored
+/// inside that output's impl, so an owning capture would be a shared_ptr
+/// self-cycle and every grad-recording forward pass whose result is dropped
+/// without Backward() would leak its graph. The ref is valid whenever the
+/// closure runs, because the closure lives exactly as long as the impl it
+/// points to.
+class TensorRef {
+ public:
+  TensorRef() = default;
+  explicit TensorRef(const Tensor& t) : impl_(t.impl()) {}
+
+  TensorImpl* impl() const { return impl_; }
+  const Shape& shape() const { return impl_->shape; }
+  int64_t numel() const { return impl_->numel(); }
+  const float* data() const { return impl_->data.data(); }
+
+ private:
+  TensorImpl* impl_ = nullptr;
+};
+
 namespace internal {
 /// Sets the calling thread's gradient-mode flag and returns the previous
 /// value. Used by the runtime to propagate the dispatching thread's mode
@@ -165,7 +202,9 @@ bool ExchangeGradEnabled(bool enabled);
 Tensor MakeResult(Shape shape);
 /// Attaches autograd metadata to `out` if grad mode is on and any parent
 /// requires grad. `backward` must read out.impl()->grad and accumulate into
-/// the parents. Returns true if the graph edge was attached.
+/// the parents; it must reference the output only through a TensorRef
+/// (never an owning Tensor capture — see TensorRef). Returns true if the
+/// graph edge was attached.
 bool AttachGrad(Tensor* out, std::vector<Tensor> parents,
                 std::function<void()> backward);
 }  // namespace internal

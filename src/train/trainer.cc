@@ -1,10 +1,15 @@
 #include "train/trainer.h"
 
 #include <chrono>
+#include <fstream>
 #include <memory>
 #include <optional>
+#include <sstream>
 
 #include "nn/serialize.h"
+#include "obs/json.h"
+#include "obs/memory.h"
+#include "obs/trace.h"
 #include "optim/optimizer.h"
 #include "runtime/runtime.h"
 #include "utils/logging.h"
@@ -27,6 +32,28 @@ void RestoreParams(core::SeqRecModel* model,
   for (size_t i = 0; i < params.size(); ++i) params[i].vec() = snap[i];
 }
 
+// Line-per-event JSON stream (TrainConfig::telemetry_path). A failed open
+// degrades to a warning — telemetry must never abort a training run.
+class TelemetryWriter {
+ public:
+  explicit TelemetryWriter(const std::string& path) {
+    if (path.empty()) return;
+    out_.open(path, std::ios::trunc);
+    if (!out_.is_open()) {
+      MISSL_LOG_WARN << "cannot open telemetry file " << path;
+    }
+  }
+  bool enabled() const { return out_.is_open(); }
+  void WriteLine(const std::string& json) {
+    if (!out_.is_open()) return;
+    out_ << json << "\n";
+    out_.flush();  // keep the stream tailable during long runs
+  }
+
+ private:
+  std::ofstream out_;
+};
+
 }  // namespace
 
 TrainResult Fit(core::SeqRecModel* model, const data::Dataset& ds,
@@ -45,6 +72,13 @@ TrainResult Fit(core::SeqRecModel* model, const data::Dataset& ds,
     r.test = evaluator.Evaluate(model, /*test=*/true);
     return r;
   }
+  const bool tracing = !config.trace_path.empty();
+  if (tracing) obs::StartTracing();
+  // Closed (so the "train.fit" span lands in the buffer) before WriteTrace.
+  std::optional<obs::TraceSpan> fit_span;
+  fit_span.emplace("train.fit", "train");
+  TelemetryWriter telemetry(config.telemetry_path);
+
   data::BatchBuilder builder(ds, config.max_len);
   std::unique_ptr<data::NegativeSampler> neg_sampler;
   if (config.train_negatives > 0) {
@@ -63,34 +97,76 @@ TrainResult Fit(core::SeqRecModel* model, const data::Dataset& ds,
 
   auto t0 = std::chrono::steady_clock::now();
   for (int64_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    obs::TraceSpan epoch_span(
+        "train.epoch", "train",
+        tracing ? "{\"epoch\":" + std::to_string(epoch) + "}" : std::string());
+    obs::ResetPeakBytes();  // telemetry reports a per-epoch peak
     model->SetTraining(true);
     batcher.Reset();
     std::vector<data::SplitView::TrainExample> chunk;
     double loss_sum = 0.0;
+    double gnorm_sum = 0.0;
     int64_t batches = 0;
-    while (batcher.Next(&chunk)) {
-      data::Batch batch = builder.Build(chunk);
-      opt.ZeroGrad();
-      Tensor loss = model->Loss(batch);
-      loss.Backward();
-      optim::ClipGradNorm(model->Parameters(), config.clip_norm);
-      opt.Step();
-      loss_sum += loss.item();
-      ++batches;
-      if (config.max_batches_per_epoch > 0 &&
-          batches >= config.max_batches_per_epoch) {
-        break;
+    int64_t examples = 0;
+    auto epoch_t0 = std::chrono::steady_clock::now();
+    {
+      obs::TraceSpan batches_span("train.batches", "train");
+      while (batcher.Next(&chunk)) {
+        data::Batch batch = builder.Build(chunk);
+        opt.ZeroGrad();
+        Tensor loss = model->Loss(batch);
+        loss.Backward();
+        gnorm_sum += optim::ClipGradNorm(model->Parameters(), config.clip_norm);
+        opt.Step();
+        loss_sum += loss.item();
+        ++batches;
+        examples += static_cast<int64_t>(chunk.size());
+        if (config.max_batches_per_epoch > 0 &&
+            batches >= config.max_batches_per_epoch) {
+          break;
+        }
       }
     }
+    double train_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - epoch_t0)
+                               .count();
     result.final_train_loss =
         batches > 0 ? static_cast<float>(loss_sum / batches) : 0.0f;
     ++result.epochs_run;
 
-    eval::EvalResult valid = evaluator.Evaluate(model, /*test=*/false);
+    eval::EvalResult valid;
+    {
+      obs::TraceSpan validate_span("train.validate", "train");
+      valid = evaluator.Evaluate(model, /*test=*/false);
+    }
     if (config.verbose) {
       MISSL_LOG_INFO << model->Name() << " epoch " << epoch
                      << " loss=" << result.final_train_loss
                      << " valid NDCG@10=" << valid.ndcg10;
+    }
+    if (telemetry.enabled()) {
+      obs::MemoryStats mem = obs::CurrentMemoryStats();
+      std::ostringstream line;
+      line << "{\"event\":\"epoch\",\"model\":\""
+           << obs::JsonEscape(model->Name()) << "\",\"epoch\":" << epoch
+           << ",\"loss\":" << obs::JsonNumber(result.final_train_loss)
+           << ",\"grad_norm\":"
+           << obs::JsonNumber(batches > 0 ? gnorm_sum / batches : 0.0)
+           << ",\"lr\":" << obs::JsonNumber(config.lr)
+           << ",\"examples\":" << examples
+           << ",\"train_seconds\":" << obs::JsonNumber(train_seconds)
+           << ",\"examples_per_s\":"
+           << obs::JsonNumber(train_seconds > 0.0 ? examples / train_seconds
+                                                  : 0.0)
+           << ",\"valid_hr10\":" << obs::JsonNumber(valid.hr10)
+           << ",\"valid_ndcg10\":" << obs::JsonNumber(valid.ndcg10)
+           << ",\"valid_mrr\":" << obs::JsonNumber(valid.mrr)
+           << ",\"peak_bytes\":" << mem.peak_bytes
+           << ",\"live_bytes\":" << mem.live_bytes
+           << ",\"live_tensors\":" << mem.live_tensors
+           << ",\"live_autograd_nodes\":" << mem.live_autograd_nodes
+           << ",\"threads\":" << runtime::NumThreads() << "}";
+      telemetry.WriteLine(line.str());
     }
     if (valid.ndcg10 > best_metric) {
       best_metric = valid.ndcg10;
@@ -114,6 +190,29 @@ TrainResult Fit(core::SeqRecModel* model, const data::Dataset& ds,
     }
   }
   result.test = evaluator.Evaluate(model, /*test=*/true);
+
+  if (telemetry.enabled()) {
+    std::ostringstream line;
+    line << "{\"event\":\"final\",\"model\":\"" << obs::JsonEscape(model->Name())
+         << "\",\"epochs_run\":" << result.epochs_run
+         << ",\"total_seconds\":" << obs::JsonNumber(result.total_seconds)
+         << ",\"final_train_loss\":" << obs::JsonNumber(result.final_train_loss)
+         << ",\"best_valid_ndcg10\":"
+         << obs::JsonNumber(result.best_valid.ndcg10)
+         << ",\"test_hr10\":" << obs::JsonNumber(result.test.hr10)
+         << ",\"test_ndcg10\":" << obs::JsonNumber(result.test.ndcg10)
+         << ",\"test_mrr\":" << obs::JsonNumber(result.test.mrr)
+         << ",\"threads\":" << runtime::NumThreads() << "}";
+    telemetry.WriteLine(line.str());
+  }
+  fit_span.reset();
+  if (tracing) {
+    obs::StopTracing();
+    Status s = obs::WriteTrace(config.trace_path);
+    if (!s.ok()) {
+      MISSL_LOG_WARN << "trace write failed: " << s.ToString();
+    }
+  }
   return result;
 }
 

@@ -36,6 +36,13 @@ struct TrainConfig {
   /// When non-empty, the best-validation checkpoint is also written here
   /// (nn::SaveParameters format).
   std::string checkpoint_path;
+  /// When non-empty, one JSON object per epoch (loss, grad norm, throughput,
+  /// eval metrics, peak tensor memory) is appended to this JSONL file, plus a
+  /// final summary line. See docs/OBSERVABILITY.md for the schema.
+  std::string telemetry_path;
+  /// When non-empty, the run is traced (obs::StartTracing) and a Chrome
+  /// trace-event JSON file is written here when Fit returns.
+  std::string trace_path;
   bool verbose = false;
 };
 

@@ -1,6 +1,8 @@
 // Tiny leveled logger used by the trainer and benches; writes to stderr.
-// Call it from the main thread only — ParallelFor bodies must not log
-// (trainer/evaluator log outside parallel regions).
+// Safe to call from any thread: each statement is formatted in its own
+// stream and emitted under a global mutex, so concurrent messages never
+// interleave mid-line. Hot loops should still prefer metrics/tracing
+// (src/obs/) over logging — a log statement costs a lock and an fprintf.
 #ifndef MISSL_UTILS_LOGGING_H_
 #define MISSL_UTILS_LOGGING_H_
 

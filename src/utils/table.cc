@@ -60,6 +60,20 @@ std::string Table::ToString() const {
   return out;
 }
 
-void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+namespace {
+std::function<void(const Table&)>& PrintHook() {
+  static std::function<void(const Table&)> hook;
+  return hook;
+}
+}  // namespace
+
+void SetTablePrintHook(std::function<void(const Table&)> hook) {
+  PrintHook() = std::move(hook);
+}
+
+void Table::Print() const {
+  std::fputs(ToString().c_str(), stdout);
+  if (PrintHook()) PrintHook()(*this);
+}
 
 }  // namespace missl

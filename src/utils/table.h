@@ -2,6 +2,7 @@
 #ifndef MISSL_UTILS_TABLE_H_
 #define MISSL_UTILS_TABLE_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -31,10 +32,20 @@ class Table {
   /// Number of data rows added so far.
   size_t num_rows() const { return rows_.size(); }
 
+  /// Raw cells, for machine-readable mirroring (bench JSON output).
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Observer invoked by Table::Print after rendering; the bench harness uses
+/// it to mirror every printed table into a JSON results file without each
+/// bench knowing about it. Pass nullptr to clear. Not thread-safe: install
+/// before any table is printed (benches print from the main thread).
+void SetTablePrintHook(std::function<void(const Table&)> hook);
 
 }  // namespace missl
 

@@ -1,0 +1,563 @@
+// Tests for the observability subsystem (src/obs/): metrics registry
+// semantics, zero-cost disabled path, concurrent updates from pool workers,
+// Chrome trace export (syntactic validity + span nesting), tensor memory
+// accounting, the autograd-graph leak regression, and end-to-end training
+// telemetry.
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/zoo.h"
+#include "data/synthetic.h"
+#include "obs/json.h"
+#include "obs/memory.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/parallel_for.h"
+#include "runtime/runtime.h"
+#include "tensor/ops.h"
+#include "train/trainer.h"
+#include "utils/rng.h"
+
+namespace missl {
+namespace {
+
+// ---- Minimal strict JSON parser -------------------------------------------
+// Validates the exporters' output without external dependencies. Supports
+// the full JSON grammar the exporters can emit; parse failure fails the test.
+
+struct JVal {
+  enum Type { kNull, kBool, kNum, kStr, kArr, kObj };
+  Type type = kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JVal> arr;
+  std::vector<std::pair<std::string, JVal>> obj;
+
+  const JVal* Get(const std::string& key) const {
+    for (const auto& kv : obj) {
+      if (kv.first == key) return &kv.second;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& s) : s_(s) {}
+
+  bool Parse(JVal* out) {
+    bool ok = Value(out);
+    Ws();
+    return ok && pos_ == s_.size();
+  }
+
+ private:
+  void Ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  bool Literal(const char* lit) {
+    size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool String(std::string* out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return false;
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + i])))
+                return false;
+            }
+            pos_ += 4;
+            out->push_back('?');  // code point value irrelevant for the tests
+            break;
+          }
+          default: return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control characters are invalid JSON
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;
+  }
+  bool Value(JVal* out) {
+    Ws();
+    if (pos_ >= s_.size()) return false;
+    char c = s_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->type = JVal::kObj;
+      Ws();
+      if (pos_ < s_.size() && s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      for (;;) {
+        Ws();
+        std::string key;
+        if (!String(&key)) return false;
+        Ws();
+        if (pos_ >= s_.size() || s_[pos_++] != ':') return false;
+        JVal v;
+        if (!Value(&v)) return false;
+        out->obj.emplace_back(std::move(key), std::move(v));
+        Ws();
+        if (pos_ >= s_.size()) return false;
+        if (s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (s_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->type = JVal::kArr;
+      Ws();
+      if (pos_ < s_.size() && s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      for (;;) {
+        JVal v;
+        if (!Value(&v)) return false;
+        out->arr.push_back(std::move(v));
+        Ws();
+        if (pos_ >= s_.size()) return false;
+        if (s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (s_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '"') {
+      out->type = JVal::kStr;
+      return String(&out->str);
+    }
+    if (c == 't') {
+      out->type = JVal::kBool;
+      out->b = true;
+      return Literal("true");
+    }
+    if (c == 'f') {
+      out->type = JVal::kBool;
+      out->b = false;
+      return Literal("false");
+    }
+    if (c == 'n') return Literal("null");
+    // number
+    size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return false;
+    out->type = JVal::kNum;
+    out->num = std::stod(s_.substr(start, pos_ - start));
+    return true;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+JVal ParseJsonOrFail(const std::string& s, const std::string& what) {
+  JVal v;
+  EXPECT_TRUE(JsonParser(s).Parse(&v)) << what << " is not valid JSON:\n" << s;
+  return v;
+}
+
+// Metrics are opt-in; every test here runs with them on and restores the
+// default (off) afterwards so cross-test state stays predictable.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::SetMetricsEnabled(true); }
+  void TearDown() override {
+    obs::StopTracing();
+    obs::SetMetricsEnabled(false);
+  }
+};
+
+TEST_F(ObsTest, CounterGaugeSemantics) {
+  obs::Counter& c = obs::MetricsRegistry::Global().GetCounter("test.counter");
+  c.Reset();
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42);
+  // Same name resolves to the same instrument.
+  EXPECT_EQ(&c, &obs::MetricsRegistry::Global().GetCounter("test.counter"));
+
+  obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge("test.gauge");
+  g.Set(7);
+  g.Add(-3);
+  EXPECT_EQ(g.value(), 4);
+}
+
+TEST_F(ObsTest, HistogramBucketsAndPercentiles) {
+  obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram("test.hist");
+  h.Reset();
+  h.Observe(0);
+  h.Observe(1);
+  h.Observe(2);
+  h.Observe(3);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.sum(), 6);
+  EXPECT_DOUBLE_EQ(h.mean(), 1.5);
+  EXPECT_EQ(h.bucket(0), 1);  // the value 0
+  EXPECT_EQ(h.bucket(1), 1);  // [1, 1]
+  EXPECT_EQ(h.bucket(2), 2);  // [2, 3]
+  EXPECT_EQ(h.ApproxPercentile(0.5), 1);
+  EXPECT_EQ(h.ApproxPercentile(1.0), 3);
+  // Huge values land in the top bucket instead of overflowing.
+  h.Observe(int64_t{1} << 62);
+  EXPECT_EQ(h.count(), 5);
+}
+
+TEST_F(ObsTest, DisabledPathLeavesInstrumentsUntouched) {
+  obs::Counter& c = obs::MetricsRegistry::Global().GetCounter("test.disabled");
+  obs::Histogram& h =
+      obs::MetricsRegistry::Global().GetHistogram("test.disabled.hist");
+  c.Reset();
+  h.Reset();
+  obs::SetMetricsEnabled(false);
+  c.Add(5);
+  h.Observe(100);
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(h.count(), 0);
+  obs::SetMetricsEnabled(true);
+  c.Add(5);
+  EXPECT_EQ(c.value(), 5);
+}
+
+TEST_F(ObsTest, ConcurrentCounterIncrementsAreExact) {
+  runtime::ScopedNumThreads threads(4);
+  obs::Counter& c = obs::MetricsRegistry::Global().GetCounter("test.parallel");
+  c.Reset();
+  constexpr int64_t kN = 20000;
+  runtime::ParallelFor(0, kN, 64, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) c.Add(1);
+  });
+  EXPECT_EQ(c.value(), kN);
+}
+
+TEST_F(ObsTest, RegistryExportsParse) {
+  obs::MetricsRegistry::Global().GetCounter("test.export").Add(3);
+  obs::MetricsRegistry::Global().GetHistogram("test.export.hist").Observe(9);
+  JVal root =
+      ParseJsonOrFail(obs::MetricsRegistry::Global().ToJson(), "ToJson()");
+  ASSERT_EQ(root.type, JVal::kObj);
+  EXPECT_NE(root.Get("counters"), nullptr);
+  EXPECT_NE(root.Get("gauges"), nullptr);
+  EXPECT_NE(root.Get("histograms"), nullptr);
+  ASSERT_NE(root.Get("memory"), nullptr);
+  EXPECT_NE(root.Get("memory")->Get("live_bytes"), nullptr);
+  // Text export mentions the instrument and the memory gauges.
+  std::string text = obs::MetricsRegistry::Global().ToText();
+  EXPECT_NE(text.find("test.export"), std::string::npos);
+  EXPECT_NE(text.find("memory.live_bytes"), std::string::npos);
+}
+
+TEST_F(ObsTest, JsonEscapeAndNumber) {
+  EXPECT_EQ(obs::JsonEscape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  JVal v = ParseJsonOrFail("\"" + obs::JsonEscape(std::string("\x01\t ok")) +
+                               "\"",
+                           "escaped string");
+  EXPECT_EQ(v.type, JVal::kStr);
+  // Non-finite numbers must not leak into JSON output.
+  EXPECT_EQ(obs::JsonNumber(std::numeric_limits<double>::infinity()), "0");
+}
+
+TEST_F(ObsTest, MemoryAccountingTracksAllocAndFree) {
+  obs::MemoryStats base = obs::CurrentMemoryStats();
+  {
+    Tensor t = Tensor::Zeros({1000});
+    obs::MemoryStats during = obs::CurrentMemoryStats();
+    EXPECT_EQ(during.live_tensors, base.live_tensors + 1);
+    EXPECT_GE(during.live_bytes, base.live_bytes + 4000);
+    // Allocating the grad buffer is accounted too.
+    t.impl()->EnsureGrad();
+    EXPECT_GE(obs::CurrentMemoryStats().live_bytes, base.live_bytes + 8000);
+  }
+  obs::MemoryStats after = obs::CurrentMemoryStats();
+  EXPECT_EQ(after.live_tensors, base.live_tensors);
+  EXPECT_EQ(after.live_bytes, base.live_bytes);
+}
+
+TEST_F(ObsTest, PeakBytesHighWaterMark) {
+  obs::ResetPeakBytes();
+  int64_t floor = obs::CurrentMemoryStats().peak_bytes;
+  { Tensor t = Tensor::Zeros({4096}); }
+  obs::MemoryStats s = obs::CurrentMemoryStats();
+  EXPECT_GE(s.peak_bytes, floor + 4096 * 4);  // tensor is gone, peak remains
+  EXPECT_LT(s.live_bytes, s.peak_bytes);
+  obs::ResetPeakBytes();
+  EXPECT_LT(obs::CurrentMemoryStats().peak_bytes, s.peak_bytes);
+}
+
+// Regression test for the autograd self-cycle leak: backward closures used
+// to capture the op's output Tensor by value, so every grad-recording
+// forward whose result was dropped without Backward() kept its whole graph
+// alive forever. The live-autograd-node gauge must return to baseline both
+// after Backward() and after simply dropping a recorded forward result.
+TEST_F(ObsTest, AutogradGraphReleasedWithAndWithoutBackward) {
+  Rng rng(11);
+  obs::MemoryStats base = obs::CurrentMemoryStats();
+  {
+    Tensor a = Tensor::Randn({8, 8}, &rng, 1.0f, /*requires_grad=*/true);
+    Tensor b = Tensor::Randn({8, 8}, &rng, 1.0f, /*requires_grad=*/true);
+    for (int i = 0; i < 3; ++i) {
+      Tensor loss = Sum(Mul(Relu(MatMul(a, b)), a));
+      EXPECT_GT(obs::CurrentMemoryStats().live_autograd_nodes,
+                base.live_autograd_nodes);
+      loss.Backward();
+      // Backward() clears the visited graph.
+      EXPECT_EQ(obs::CurrentMemoryStats().live_autograd_nodes,
+                base.live_autograd_nodes);
+    }
+    for (int i = 0; i < 3; ++i) {
+      // Dropped without Backward(): destruction alone must free the graph.
+      Tensor dropped = Sum(Mul(Relu(MatMul(a, b)), a));
+    }
+    EXPECT_EQ(obs::CurrentMemoryStats().live_autograd_nodes,
+              base.live_autograd_nodes);
+  }
+  obs::MemoryStats after = obs::CurrentMemoryStats();
+  EXPECT_EQ(after.live_autograd_nodes, base.live_autograd_nodes);
+  EXPECT_EQ(after.live_tensors, base.live_tensors);
+  EXPECT_EQ(after.live_bytes, base.live_bytes);
+}
+
+TEST_F(ObsTest, OpDispatchCountersCountCalls) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn({4, 4}, &rng);
+  Tensor b = Tensor::Randn({4, 4}, &rng);
+  obs::Counter& calls =
+      obs::MetricsRegistry::Global().GetCounter("tensor.op.MatMul.calls");
+  obs::Counter& nanos =
+      obs::MetricsRegistry::Global().GetCounter("tensor.op.MatMul.nanos");
+  int64_t before = calls.value();
+  NoGradGuard ng;
+  for (int i = 0; i < 3; ++i) MatMul(a, b);
+  EXPECT_EQ(calls.value(), before + 3);
+  EXPECT_GT(nanos.value(), 0);
+  // Named elementwise ops go through the shared templates but still count
+  // under their own name.
+  int64_t add_before =
+      obs::MetricsRegistry::Global().GetCounter("tensor.op.Add.calls").value();
+  Add(a, b);
+  EXPECT_EQ(
+      obs::MetricsRegistry::Global().GetCounter("tensor.op.Add.calls").value(),
+      add_before + 1);
+}
+
+// Extracts (tid, start_us, end_us, name) for every trace event.
+struct SpanRec {
+  double tid;
+  double ts;
+  double end;
+  std::string name;
+};
+
+std::vector<SpanRec> ExtractSpans(const JVal& root) {
+  std::vector<SpanRec> spans;
+  const JVal* events = root.Get("traceEvents");
+  if (events == nullptr) return spans;
+  for (const JVal& e : events->arr) {
+    SpanRec r;
+    r.tid = e.Get("tid")->num;
+    r.ts = e.Get("ts")->num;
+    r.end = r.ts + e.Get("dur")->num;
+    r.name = e.Get("name")->str;
+    spans.push_back(std::move(r));
+  }
+  return spans;
+}
+
+TEST_F(ObsTest, TraceExportIsValidAndWellNested) {
+  runtime::ScopedNumThreads threads(2);
+  obs::StartTracing();
+  {
+    obs::TraceSpan outer("outer", "test", "{\"k\":1}");
+    {
+      obs::TraceSpan inner("inner", "test");
+      Rng rng(5);
+      Tensor a = Tensor::Randn({64, 64}, &rng);
+      NoGradGuard ng;
+      MatMul(a, a);  // fans out -> pool.job + pool.run spans
+    }
+  }
+  obs::StopTracing();
+  EXPECT_GT(obs::TraceEventCount(), 0u);
+
+  JVal root = ParseJsonOrFail(obs::TraceToJson(), "trace");
+  ASSERT_EQ(root.type, JVal::kObj);
+  ASSERT_NE(root.Get("traceEvents"), nullptr);
+  std::vector<SpanRec> spans = ExtractSpans(root);
+  ASSERT_GE(spans.size(), 3u);
+
+  auto has = [&](const char* name) {
+    for (const auto& s : spans) {
+      if (s.name == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("outer"));
+  EXPECT_TRUE(has("inner"));
+  EXPECT_TRUE(has("MatMul"));
+  EXPECT_TRUE(has("pool.job"));
+
+  // Spans on one thread's track must nest: any two either don't overlap or
+  // one contains the other. RAII scopes guarantee this by construction; a
+  // violation means ts/dur bookkeeping is broken.
+  for (size_t i = 0; i < spans.size(); ++i) {
+    for (size_t j = i + 1; j < spans.size(); ++j) {
+      const SpanRec& x = spans[i];
+      const SpanRec& y = spans[j];
+      if (x.tid != y.tid) continue;
+      bool disjoint = x.end <= y.ts || y.end <= x.ts;
+      bool x_in_y = y.ts <= x.ts && x.end <= y.end;
+      bool y_in_x = x.ts <= y.ts && y.end <= x.end;
+      EXPECT_TRUE(disjoint || x_in_y || y_in_x)
+          << x.name << " [" << x.ts << ", " << x.end << ") vs " << y.name
+          << " [" << y.ts << ", " << y.end << ") on tid " << x.tid;
+    }
+  }
+
+  // Disabled spans record nothing.
+  size_t count = obs::TraceEventCount();
+  { obs::TraceSpan ignored("ignored", "test"); }
+  EXPECT_EQ(obs::TraceEventCount(), count);
+  obs::ClearTrace();
+  EXPECT_EQ(obs::TraceEventCount(), 0u);
+}
+
+TEST_F(ObsTest, TrainTelemetrySmoke) {
+  data::SyntheticConfig cfg;
+  cfg.num_users = 60;
+  cfg.num_items = 220;
+  cfg.min_events = 15;
+  cfg.max_events = 25;
+  cfg.seed = 33;
+  data::Dataset ds = data::GenerateSynthetic(cfg);
+  data::SplitView split(ds);
+  eval::EvalConfig ec;
+  ec.max_len = 15;
+  eval::Evaluator evaluator(ds, split, ec);
+
+  baselines::ZooConfig zc;
+  zc.dim = 16;
+  zc.max_len = 15;
+  zc.num_interests = 2;
+  auto model = baselines::CreateModel("MISSL", ds, zc);
+
+  const std::string trace_path = "obs_test_trace.json";
+  const std::string telemetry_path = "obs_test_telemetry.jsonl";
+  train::TrainConfig tc;
+  tc.max_epochs = 2;
+  tc.max_batches_per_epoch = 4;
+  tc.max_len = ec.max_len;
+  tc.batch_size = 32;
+  tc.num_threads = 2;  // so the trace contains pool-worker tracks
+  tc.trace_path = trace_path;
+  tc.telemetry_path = telemetry_path;
+  train::TrainResult result =
+      train::Fit(model.get(), ds, split, evaluator, tc);
+  EXPECT_EQ(result.epochs_run, 2);
+
+  // Telemetry: one epoch line per epoch plus a final summary, all valid JSON.
+  std::ifstream tf(telemetry_path);
+  ASSERT_TRUE(tf.is_open());
+  std::string line;
+  int64_t epoch_lines = 0, final_lines = 0;
+  while (std::getline(tf, line)) {
+    if (line.empty()) continue;
+    JVal v = ParseJsonOrFail(line, "telemetry line");
+    ASSERT_NE(v.Get("event"), nullptr);
+    if (v.Get("event")->str == "epoch") {
+      ++epoch_lines;
+      EXPECT_NE(v.Get("loss"), nullptr);
+      EXPECT_NE(v.Get("grad_norm"), nullptr);
+      EXPECT_NE(v.Get("examples_per_s"), nullptr);
+      EXPECT_NE(v.Get("valid_ndcg10"), nullptr);
+      ASSERT_NE(v.Get("peak_bytes"), nullptr);
+      EXPECT_GT(v.Get("peak_bytes")->num, 0);
+      EXPECT_EQ(v.Get("threads")->num, 2);
+    } else {
+      EXPECT_EQ(v.Get("event")->str, "final");
+      ++final_lines;
+      EXPECT_NE(v.Get("test_ndcg10"), nullptr);
+    }
+  }
+  EXPECT_EQ(epoch_lines, result.epochs_run);
+  EXPECT_EQ(final_lines, 1);
+
+  // Trace: valid Chrome trace JSON with spans from all three layers —
+  // trainer epochs, tensor ops, and the runtime pool.
+  std::ifstream trf(trace_path);
+  ASSERT_TRUE(trf.is_open());
+  std::stringstream buf;
+  buf << trf.rdbuf();
+  JVal root = ParseJsonOrFail(buf.str(), "training trace");
+  std::vector<SpanRec> spans = ExtractSpans(root);
+  auto count_named = [&](const char* name) {
+    int64_t n = 0;
+    for (const auto& s : spans) {
+      if (s.name == name) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count_named("train.fit"), 1);
+  EXPECT_EQ(count_named("train.epoch"), result.epochs_run);
+  EXPECT_GT(count_named("train.validate"), 0);
+  EXPECT_GT(count_named("eval.evaluate"), 0);
+  EXPECT_GT(count_named("Tensor::Backward"), 0);
+  EXPECT_GT(count_named("MatMul"), 0);
+  EXPECT_GT(count_named("pool.job"), 0);
+  EXPECT_GT(count_named("pool.run"), 0);
+
+  std::remove(trace_path.c_str());
+  std::remove(telemetry_path.c_str());
+}
+
+}  // namespace
+}  // namespace missl
