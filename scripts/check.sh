@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# Local reproduction of the three CI jobs (.github/workflows/ci.yml):
+# Local reproduction of the CI jobs (.github/workflows/ci.yml):
 #   1. Release build + full ctest suite, serial and with MISSL_NUM_THREADS=4
 #   2. ASan+UBSan build + full ctest suite
-#   3. TSan build, running the threaded tests (runtime_test, models_test)
+#   3. TSan build, running the threaded tests (runtime_test, models_test,
+#      serve_test — the serving micro-batcher must stay race-free)
+#   4. Documentation consistency (scripts/check_docs.sh)
 #
 # Usage:
-#   scripts/check.sh            # all three jobs
-#   scripts/check.sh release    # just one job: release | asan | tsan
+#   scripts/check.sh            # all four jobs
+#   scripts/check.sh release    # just one job: release | asan | tsan | docs
 #
 # Each job uses its own build directory (build-check-*) so the regular
 # ./build tree is left untouched.
@@ -14,7 +16,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=("${1:-all}")
-[[ "${jobs[0]}" == "all" ]] && jobs=(release asan tsan)
+[[ "${jobs[0]}" == "all" ]] && jobs=(docs release asan tsan)
 
 run_release() {
   echo "=== [release] Release build + full test suite ==="
@@ -41,9 +43,16 @@ run_tsan() {
   echo "=== [tsan] TSan build + threaded tests ==="
   cmake -B build-check-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DMISSL_SANITIZE=thread
-  cmake --build build-check-tsan -j"$(nproc)" --target runtime_test models_test
+  cmake --build build-check-tsan -j"$(nproc)" \
+        --target runtime_test models_test serve_test
   TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/runtime_test
   TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/models_test
+  TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/serve_test
+}
+
+run_docs() {
+  echo "=== [docs] documentation consistency ==="
+  scripts/check_docs.sh
 }
 
 for job in "${jobs[@]}"; do
@@ -51,7 +60,8 @@ for job in "${jobs[@]}"; do
     release) run_release ;;
     asan)    run_asan ;;
     tsan)    run_tsan ;;
-    *) echo "unknown job '$job' (expected release|asan|tsan|all)" >&2; exit 2 ;;
+    docs)    run_docs ;;
+    *) echo "unknown job '$job' (expected release|asan|tsan|docs|all)" >&2; exit 2 ;;
   esac
 done
 echo "All requested checks passed."

@@ -249,4 +249,26 @@ Tensor MisslModel::ScoreCandidates(const data::Batch& batch,
                                       batch.batch_size, num_cands);
 }
 
+Tensor MisslModel::PrecomputeCatalog() const {
+  NoGradGuard ng;
+  return Transpose(item_emb_.weight());  // [d, V]
+}
+
+Tensor MisslModel::ScoreAllItems(const data::Batch& batch, int32_t num_items,
+                                 const Tensor& catalog) {
+  MISSL_CHECK(num_items == num_items_)
+      << "catalog size mismatch: model has " << num_items_ << " items, caller "
+      << "asked for " << num_items;
+  Tensor cat = catalog.defined() ? catalog : PrecomputeCatalog();
+  MISSL_CHECK(cat.dim() == 2 && cat.size(0) == config_.dim &&
+              cat.size(1) == num_items_)
+      << "catalog must be the [d, V] transposed item table, got "
+      << ShapeToString(cat.shape());
+  Tensor interests = UserInterests(batch);  // [B, K, d]
+  if (config_.routing == InterestRouting::kMean) {
+    return MatMul(Mean(interests, 1, /*keepdim=*/false), cat);  // [B, V]
+  }
+  return Max(MatMul(interests, cat), 1, /*keepdim=*/false);  // [B, V]
+}
+
 }  // namespace missl::core

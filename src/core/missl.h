@@ -79,6 +79,19 @@ class MisslModel : public SeqRecModel {
                          const std::vector<int32_t>& cand_ids,
                          int64_t num_cands) override;
 
+  /// Full-catalog scoring without the per-call [B, V, d] candidate gather:
+  /// interests [B, K, d] are multiplied against the transposed item table
+  /// [d, V] (taken from `catalog` when defined, recomputed otherwise) and
+  /// max-reduced over K. Bitwise-identical to scoring the full id list
+  /// through ScoreCandidates — the GEMM accumulates over d in the same
+  /// order either way.
+  Tensor ScoreAllItems(const data::Batch& batch, int32_t num_items,
+                       const Tensor& catalog = Tensor()) override;
+
+  /// The transposed item-embedding table [d, V], the `catalog` argument of
+  /// ScoreAllItems. Servers cache this once after freezing the weights.
+  Tensor PrecomputeCatalog() const override;
+
   /// Fused user interests [B, K, d] (exposed for the visualization bench
   /// and the interest-explorer example).
   Tensor UserInterests(const data::Batch& batch);
@@ -88,6 +101,9 @@ class MisslModel : public SeqRecModel {
 
   const MisslConfig& config() const { return config_; }
   int64_t num_interests() const { return k_; }
+  /// History window the position table was sized for; serving batches must
+  /// use exactly this length.
+  int64_t max_len() const { return max_len_; }
   /// The learned item table [V, d] (for catalog scoring / introspection).
   const Tensor& item_embedding() const { return item_emb_.weight(); }
 

@@ -1,0 +1,19 @@
+#include "core/model.h"
+
+#include "utils/check.h"
+
+namespace missl::core {
+
+Tensor SeqRecModel::ScoreAllItems(const data::Batch& batch, int32_t num_items,
+                                  const Tensor& /*catalog*/) {
+  MISSL_CHECK(num_items > 0);
+  std::vector<int32_t> cand_ids;
+  cand_ids.reserve(static_cast<size_t>(batch.batch_size) *
+                   static_cast<size_t>(num_items));
+  for (int64_t row = 0; row < batch.batch_size; ++row) {
+    for (int32_t i = 0; i < num_items; ++i) cand_ids.push_back(i);
+  }
+  return ScoreCandidates(batch, cand_ids, num_items);
+}
+
+}  // namespace missl::core

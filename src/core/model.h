@@ -30,6 +30,23 @@ class SeqRecModel : public nn::Module {
   virtual Tensor ScoreCandidates(const data::Batch& batch,
                                  const std::vector<int32_t>& cand_ids,
                                  int64_t num_cands) = 0;
+
+  /// Inference entry: scores the whole catalog [0, num_items) and returns
+  /// [batch_size, num_items]. `catalog` may carry the model-specific matrix
+  /// returned by PrecomputeCatalog() — the serving path (src/serve/) computes
+  /// it once at load time and reuses it across requests; an undefined tensor
+  /// means "derive everything from the current weights". Both code paths
+  /// must produce bitwise-identical scores (the serve-vs-offline parity
+  /// tests depend on it). The default implementation ignores `catalog` and
+  /// scores via ScoreCandidates over an explicit full-catalog id list.
+  virtual Tensor ScoreAllItems(const data::Batch& batch, int32_t num_items,
+                               const Tensor& catalog = Tensor());
+
+  /// Precomputed full-catalog scoring matrix for ScoreAllItems (e.g. the
+  /// transposed item-embedding table). Only meaningful while the weights do
+  /// not change — callers are expected to hold frozen (inference-loaded)
+  /// parameters. Default: undefined tensor (no fast path).
+  virtual Tensor PrecomputeCatalog() const { return Tensor(); }
 };
 
 }  // namespace missl::core

@@ -6,6 +6,16 @@
 
 namespace missl::data {
 
+int32_t RecencyBucket(int64_t gap) {
+  if (gap < 0) gap = 0;
+  int32_t bucket = 0;
+  while (bucket < kNumRecencyBuckets - 1 &&
+         (int64_t{1} << (bucket + 1)) <= gap + 1) {
+    ++bucket;
+  }
+  return bucket;
+}
+
 BatchBuilder::BatchBuilder(const Dataset& ds, int64_t max_len)
     : ds_(&ds), max_len_(max_len) {
   MISSL_CHECK(max_len > 0) << "max_len must be positive";
@@ -55,13 +65,8 @@ Batch BatchBuilder::Build(const std::vector<SplitView::TrainExample>& examples) 
       b.merged_items[static_cast<size_t>(pos)] = e.item;
       b.merged_behaviors[static_cast<size_t>(pos)] =
           static_cast<int32_t>(e.behavior);
-      int64_t gap = tgt.timestamp - e.timestamp;
-      if (gap < 0) gap = 0;
-      int32_t bucket = 0;
-      while (bucket < kNumRecencyBuckets - 1 && (int64_t{1} << (bucket + 1)) <= gap + 1) {
-        ++bucket;
-      }
-      b.merged_recency[static_cast<size_t>(pos)] = bucket;
+      b.merged_recency[static_cast<size_t>(pos)] =
+          RecencyBucket(tgt.timestamp - e.timestamp);
     }
 
     // Per-behavior streams: last max_len events of each channel.

@@ -71,6 +71,12 @@ class BatchBuilder {
 /// Number of recency buckets emitted in Batch::merged_recency.
 inline constexpr int32_t kNumRecencyBuckets = 16;
 
+/// Log2 recency bucket for a time gap (negative gaps clamp to 0):
+/// min(kNumRecencyBuckets - 1, floor(log2(1 + gap))). Shared by the
+/// training-time BatchBuilder and the serving-time query collator
+/// (src/serve/), which must bucket identically.
+int32_t RecencyBucket(int64_t gap);
+
 /// Negative sampler that avoids a user's entire interacted item set.
 /// Supports uniform draws and popularity-weighted draws (negatives
 /// proportional to global interaction counts — a harder protocol, since

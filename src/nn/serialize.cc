@@ -123,4 +123,12 @@ Status LoadParameters(Module* module, const std::string& path) {
   return Status::OK();
 }
 
+Status LoadParametersForInference(Module* module, const std::string& path) {
+  Status s = LoadParameters(module, path);
+  if (!s.ok()) return s;
+  module->SetTraining(false);
+  for (Tensor t : module->Parameters()) t.set_requires_grad(false);
+  return Status::OK();
+}
+
 }  // namespace missl::nn

@@ -22,6 +22,13 @@ Status SaveParameters(const Module& module, const std::string& path);
 /// an error (checkpoints are model-specific).
 Status LoadParameters(Module* module, const std::string& path);
 
+/// Loads parameters like LoadParameters, then puts the module in inference
+/// state: eval mode (dropout off) and requires_grad cleared on every
+/// parameter, so forward passes record no autograd graph even outside a
+/// NoGradGuard. This is the entry point of the online serving path
+/// (src/serve/); the loaded weights are treated as immutable from here on.
+Status LoadParametersForInference(Module* module, const std::string& path);
+
 }  // namespace missl::nn
 
 #endif  // MISSL_NN_SERIALIZE_H_

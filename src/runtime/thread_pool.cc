@@ -17,6 +17,14 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::Prewarm(int participants) {
+  if (participants <= 1) return;
+  // job_mu_ orders this against concurrent Run calls, exactly like the
+  // EnsureWorkers call inside Run.
+  std::lock_guard<std::mutex> job_lock(job_mu_);
+  EnsureWorkers(participants - 1);
+}
+
 int ThreadPool::num_workers() const {
   std::lock_guard<std::mutex> l(mu_);
   return static_cast<int>(workers_.size());

@@ -37,6 +37,12 @@ class ThreadPool {
   void Run(int64_t nchunks, int participants,
            const std::function<void(int64_t)>& fn);
 
+  /// Pre-spawns enough workers for a `participants`-thread job so the first
+  /// job after startup does not pay thread-creation latency. Used by the
+  /// serving path (src/serve/), where the first request's tail latency
+  /// matters. Safe to call concurrently with running jobs; never shrinks.
+  void Prewarm(int participants);
+
   /// Workers currently alive (grows on demand, never shrinks).
   int num_workers() const;
 

@@ -1,0 +1,123 @@
+#include "serve/protocol.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace missl::serve {
+
+namespace {
+
+std::vector<std::string> SplitOn(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool ParseInt64(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseInt32(const std::string& s, int32_t* out) {
+  int64_t v = 0;
+  if (!ParseInt64(s, &v) || v < INT32_MIN || v > INT32_MAX) return false;
+  *out = static_cast<int32_t>(v);
+  return true;
+}
+
+}  // namespace
+
+Status ParseQueryLine(const std::string& line, ParsedQuery* out) {
+  std::vector<std::string> fields = SplitOn(line, '\t');
+  if (fields.size() < 3 || fields.size() > 4) {
+    return Status::InvalidArgument(
+        "expected 'id<TAB>k<TAB>history[<TAB>exclude]', got " +
+        std::to_string(fields.size()) + " fields");
+  }
+  ParsedQuery parsed;
+  if (!ParseInt64(fields[0], &parsed.id) || parsed.id < 0) {
+    return Status::InvalidArgument("bad query id: '" + fields[0] + "'");
+  }
+  if (!ParseInt32(fields[1], &parsed.query.k) || parsed.query.k < 1) {
+    return Status::InvalidArgument("bad k: '" + fields[1] + "'");
+  }
+  if (fields[2].empty()) {
+    return Status::InvalidArgument("empty history");
+  }
+  bool has_timestamps = false;
+  std::vector<std::string> events = SplitOn(fields[2], ',');
+  for (size_t i = 0; i < events.size(); ++i) {
+    std::vector<std::string> parts = SplitOn(events[i], ':');
+    if (parts.size() != 2 && parts.size() != 3) {
+      return Status::InvalidArgument("bad history event '" + events[i] +
+                                     "' (want item:behavior[:timestamp])");
+    }
+    int32_t item = 0, behavior = 0;
+    if (!ParseInt32(parts[0], &item) || item < 0 ||
+        !ParseInt32(parts[1], &behavior) || behavior < 0) {
+      return Status::InvalidArgument("bad history event '" + events[i] + "'");
+    }
+    if (i == 0) {
+      has_timestamps = parts.size() == 3;
+    } else if (has_timestamps != (parts.size() == 3)) {
+      return Status::InvalidArgument(
+          "timestamps must be present on all events or none");
+    }
+    parsed.query.items.push_back(item);
+    parsed.query.behaviors.push_back(behavior);
+    if (parts.size() == 3) {
+      int64_t ts = 0;
+      if (!ParseInt64(parts[2], &ts)) {
+        return Status::InvalidArgument("bad timestamp in '" + events[i] + "'");
+      }
+      parsed.query.timestamps.push_back(ts);
+    }
+  }
+  if (has_timestamps && !parsed.query.timestamps.empty()) {
+    // Recency buckets are relative to the most recent event by default.
+    parsed.query.now = parsed.query.timestamps.back();
+  }
+  if (fields.size() == 4 && !fields[3].empty() && fields[3] != "-") {
+    for (const std::string& tok : SplitOn(fields[3], ',')) {
+      int32_t item = 0;
+      if (!ParseInt32(tok, &item) || item < 0) {
+        return Status::InvalidArgument("bad exclude id: '" + tok + "'");
+      }
+      parsed.query.exclude.push_back(item);
+    }
+  }
+  *out = std::move(parsed);
+  return Status::OK();
+}
+
+std::string TopKToJson(int64_t id, const TopKResult& result) {
+  std::string out = "{\"id\":" + std::to_string(id) +
+                    ",\"k\":" + std::to_string(result.items.size()) +
+                    ",\"items\":[";
+  for (size_t i = 0; i < result.items.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(result.items[i]);
+  }
+  out += "],\"scores\":[";
+  for (size_t i = 0; i < result.scores.size(); ++i) {
+    if (i > 0) out += ',';
+    out += obs::JsonNumber(result.scores[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace missl::serve

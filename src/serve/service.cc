@@ -1,0 +1,279 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "core/recommend.h"
+#include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/runtime.h"
+#include "runtime/thread_pool.h"
+#include "utils/check.h"
+
+namespace missl::serve {
+
+namespace {
+
+struct ServeMetrics {
+  obs::Counter& requests;
+  obs::Counter& batches;
+  obs::Histogram& batch_size;
+  obs::Histogram& queue_wait_ns;
+  obs::Histogram& request_ns;
+
+  static ServeMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static ServeMetrics m{reg.GetCounter("serve.requests"),
+                          reg.GetCounter("serve.batches"),
+                          reg.GetHistogram("serve.batch_size"),
+                          reg.GetHistogram("serve.queue_wait_ns"),
+                          reg.GetHistogram("serve.request_ns")};
+    return m;
+  }
+};
+
+}  // namespace
+
+data::Batch BuildQueryBatch(const std::vector<const Query*>& queries,
+                            int64_t max_len, int32_t num_behaviors) {
+  MISSL_CHECK(!queries.empty() && max_len > 0 && num_behaviors > 0);
+  data::Batch b;
+  b.batch_size = static_cast<int64_t>(queries.size());
+  b.max_len = max_len;
+  b.num_behaviors = num_behaviors;
+  int64_t bt = b.batch_size * max_len;
+  b.beh_items.assign(static_cast<size_t>(num_behaviors),
+                     std::vector<int32_t>(static_cast<size_t>(bt), -1));
+  b.merged_items.assign(static_cast<size_t>(bt), -1);
+  b.merged_behaviors.assign(static_cast<size_t>(bt), -1);
+  b.merged_recency.assign(static_cast<size_t>(bt), -1);
+  b.users.resize(static_cast<size_t>(b.batch_size));
+  // Inference batches carry no label; -1 fails loudly if a training path
+  // ever embeds it as a target.
+  b.targets.assign(static_cast<size_t>(b.batch_size), -1);
+  b.target_behavior.assign(static_cast<size_t>(b.batch_size),
+                           num_behaviors - 1);
+
+  for (int64_t row = 0; row < b.batch_size; ++row) {
+    const Query& q = *queries[static_cast<size_t>(row)];
+    int64_t total = static_cast<int64_t>(q.items.size());
+    MISSL_CHECK(static_cast<int64_t>(q.behaviors.size()) == total)
+        << "items/behaviors length mismatch";
+    MISSL_CHECK(q.timestamps.empty() ||
+                static_cast<int64_t>(q.timestamps.size()) == total)
+        << "timestamps length mismatch";
+    b.users[static_cast<size_t>(row)] = static_cast<int32_t>(row);
+
+    // Merged stream: last max_len events, front-padded.
+    int64_t start = std::max<int64_t>(0, total - max_len);
+    int64_t n = total - start;
+    for (int64_t i = 0; i < n; ++i) {
+      size_t src = static_cast<size_t>(start + i);
+      int64_t pos = row * max_len + (max_len - n + i);
+      b.merged_items[static_cast<size_t>(pos)] = q.items[src];
+      b.merged_behaviors[static_cast<size_t>(pos)] = q.behaviors[src];
+      int64_t gap = q.timestamps.empty() ? 0 : q.now - q.timestamps[src];
+      b.merged_recency[static_cast<size_t>(pos)] = data::RecencyBucket(gap);
+    }
+
+    // Per-behavior streams: last max_len events of each channel, taken from
+    // the full history (matching data::BatchBuilder).
+    for (int32_t beh = 0; beh < num_behaviors; ++beh) {
+      std::vector<int32_t> items;
+      for (int64_t i = 0; i < total; ++i) {
+        if (q.behaviors[static_cast<size_t>(i)] == beh) {
+          items.push_back(q.items[static_cast<size_t>(i)]);
+        }
+      }
+      int64_t cnt = static_cast<int64_t>(items.size());
+      int64_t keep = std::min(cnt, max_len);
+      for (int64_t i = 0; i < keep; ++i) {
+        int64_t pos = row * max_len + (max_len - keep + i);
+        b.beh_items[static_cast<size_t>(beh)][static_cast<size_t>(pos)] =
+            items[static_cast<size_t>(cnt - keep + i)];
+      }
+    }
+  }
+  return b;
+}
+
+data::Batch BuildQueryBatch(const std::vector<Query>& queries, int64_t max_len,
+                            int32_t num_behaviors) {
+  std::vector<const Query*> ptrs;
+  ptrs.reserve(queries.size());
+  for (const Query& q : queries) ptrs.push_back(&q);
+  return BuildQueryBatch(ptrs, max_len, num_behaviors);
+}
+
+RecoService::RecoService(std::unique_ptr<core::SeqRecModel> model,
+                         int32_t num_items, int32_t num_behaviors,
+                         const ServeConfig& config)
+    : model_(std::move(model)),
+      num_items_(num_items),
+      num_behaviors_(num_behaviors),
+      config_(config) {}
+
+std::unique_ptr<RecoService> RecoService::Load(
+    std::unique_ptr<core::SeqRecModel> model, int32_t num_items,
+    int32_t num_behaviors, const std::string& checkpoint_path,
+    const ServeConfig& config, Status* status) {
+  MISSL_CHECK(model != nullptr && status != nullptr);
+  MISSL_CHECK(num_items > 0 && num_behaviors > 0 && config.max_len > 0 &&
+              config.max_batch > 0 && config.max_wait_us >= 0);
+  *status = nn::LoadParametersForInference(model.get(), checkpoint_path);
+  if (!status->ok()) return nullptr;
+  std::unique_ptr<RecoService> svc(new RecoService(
+      std::move(model), num_items, num_behaviors, config));
+  {
+    // Weights are frozen from here on, so the catalog matrix stays valid for
+    // the service lifetime.
+    NoGradGuard ng;
+    svc->catalog_ = svc->model_->PrecomputeCatalog();
+  }
+  int threads = config.num_threads > 0 ? config.num_threads
+                                       : runtime::NumThreads();
+  runtime::ThreadPool::Global().Prewarm(threads);
+  svc->dispatcher_ = std::thread([s = svc.get()] { s->DispatcherLoop(); });
+  return svc;
+}
+
+RecoService::~RecoService() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+Status RecoService::TopK(const Query& query, TopKResult* out) {
+  MISSL_CHECK(out != nullptr);
+  if (query.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (query.items.size() != query.behaviors.size()) {
+    return Status::InvalidArgument("items/behaviors length mismatch");
+  }
+  if (!query.timestamps.empty() &&
+      query.timestamps.size() != query.items.size()) {
+    return Status::InvalidArgument("timestamps length mismatch");
+  }
+  for (size_t i = 0; i < query.items.size(); ++i) {
+    if (query.items[i] < 0 || query.items[i] >= num_items_) {
+      return Status::InvalidArgument(
+          "history item id out of range: " + std::to_string(query.items[i]));
+    }
+    if (query.behaviors[i] < 0 || query.behaviors[i] >= num_behaviors_) {
+      return Status::InvalidArgument(
+          "behavior id out of range: " + std::to_string(query.behaviors[i]));
+    }
+  }
+
+  std::future<TopKResult> future;
+  int64_t enqueue_ns = obs::NowNanos();
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (stop_) return Status::Internal("service is shutting down");
+    queue_.push_back(Pending{&query, std::promise<TopKResult>(), enqueue_ns});
+    future = queue_.back().promise.get_future();
+  }
+  cv_.notify_all();
+  *out = future.get();
+  ServeMetrics::Get().request_ns.Observe(obs::NowNanos() - enqueue_ns);
+  return Status::OK();
+}
+
+void RecoService::DispatcherLoop() {
+  // The whole serving path is inference-only; the guard (inherited by pool
+  // workers, see runtime/parallel_for.h) makes that structural.
+  NoGradGuard ng;
+  ServeMetrics& metrics = ServeMetrics::Get();
+  std::unique_lock<std::mutex> l(mu_);
+  for (;;) {
+    cv_.wait(l, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;  // drained: only exit once no work remains
+      continue;
+    }
+    if (static_cast<int32_t>(queue_.size()) < config_.max_batch &&
+        config_.max_wait_us > 0 && !stop_) {
+      // Hold the batch open briefly so concurrent callers coalesce into one
+      // forward instead of paying a model pass each.
+      auto deadline = std::chrono::steady_clock::now() +
+                      std::chrono::microseconds(config_.max_wait_us);
+      cv_.wait_until(l, deadline, [&] {
+        return stop_ ||
+               static_cast<int32_t>(queue_.size()) >= config_.max_batch;
+      });
+    }
+    size_t take = std::min<size_t>(queue_.size(),
+                                   static_cast<size_t>(config_.max_batch));
+    std::vector<Pending> work;
+    work.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      work.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    // Account for the batch before releasing the lock: ProcessBatch resolves
+    // the client futures, and a client that returns from TopK must observe
+    // counters that already include its own batch.
+    batches_run_ += 1;
+    requests_served_ += static_cast<int64_t>(work.size());
+    metrics.batches.Add(1);
+    metrics.requests.Add(static_cast<int64_t>(work.size()));
+    metrics.batch_size.Observe(static_cast<int64_t>(work.size()));
+    l.unlock();
+    ProcessBatch(&work);
+    l.lock();
+  }
+}
+
+void RecoService::ProcessBatch(std::vector<Pending>* work) {
+  ServeMetrics& metrics = ServeMetrics::Get();
+  int64_t start_ns = obs::NowNanos();
+  for (const Pending& p : *work) {
+    metrics.queue_wait_ns.Observe(start_ns - p.enqueue_ns);
+  }
+  obs::TraceSpan span(
+      "serve.batch", "serve",
+      obs::TracingEnabled()
+          ? "{\"size\":" + std::to_string(work->size()) + "}"
+          : std::string());
+
+  runtime::ScopedNumThreads threads_override(
+      config_.num_threads > 0 ? config_.num_threads : runtime::NumThreads());
+  std::vector<const Query*> queries;
+  queries.reserve(work->size());
+  for (const Pending& p : *work) queries.push_back(p.query);
+  data::Batch batch =
+      BuildQueryBatch(queries, config_.max_len, num_behaviors_);
+  Tensor scores = model_->ScoreAllItems(batch, num_items_, catalog_);
+
+  std::vector<int32_t> sorted_excl;
+  for (size_t row = 0; row < work->size(); ++row) {
+    const Pending& p = (*work)[row];
+    const float* rs = scores.data() + static_cast<int64_t>(row) * num_items_;
+    const std::vector<int32_t>* excl = nullptr;
+    if (!p.query->exclude.empty()) {
+      sorted_excl = p.query->exclude;
+      std::sort(sorted_excl.begin(), sorted_excl.end());
+      excl = &sorted_excl;
+    }
+    TopKResult result;
+    core::TopKRow(rs, num_items_, excl, p.query->k, &result.items,
+                  &result.scores);
+    (*work)[row].promise.set_value(std::move(result));
+  }
+}
+
+int64_t RecoService::batches_run() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return batches_run_;
+}
+
+int64_t RecoService::requests_served() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return requests_served_;
+}
+
+}  // namespace missl::serve

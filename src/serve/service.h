@@ -1,0 +1,134 @@
+// Online serving: a thread-safe RecoService that loads a frozen SeqRecModel
+// from an nn::SaveParameters checkpoint and answers concurrent top-K queries
+// through a micro-batcher.
+//
+// Request flow (see docs/SERVING.md for the full architecture):
+//
+//   client threads ──TopK()──► pending queue ──► dispatcher thread
+//                                                  │ coalesces up to
+//                                                  │ max_batch queries,
+//                                                  │ waiting max_wait_us
+//                                                  ▼
+//                                       one ScoreAllItems forward on the
+//                                       runtime pool + per-row TopKRow
+//                                                  │
+//   client threads ◄──std::future◄─────────────────┘
+//
+// Determinism: every model op is row-independent, so a query's top-K list is
+// bitwise identical no matter which requests it was coalesced with — and
+// identical to the offline core::RecommendTopN path on the same history
+// (tests/serve_test.cc holds both properties under concurrency).
+#ifndef MISSL_SERVE_SERVICE_H_
+#define MISSL_SERVE_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/model.h"
+#include "data/batch.h"
+#include "utils/status.h"
+
+namespace missl::serve {
+
+/// One user query: the recent event history, oldest first.
+struct Query {
+  std::vector<int32_t> items;       ///< history item ids, oldest first
+  std::vector<int32_t> behaviors;   ///< parallel behavior channel per event
+  std::vector<int64_t> timestamps;  ///< optional; empty => no recency signal
+  int64_t now = 0;       ///< reference time for recency buckets (vs timestamps)
+  std::vector<int32_t> exclude;     ///< item ids to exclude (any order)
+  int32_t k = 10;                   ///< list length to return
+};
+
+/// One answer: top-k items, best first, with their scores.
+struct TopKResult {
+  std::vector<int32_t> items;
+  std::vector<float> scores;
+};
+
+/// Serving knobs. `max_len` must equal the history window the model was
+/// constructed with (its position table size).
+struct ServeConfig {
+  int64_t max_len = 50;     ///< history window (== model max_len)
+  int32_t max_batch = 32;   ///< coalesce at most this many queries per forward
+  int64_t max_wait_us = 2000;  ///< how long the batcher waits to fill a batch
+  int num_threads = 0;      ///< forward-pass threads; 0 = runtime default
+};
+
+/// Thread-safe serving front-end around one frozen model. Construct via
+/// Load(); destruction drains in-flight queries, then stops the dispatcher.
+class RecoService {
+ public:
+  /// Loads `checkpoint_path` into `model` (nn::LoadParametersForInference:
+  /// eval mode, requires_grad off), precomputes the model's catalog scoring
+  /// matrix, prewarms the runtime pool, and starts the dispatcher. Returns
+  /// nullptr with `*status` set on load failure; `*status` is OK on success.
+  static std::unique_ptr<RecoService> Load(
+      std::unique_ptr<core::SeqRecModel> model, int32_t num_items,
+      int32_t num_behaviors, const std::string& checkpoint_path,
+      const ServeConfig& config, Status* status);
+
+  ~RecoService();
+  RecoService(const RecoService&) = delete;
+  RecoService& operator=(const RecoService&) = delete;
+
+  /// Answers one query, blocking until the coalesced batch containing it has
+  /// been scored. Safe to call from any number of threads. Returns
+  /// InvalidArgument (without enqueuing) on malformed input: mismatched
+  /// history arrays, out-of-range item/behavior ids, or k < 1.
+  Status TopK(const Query& query, TopKResult* out);
+
+  const core::SeqRecModel& model() const { return *model_; }
+  int32_t num_items() const { return num_items_; }
+  const ServeConfig& config() const { return config_; }
+  /// Model forwards run so far (each serves one coalesced batch).
+  int64_t batches_run() const;
+  /// Queries answered so far.
+  int64_t requests_served() const;
+
+ private:
+  struct Pending {
+    const Query* query;  ///< caller blocks on the future, so a pointer is safe
+    std::promise<TopKResult> promise;
+    int64_t enqueue_ns;
+  };
+
+  RecoService(std::unique_ptr<core::SeqRecModel> model, int32_t num_items,
+              int32_t num_behaviors, const ServeConfig& config);
+  void DispatcherLoop();
+  void ProcessBatch(std::vector<Pending>* work);
+
+  std::unique_ptr<core::SeqRecModel> model_;
+  int32_t num_items_;
+  int32_t num_behaviors_;
+  ServeConfig config_;
+  Tensor catalog_;  ///< PrecomputeCatalog() result, cached at load time
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stop_ = false;
+  int64_t batches_run_ = 0;
+  int64_t requests_served_ = 0;
+  std::thread dispatcher_;
+};
+
+/// Collates queries into one inference batch: merged stream + per-behavior
+/// streams front-padded to `max_len`, recency bucketed against each query's
+/// `now`. Row order follows `queries`; `targets` is all -1 (inference
+/// batches have no label). Shared with the offline parity tests.
+data::Batch BuildQueryBatch(const std::vector<const Query*>& queries,
+                            int64_t max_len, int32_t num_behaviors);
+data::Batch BuildQueryBatch(const std::vector<Query>& queries, int64_t max_len,
+                            int32_t num_behaviors);
+
+}  // namespace missl::serve
+
+#endif  // MISSL_SERVE_SERVICE_H_

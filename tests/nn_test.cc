@@ -1,6 +1,8 @@
 // Tests for the nn module layer: registration/traversal, each module's
 // forward semantics, masking, GRU recurrence, and checkpoint round-trips.
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -324,6 +326,81 @@ TEST(SerializeTest, LoadMissingFileFails) {
   Status s = nn::LoadParameters(&fc, "/nonexistent/path/ckpt.bin");
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+TEST(SerializeTest, TruncatedFileIsCorruptionNotCrash) {
+  Rng rng(23);
+  Linear fc(4, 4, &rng);
+  std::string path = ::testing::TempDir() + "/missl_ckpt_trunc.bin";
+  ASSERT_TRUE(nn::SaveParameters(fc, path).ok());
+
+  // Cut the file at several points (mid-header, mid-name, mid-data): every
+  // prefix must fail with a descriptive Corruption status, never crash.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  ASSERT_GT(bytes.size(), 16u);
+  for (size_t cut : {size_t{2}, size_t{9}, size_t{21}, bytes.size() - 5}) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    }
+    Status s = nn::LoadParameters(&fc, path);
+    EXPECT_EQ(s.code(), StatusCode::kCorruption) << "cut at " << cut;
+    EXPECT_FALSE(s.ToString().empty());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, WrongShapeIsDescriptiveError) {
+  Rng rng(24);
+  // Same parameter names ("weight"/"bias"), transposed shapes.
+  Linear saved(2, 3, &rng);
+  std::string path = ::testing::TempDir() + "/missl_ckpt_shape.bin";
+  ASSERT_TRUE(nn::SaveParameters(saved, path).ok());
+  Linear loaded(3, 2, &rng);
+  Status s = nn::LoadParameters(&loaded, path);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.ToString().find("shape mismatch"), std::string::npos)
+      << s.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ParameterCountMismatchIsDescriptiveError) {
+  Rng rng(25);
+  TransformerConfig cfg;
+  cfg.dim = 4;
+  cfg.heads = 1;
+  cfg.layers = 1;
+  cfg.ffn_hidden = 8;
+  TransformerEncoder enc(cfg, &rng);  // many params
+  std::string path = ::testing::TempDir() + "/missl_ckpt_count.bin";
+  ASSERT_TRUE(nn::SaveParameters(enc, path).ok());
+  Linear fc(4, 4, &rng);  // only two params
+  Status s = nn::LoadParameters(&fc, path);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.ToString().find("parameter count mismatch"), std::string::npos)
+      << s.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, GarbageMagicIsCorruption) {
+  Rng rng(26);
+  Linear fc(2, 2, &rng);
+  std::string path = ::testing::TempDir() + "/missl_ckpt_magic.bin";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "not a checkpoint at all";
+  }
+  Status s = nn::LoadParameters(&fc, path);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.ToString().find("magic"), std::string::npos) << s.ToString();
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -146,6 +146,34 @@ TEST_F(RecommendTest, SeenItemsExcluded) {
   }
 }
 
+TEST_F(RecommendTest, UnsortedSeenListsAreExcludedToo) {
+  // Regression: exclusion used binary_search on the caller's list, so seen
+  // sets passed in event order (as live user histories arrive) silently
+  // leaked "seen" items back into the list. Unsorted input must now give
+  // exactly the same output as its sorted copy.
+  auto model = baselines::CreateModel("POP", ds_, baselines::ZooConfig{});
+  data::Batch batch = builder_.Build({split_.train_examples[0]});
+  auto all = core::RecommendTopN(model.get(), batch, {}, 10, ds_.num_items());
+  std::vector<int32_t> banned_unsorted = all[0].items;
+  std::reverse(banned_unsorted.begin(), banned_unsorted.end());
+  std::swap(banned_unsorted[0], banned_unsorted[3]);  // definitely unsorted
+  std::vector<int32_t> banned_sorted = banned_unsorted;
+  std::sort(banned_sorted.begin(), banned_sorted.end());
+
+  auto from_unsorted = core::RecommendTopN(model.get(), batch,
+                                           {banned_unsorted}, 10,
+                                           ds_.num_items());
+  auto from_sorted = core::RecommendTopN(model.get(), batch, {banned_sorted},
+                                         10, ds_.num_items());
+  EXPECT_EQ(from_unsorted[0].items, from_sorted[0].items);
+  EXPECT_EQ(from_unsorted[0].scores, from_sorted[0].scores);
+  for (int32_t it : from_unsorted[0].items) {
+    EXPECT_FALSE(std::binary_search(banned_sorted.begin(), banned_sorted.end(),
+                                    it))
+        << "seen item " << it << " leaked into the list";
+  }
+}
+
 TEST_F(RecommendTest, ListStatsComputeSanely) {
   auto model = baselines::CreateModel("ItemKNN", ds_, baselines::ZooConfig{});
   std::vector<data::SplitView::TrainExample> ex(
