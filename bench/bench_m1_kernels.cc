@@ -17,6 +17,7 @@
 #include "nn/transformer.h"
 #include "runtime/runtime.h"
 #include "tensor/ops.h"
+#include "tensor/simd.h"
 #include "utils/rng.h"
 
 namespace {
@@ -126,6 +127,88 @@ void BM_IncidenceBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IncidenceBuild);
+
+// SIMD-tier variants (Args = {size, tier}; tier 0 = scalar, 1 = avx2).
+// Single-threaded on purpose: the scalar/avx2 rows isolate the kernel-tier
+// speedup from thread scaling. Results are bitwise identical across tiers
+// by construction (see docs/KERNELS.md); only the wall clock should move.
+// On hardware without AVX2 the tier-1 rows are skipped with an error note.
+bool SkipIfTierUnavailable(benchmark::State& state, simd::Tier tier) {
+  if (tier == simd::Tier::kAvx2 && !simd::Avx2Available()) {
+    state.SkipWithError("AVX2 not available on this host");
+    return true;
+  }
+  return false;
+}
+
+void BM_MatMulSimd(benchmark::State& state) {
+  int64_t n = state.range(0);
+  auto tier = static_cast<simd::Tier>(state.range(1));
+  if (SkipIfTierUnavailable(state, tier)) return;
+  simd::ScopedTier st(tier);
+  runtime::ScopedNumThreads nt(1);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  NoGradGuard ng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  state.SetLabel(simd::TierName(tier));
+}
+BENCHMARK(BM_MatMulSimd)
+    ->Args({64, 0})->Args({64, 1})
+    ->Args({128, 0})->Args({128, 1})
+    ->Args({256, 0})->Args({256, 1});
+
+void BM_SoftmaxSimd(benchmark::State& state) {
+  auto tier = static_cast<simd::Tier>(state.range(0));
+  if (SkipIfTierUnavailable(state, tier)) return;
+  simd::ScopedTier st(tier);
+  runtime::ScopedNumThreads nt(1);
+  Rng rng(3);
+  Tensor a = Tensor::Randn({128, 30, 30}, &rng);
+  NoGradGuard ng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Softmax(a).data());
+  }
+  state.SetLabel(simd::TierName(tier));
+}
+BENCHMARK(BM_SoftmaxSimd)->Arg(0)->Arg(1);
+
+void BM_LayerNormSimd(benchmark::State& state) {
+  auto tier = static_cast<simd::Tier>(state.range(0));
+  if (SkipIfTierUnavailable(state, tier)) return;
+  simd::ScopedTier st(tier);
+  runtime::ScopedNumThreads nt(1);
+  Rng rng(4);
+  Tensor x = Tensor::Randn({128, 30, 32}, &rng);
+  Tensor g = Tensor::Ones({32});
+  Tensor b = Tensor::Zeros({32});
+  NoGradGuard ng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LayerNorm(x, g, b).data());
+  }
+  state.SetLabel(simd::TierName(tier));
+}
+BENCHMARK(BM_LayerNormSimd)->Arg(0)->Arg(1);
+
+void BM_ElementwiseSimd(benchmark::State& state) {
+  auto tier = static_cast<simd::Tier>(state.range(0));
+  if (SkipIfTierUnavailable(state, tier)) return;
+  simd::ScopedTier st(tier);
+  runtime::ScopedNumThreads nt(1);
+  Rng rng(5);
+  Tensor a = Tensor::Randn({128, 30, 32}, &rng);
+  Tensor b = Tensor::Randn({128, 30, 32}, &rng);
+  NoGradGuard ng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Mul(Add(a, b), b).data());
+  }
+  state.SetLabel(simd::TierName(tier));
+}
+BENCHMARK(BM_ElementwiseSimd)->Arg(0)->Arg(1);
 
 // Thread-scaling variants (Arg = thread count). Results are bitwise
 // identical across Args by construction (see docs/RUNTIME.md); only the

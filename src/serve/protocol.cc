@@ -23,6 +23,13 @@ std::vector<std::string> SplitOn(const std::string& s, char sep) {
 
 bool ParseInt64(const std::string& s, int64_t* out) {
   if (s.empty()) return false;
+  // strtoll alone would accept leading whitespace and '+', and its
+  // end-pointer check cannot see past an embedded NUL; require the token to
+  // start with a digit (or a sign followed by one) and to contain no NUL so
+  // only canonical decimal integers pass.
+  if (s.find('\0') != std::string::npos) return false;
+  size_t first = s[0] == '-' ? 1 : 0;
+  if (first >= s.size() || s[first] < '0' || s[first] > '9') return false;
   char* end = nullptr;
   errno = 0;
   long long v = std::strtoll(s.c_str(), &end, 10);

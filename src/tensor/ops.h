@@ -9,6 +9,17 @@
 
 #include "tensor/tensor.h"
 
+/// Guards op entry points that hand raw pointers to the kernel tier
+/// (tensor/simd.h): kernels assume dense row-major storage, so an impl
+/// assembled by hand with a storage/shape mismatch (e.g. simulating a
+/// strided/transposed view) must fail loudly here instead of reading the
+/// wrong elements.
+#define MISSL_CHECK_CONTIGUOUS(t)                                       \
+  MISSL_CHECK((t).IsContiguous())                                       \
+      << "tensor is not contiguous: storage has " << (t).numel()        \
+      << " elements but shape is " << ::missl::ShapeToString((t).shape()) \
+      << "; kernels require dense row-major layout"
+
 namespace missl {
 
 // ---- Elementwise binary (broadcasting) --------------------------------------

@@ -1,9 +1,11 @@
 #include <cmath>
+#include <functional>
 
 #include "obs/op_stats.h"
 #include "runtime/parallel_for.h"
 #include "tensor/broadcast.h"
 #include "tensor/ops.h"
+#include "tensor/simd.h"
 
 namespace missl {
 
@@ -15,14 +17,37 @@ using internal::ReduceGradTo;
 
 namespace {
 
+// Optional vectorized row kernels for the same-shape fast paths. When set,
+// the ParallelFor chunk body hands its [i0, i1) slice to the kernel (which
+// dispatches on the active SIMD tier, see tensor/simd.h) instead of running
+// the scalar lambda. The kernel's scalar tier replays the lambda's exact
+// per-element operation sequence, so enabling a hook never changes results —
+// only which instructions produce them. Ops whose scalar backward sequence a
+// vector kernel cannot replay bit-for-bit (e.g. Relu's `0.0f * g` keeping
+// the sign of -0.0, Div's divide-then-multiply chain) simply leave the hook
+// unset and keep the scalar loop on every tier.
+using BinaryRowKernel = void (*)(const float*, const float*, float*, int64_t);
+// (pa, pb, g, acc, n): accumulate d(op)/d(side) * g into acc.
+using BinaryAccumKernel = void (*)(const float*, const float*, const float*,
+                                   float*, int64_t);
+using UnaryRowKernel = std::function<void(const float*, float*, int64_t)>;
+// (pa, po, g, ga, n): accumulate d(op)/dx * g into ga.
+using UnaryAccumKernel =
+    std::function<void(const float*, const float*, const float*, float*,
+                       int64_t)>;
+
 // Generic broadcasting binary op. `fwd(x, y)` computes the value;
 // `dfdx(x, y)` / `dfdy(x, y)` compute local partials at the element.
 template <typename F, typename Dx, typename Dy>
 Tensor BinaryOp(const char* name, const Tensor& a, const Tensor& b, F fwd,
-                Dx dfdx, Dy dfdy) {
+                Dx dfdx, Dy dfdy, BinaryRowKernel vfwd = nullptr,
+                BinaryAccumKernel vdx = nullptr,
+                BinaryAccumKernel vdy = nullptr) {
   // Each public op instantiates BinaryOp with unique lambda types, so the
   // function-local static inside MISSL_OP_SCOPE is per-op, not shared.
   MISSL_OP_SCOPE(name);
+  MISSL_CHECK_CONTIGUOUS(a);
+  MISSL_CHECK_CONTIGUOUS(b);
   const Shape& sa = a.shape();
   const Shape& sb = b.shape();
   Shape so = BroadcastShape(sa, sb);
@@ -34,6 +59,7 @@ Tensor BinaryOp(const char* name, const Tensor& a, const Tensor& b, F fwd,
     // Elementwise slots are independent — parallel over the flat index.
     runtime::ParallelFor(0, out.numel(), runtime::GrainForCost(1),
                          [&](int64_t i0, int64_t i1) {
+      if (vfwd != nullptr) return vfwd(pa + i0, pb + i0, po + i0, i1 - i0);
       for (int64_t i = i0; i < i1; ++i) po[i] = fwd(pa[i], pb[i]);
     });
   } else {
@@ -43,7 +69,8 @@ Tensor BinaryOp(const char* name, const Tensor& a, const Tensor& b, F fwd,
       po[i] = fwd(pa[ia], pb[ib]);
     });
   }
-  AttachGrad(&out, {a, b}, [a, b, out = TensorRef(out), dfdx, dfdy]() {
+  AttachGrad(&out, {a, b},
+             [a, b, out = TensorRef(out), dfdx, dfdy, vdx, vdy]() {
     const Shape& sa = a.shape();
     const Shape& sb = b.shape();
     const Shape& so = out.shape();
@@ -59,6 +86,9 @@ Tensor BinaryOp(const char* name, const Tensor& a, const Tensor& b, F fwd,
         float* ga = a.impl()->grad.data();
         runtime::ParallelFor(0, n, runtime::GrainForCost(2),
                              [&](int64_t i0, int64_t i1) {
+          if (vdx != nullptr) {
+            return vdx(pa + i0, pb + i0, g + i0, ga + i0, i1 - i0);
+          }
           for (int64_t i = i0; i < i1; ++i) ga[i] += dfdx(pa[i], pb[i]) * g[i];
         });
       }
@@ -67,6 +97,9 @@ Tensor BinaryOp(const char* name, const Tensor& a, const Tensor& b, F fwd,
         float* gb = b.impl()->grad.data();
         runtime::ParallelFor(0, n, runtime::GrainForCost(2),
                              [&](int64_t i0, int64_t i1) {
+          if (vdy != nullptr) {
+            return vdy(pa + i0, pb + i0, g + i0, gb + i0, i1 - i0);
+          }
           for (int64_t i = i0; i < i1; ++i) gb[i] += dfdy(pa[i], pb[i]) * g[i];
         });
       }
@@ -96,16 +129,19 @@ Tensor BinaryOp(const char* name, const Tensor& a, const Tensor& b, F fwd,
 // Generic unary op: fwd(x) value, dfd(x, y) local derivative given input x
 // and output y (lets tanh/sigmoid reuse the output).
 template <typename F, typename D>
-Tensor UnaryOp(const char* name, const Tensor& a, F fwd, D dfd) {
+Tensor UnaryOp(const char* name, const Tensor& a, F fwd, D dfd,
+               UnaryRowKernel vfwd = nullptr, UnaryAccumKernel vbwd = nullptr) {
   MISSL_OP_SCOPE(name);  // per-instantiation static; see BinaryOp
+  MISSL_CHECK_CONTIGUOUS(a);
   Tensor out = MakeResult(a.shape());
   const float* pa = a.data();
   float* po = out.data();
   runtime::ParallelFor(0, a.numel(), runtime::GrainForCost(1),
                        [&](int64_t i0, int64_t i1) {
+    if (vfwd) return vfwd(pa + i0, po + i0, i1 - i0);
     for (int64_t i = i0; i < i1; ++i) po[i] = fwd(pa[i]);
   });
-  AttachGrad(&out, {a}, [a, out = TensorRef(out), dfd]() {
+  AttachGrad(&out, {a}, [a, out = TensorRef(out), dfd, vbwd]() {
     const float* g = out.impl()->grad.data();
     const float* pa = a.data();
     const float* po = out.data();
@@ -113,6 +149,7 @@ Tensor UnaryOp(const char* name, const Tensor& a, F fwd, D dfd) {
     float* ga = a.impl()->grad.data();
     runtime::ParallelFor(0, a.numel(), runtime::GrainForCost(2),
                          [&](int64_t i0, int64_t i1) {
+      if (vbwd) return vbwd(pa + i0, po + i0, g + i0, ga + i0, i1 - i0);
       for (int64_t i = i0; i < i1; ++i) ga[i] += dfd(pa[i], po[i]) * g[i];
     });
   });
@@ -121,49 +158,91 @@ Tensor UnaryOp(const char* name, const Tensor& a, F fwd, D dfd) {
 
 }  // namespace
 
+// The `1.0f * g` of the scalar backward lambdas and the plain `+= g` of
+// AccumRow are bitwise interchangeable (multiplying by 1.0f is exact for
+// every float), so Add/Sub gradients may use the accumulate kernels.
 Tensor Add(const Tensor& a, const Tensor& b) {
   return BinaryOp(
       "Add", a, b, [](float x, float y) { return x + y; },
-      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
+      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; },
+      simd::AddRow,
+      [](const float*, const float*, const float* g, float* acc, int64_t n) {
+        simd::AccumRow(g, acc, n);
+      },
+      [](const float*, const float*, const float* g, float* acc, int64_t n) {
+        simd::AccumRow(g, acc, n);
+      });
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   return BinaryOp(
       "Sub", a, b, [](float x, float y) { return x - y; },
-      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
+      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; },
+      simd::SubRow,
+      [](const float*, const float*, const float* g, float* acc, int64_t n) {
+        simd::AccumRow(g, acc, n);
+      },
+      [](const float*, const float*, const float* g, float* acc, int64_t n) {
+        simd::NegAccumRow(g, acc, n);
+      });
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   return BinaryOp(
       "Mul", a, b, [](float x, float y) { return x * y; },
-      [](float, float y) { return y; }, [](float x, float) { return x; });
+      [](float, float y) { return y; }, [](float x, float) { return x; },
+      simd::MulRow,
+      [](const float*, const float* pb, const float* g, float* acc,
+         int64_t n) { simd::MulAccumRow(pb, g, acc, n); },
+      [](const float* pa, const float*, const float* g, float* acc,
+         int64_t n) { simd::MulAccumRow(pa, g, acc, n); });
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
+  // Backward stays scalar on every tier: its divide-then-multiply chains
+  // ((1/y)*g, (-x/(y*y))*g) are not in the kernel set.
   return BinaryOp(
       "Div", a, b, [](float x, float y) { return x / y; },
       [](float, float y) { return 1.0f / y; },
-      [](float x, float y) { return -x / (y * y); });
+      [](float x, float y) { return -x / (y * y); }, simd::DivRow);
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
   return UnaryOp(
       "AddScalar", a, [s](float x) { return x + s; },
-      [](float, float) { return 1.0f; });
+      [](float, float) { return 1.0f; },
+      [s](const float* pa, float* po, int64_t n) {
+        simd::AddScalarRow(pa, s, po, n);
+      },
+      [](const float*, const float*, const float* g, float* ga, int64_t n) {
+        simd::AccumRow(g, ga, n);
+      });
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
   return UnaryOp(
       "MulScalar", a, [s](float x) { return x * s; },
-      [s](float, float) { return s; });
+      [s](float, float) { return s; },
+      [s](const float* pa, float* po, int64_t n) {
+        simd::ScaleRow(pa, s, po, n);
+      },
+      [s](const float*, const float*, const float* g, float* ga, int64_t n) {
+        simd::AxpyRow(s, g, ga, n);
+      });
 }
 
 Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
 
 Tensor Relu(const Tensor& a) {
+  // Backward stays scalar: its `0.0f * g[i]` term can be -0.0 where a masked
+  // vector select would produce +0.0, and `x + (-0.0)` vs `x + (+0.0)`
+  // differ bitwise when the accumulator holds -0.0.
   return UnaryOp(
       "Relu", a, [](float x) { return x > 0.0f ? x : 0.0f; },
-      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; },
+      [](const float* pa, float* po, int64_t n) {
+        simd::ReluRow(pa, po, n);
+      });
 }
 
 Tensor Gelu(const Tensor& a) {

@@ -3,36 +3,23 @@
 #include "obs/op_stats.h"
 #include "runtime/parallel_for.h"
 #include "tensor/ops.h"
+#include "tensor/simd.h"
 
 namespace missl {
 
 using internal::AttachGrad;
 using internal::MakeResult;
 
-namespace {
-
-// C[i,:] += A[i,:] * B for output rows i in [r0, r1) of one [m,k]x[k,n]
-// product — ikj ordering keeps the inner loop contiguous. Each call writes
+// The row kernel lives in tensor/simd.h (simd::GemmRows): C[i,:] += A[i,:]*B
+// for output rows [r0, r1) with ascending-k accumulation per cell on every
+// tier — ikj ordering keeps the inner loop contiguous, and each call writes
 // only its own output rows, so row ranges parallelize without changing any
 // result bit (see runtime/parallel_for.h).
-void GemmRows(const float* a, const float* b, float* c, int64_t k, int64_t n,
-              int64_t r0, int64_t r1) {
-  for (int64_t i = r0; i < r1; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = b + kk * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-}  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   MISSL_OP_SCOPE("MatMul");
+  MISSL_CHECK_CONTIGUOUS(a);
+  MISSL_CHECK_CONTIGUOUS(b);
   int64_t ra = a.dim(), rb = b.dim();
   MISSL_CHECK((ra == 2 && rb == 2) || (ra == 3 && rb == 3) || (ra == 3 && rb == 2))
       << "MatMul unsupported ranks " << ShapeToString(a.shape()) << " x "
@@ -52,14 +39,21 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   float* po = out.data();
   bool b_batched = (rb == 3);
   // Parallel over all batch*m output rows; each row is produced start to
-  // finish by one chunk, so the partition cannot change the result.
+  // finish by one chunk, so the partition cannot change the result. Rows
+  // sharing a batch slab are handed to GemmRows as one range — the kernel
+  // amortizes its B-tile packing over the whole range (see simd_avx2.cc),
+  // and row grouping cannot change any bit because every output row is
+  // computed independently.
   runtime::ParallelFor(
       0, batch * m, runtime::GrainForCost(2 * k * n),
       [&](int64_t r0, int64_t r1) {
-        for (int64_t r = r0; r < r1; ++r) {
+        int64_t r = r0;
+        while (r < r1) {
           int64_t s = r / m;
-          GemmRows(pa + s * m * k, pb + (b_batched ? s * k * n : 0),
-                   po + s * m * n, k, n, r - s * m, r - s * m + 1);
+          int64_t end = (s + 1) * m < r1 ? (s + 1) * m : r1;
+          simd::GemmRows(pa + s * m * k, pb + (b_batched ? s * k * n : 0),
+                         po + s * m * n, k, n, r - s * m, end - s * m);
+          r = end;
         }
       });
   AttachGrad(&out, {a, b},
@@ -110,8 +104,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                 for (int64_t kk = k0; kk < k1; ++kk) {
                   float av = arow[kk];
                   if (av == 0.0f) continue;
-                  float* gbrow = gbs + kk * n;
-                  for (int64_t j = 0; j < n; ++j) gbrow[j] += av * grow[j];
+                  simd::AxpyRow(av, grow, gbs + kk * n, n);
                 }
               }
             }

@@ -3,6 +3,7 @@
 #include "obs/op_stats.h"
 #include "runtime/parallel_for.h"
 #include "tensor/ops.h"
+#include "tensor/simd.h"
 
 namespace missl {
 
@@ -23,6 +24,7 @@ void LastDimView(const Tensor& a, int64_t* rows, int64_t* d) {
 
 Tensor Softmax(const Tensor& a) {
   MISSL_OP_SCOPE("Softmax");
+  MISSL_CHECK_CONTIGUOUS(a);
   int64_t rows, d;
   LastDimView(a, &rows, &d);
   Tensor out = MakeResult(a.shape());
@@ -35,6 +37,8 @@ Tensor Softmax(const Tensor& a) {
     for (int64_t r = r0; r < r1; ++r) {
       const float* x = pa + r * d;
       float* y = po + r * d;
+      // Max and exp-sum are ordered reductions: scalar on every tier. Only
+      // the independent per-element rescale takes the vector path.
       float mx = x[0];
       for (int64_t i = 1; i < d; ++i) mx = std::max(mx, x[i]);
       float sum = 0.0f;
@@ -43,7 +47,7 @@ Tensor Softmax(const Tensor& a) {
         sum += y[i];
       }
       float inv = 1.0f / sum;
-      for (int64_t i = 0; i < d; ++i) y[i] *= inv;
+      simd::ScaleRow(y, inv, y, d);
     }
   });
   AttachGrad(&out, {a}, [a, out = TensorRef(out), rows, d]() {
@@ -59,7 +63,7 @@ Tensor Softmax(const Tensor& a) {
         float* gar = ga + r * d;
         float dot = 0.0f;
         for (int64_t i = 0; i < d; ++i) dot += gr[i] * yr[i];
-        for (int64_t i = 0; i < d; ++i) gar[i] += yr[i] * (gr[i] - dot);
+        simd::SoftmaxGradRow(yr, gr, dot, gar, d);
       }
     });
   });
@@ -68,6 +72,7 @@ Tensor Softmax(const Tensor& a) {
 
 Tensor LogSoftmax(const Tensor& a) {
   MISSL_OP_SCOPE("LogSoftmax");
+  MISSL_CHECK_CONTIGUOUS(a);
   int64_t rows, d;
   LastDimView(a, &rows, &d);
   Tensor out = MakeResult(a.shape());
@@ -83,7 +88,9 @@ Tensor LogSoftmax(const Tensor& a) {
       float sum = 0.0f;
       for (int64_t i = 0; i < d; ++i) sum += std::exp(x[i] - mx);
       float lse = mx + std::log(sum);
-      for (int64_t i = 0; i < d; ++i) y[i] = x[i] - lse;
+      // x - lse == x + (-lse) exactly in IEEE arithmetic, so the shift can
+      // use the vector add-scalar kernel.
+      simd::AddScalarRow(x, -lse, y, d);
     }
   });
   AttachGrad(&out, {a}, [a, out = TensorRef(out), rows, d]() {
@@ -109,6 +116,9 @@ Tensor LogSoftmax(const Tensor& a) {
 Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                  float eps) {
   MISSL_OP_SCOPE("LayerNorm");
+  MISSL_CHECK_CONTIGUOUS(x);
+  MISSL_CHECK_CONTIGUOUS(gamma);
+  MISSL_CHECK_CONTIGUOUS(beta);
   int64_t rows, d;
   LastDimView(x, &rows, &d);
   MISSL_CHECK(gamma.dim() == 1 && gamma.size(0) == d)
@@ -139,12 +149,10 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
       var /= static_cast<float>(d);
       float is = 1.0f / std::sqrt(var + eps);
       (*istd)[static_cast<size_t>(r)] = is;
-      float* xh = xhat->data() + r * d;
-      float* yr = po + r * d;
-      for (int64_t i = 0; i < d; ++i) {
-        xh[i] = (xr[i] - mu) * is;
-        yr[i] = pg[i] * xh[i] + pb[i];
-      }
+      // Mean/variance above are ordered reductions (scalar on every tier);
+      // the normalize+affine pass is elementwise and vectorizes.
+      simd::LayerNormAffineRow(xr, mu, is, pg, pb, xhat->data() + r * d,
+                               po + r * d, d);
     }
   });
   AttachGrad(&out, {x, gamma, beta},
@@ -161,7 +169,7 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
         for (int64_t r = 0; r < rows; ++r) {
           const float* gr = g + r * d;
           const float* xh = xhat->data() + r * d;
-          for (int64_t i = i0; i < i1; ++i) gg[i] += gr[i] * xh[i];
+          simd::MulAccumRow(gr + i0, xh + i0, gg + i0, i1 - i0);
         }
       });
     }
@@ -171,8 +179,7 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
       runtime::ParallelFor(0, d, runtime::GrainForCost(rows),
                            [&](int64_t i0, int64_t i1) {
         for (int64_t r = 0; r < rows; ++r) {
-          const float* gr = g + r * d;
-          for (int64_t i = i0; i < i1; ++i) gb[i] += gr[i];
+          simd::AccumRow(g + r * d + i0, gb + i0, i1 - i0);
         }
       });
     }
@@ -194,11 +201,7 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
           }
           m1 *= invd;
           m2 *= invd;
-          float* gxr = gx + r * d;
-          for (int64_t i = 0; i < d; ++i) {
-            float gg = pg[i] * gr[i];
-            gxr[i] += (gg - m1 - xh[i] * m2) * is;
-          }
+          simd::LayerNormGradRow(gr, pg, xh, m1, m2, is, gx + r * d, d);
         }
       });
     }
@@ -243,6 +246,7 @@ Tensor CrossEntropyLoss(const Tensor& logits, const std::vector<int32_t>& target
   int64_t c = logits.size(1);
   MISSL_CHECK(static_cast<int64_t>(targets.size()) == bsz)
       << "targets size mismatch";
+  MISSL_CHECK_CONTIGUOUS(logits);
   Tensor out = MakeResult({});
   const float* pl = logits.data();
   // Cache row softmax for backward.
@@ -261,7 +265,7 @@ Tensor CrossEntropyLoss(const Tensor& logits, const std::vector<int32_t>& target
       sum += pr[i];
     }
     float inv = 1.0f / sum;
-    for (int64_t i = 0; i < c; ++i) pr[i] *= inv;
+    simd::ScaleRow(pr, inv, pr, c);
     int32_t t = targets[static_cast<size_t>(r)];
     if (t < 0) continue;
     MISSL_CHECK(t < c) << "target " << t << " out of range " << c;
@@ -280,7 +284,7 @@ Tensor CrossEntropyLoss(const Tensor& logits, const std::vector<int32_t>& target
       if (t < 0) continue;
       const float* pr = prob->data() + r * c;
       float* gr = gl + r * c;
-      for (int64_t i = 0; i < c; ++i) gr[i] += g * pr[i];
+      simd::AxpyRow(g, pr, gr, c);
       gr[t] -= g;
     }
   });
@@ -289,6 +293,7 @@ Tensor CrossEntropyLoss(const Tensor& logits, const std::vector<int32_t>& target
 
 Tensor L2Normalize(const Tensor& x, float eps) {
   MISSL_OP_SCOPE("L2Normalize");
+  MISSL_CHECK_CONTIGUOUS(x);
   int64_t rows, d;
   LastDimView(x, &rows, &d);
   Tensor out = MakeResult(x.shape());
@@ -302,8 +307,7 @@ Tensor L2Normalize(const Tensor& x, float eps) {
     nrm = std::sqrt(nrm);
     float inv = 1.0f / std::max(nrm, eps);
     (*invnorm)[static_cast<size_t>(r)] = inv;
-    float* yr = po + r * d;
-    for (int64_t i = 0; i < d; ++i) yr[i] = xr[i] * inv;
+    simd::ScaleRow(xr, inv, po + r * d, d);
   }
   AttachGrad(&out, {x}, [x, out = TensorRef(out), invnorm, rows, d]() {
     const float* g = out.impl()->grad.data();

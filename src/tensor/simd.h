@@ -1,0 +1,126 @@
+// SIMD kernel tier for the tensor hot paths (see docs/KERNELS.md).
+//
+// Every kernel here comes in (at least) two implementations — a portable
+// scalar loop and an AVX2 vector path — selected once per process by
+// runtime dispatch. The defining constraint, inherited from the parallel
+// runtime (runtime/parallel_for.h): **tiers change wall clock, never
+// numbers.** A vector path may only vectorize ACROSS independent output
+// elements (matmul output columns, elementwise slots, softmax/layer-norm
+// row entries); each output element's own chain of rounded operations —
+// in particular the ascending-k accumulation order of a matmul cell —
+// must be instruction-for-instruction the sequence the scalar loop
+// performs. Concretely that means:
+//   - multiply-then-add, never FMA: a fused multiply-add skips the
+//     intermediate rounding of the product and would change low bits, so
+//     the AVX2 translation unit is compiled without FMA codegen
+//     (-ffp-contract=off and no -mfma) and uses mul/add intrinsics only;
+//   - reductions keep the serial order: sums over k (matmul), over a row
+//     (softmax's exp-sum, layer-norm's mean/variance) are NOT horizontally
+//     vectorized — the vector tier accelerates the surrounding
+//     elementwise work and leaves ordered reductions scalar;
+//   - branch semantics are preserved exactly (e.g. the matmul zero-skip:
+//     a == 0.0f contributes nothing on every tier).
+// Under these rules scalar, AVX2, and threaded×AVX2 execution produce
+// bitwise-identical tensors, which tests/kernel_property_test.cc enforces.
+//
+// Selection: the MISSL_SIMD environment variable ("off"/"0"/"scalar"
+// forces the portable tier, "avx2" requests AVX2, unset/"auto"/"on"
+// picks the best available), gated on the CMake option MISSL_SIMD (which
+// compiles the AVX2 translation unit at all) and a CPUID check at
+// startup. The resolved tier is published on the "simd.tier" obs gauge.
+#ifndef MISSL_TENSOR_SIMD_H_
+#define MISSL_TENSOR_SIMD_H_
+
+#include <cstdint>
+
+namespace missl::simd {
+
+/// Kernel tiers, ordered by preference. Values are stable: they are what
+/// the "simd.tier" gauge reports.
+enum class Tier : int {
+  kScalar = 0,  ///< portable loops; the reference semantics
+  kAvx2 = 1,    ///< 8-wide AVX2, mul+add only (no FMA)
+};
+
+/// The tier kernels dispatch on. Resolved once from MISSL_SIMD + CPUID on
+/// first use (thread-safe), then cached; SetTier overrides it.
+Tier ActiveTier();
+
+/// Overrides the active tier (tests/benches). CHECK-fails if `t` is not
+/// available in this build/on this CPU. Re-publishes the "simd.tier" gauge.
+void SetTier(Tier t);
+
+/// True when the AVX2 tier was compiled in (CMake MISSL_SIMD=ON on x86-64)
+/// and the running CPU supports it.
+bool Avx2Available();
+
+/// Human-readable tier name ("scalar", "avx2").
+const char* TierName(Tier t);
+
+/// RAII tier override restoring the previous tier on scope exit; used by
+/// tests and benches to compare tiers on the same computation.
+class ScopedTier {
+ public:
+  explicit ScopedTier(Tier t);
+  ~ScopedTier();
+  ScopedTier(const ScopedTier&) = delete;
+  ScopedTier& operator=(const ScopedTier&) = delete;
+
+ private:
+  Tier prev_;
+};
+
+// ---- Kernels ----------------------------------------------------------------
+// All pointers are to dense row-major float buffers (callers MISSL_CHECK
+// tensor contiguity before handing out raw pointers). Unless noted, `o` may
+// alias `a` (pure elementwise, in-place safe) but distinct inputs must not
+// overlap outputs.
+
+/// C[i,:] += A[i,:] * B for output rows i in [r0, r1) of one [m,k] x [k,n]
+/// product. Each C cell accumulates over k in ascending order with a
+/// rounded multiply then a rounded add per step, skipping a == 0.0f terms —
+/// on every tier, so the result is bitwise tier-independent.
+void GemmRows(const float* a, const float* b, float* c, int64_t k, int64_t n,
+              int64_t r0, int64_t r1);
+
+/// y[j] += s * x[j]. The matmul dB accumulation row.
+void AxpyRow(float s, const float* x, float* y, int64_t n);
+
+/// o[i] = a[i] + b[i] / a[i] - b[i] / a[i] * b[i] / a[i] / b[i].
+void AddRow(const float* a, const float* b, float* o, int64_t n);
+void SubRow(const float* a, const float* b, float* o, int64_t n);
+void MulRow(const float* a, const float* b, float* o, int64_t n);
+void DivRow(const float* a, const float* b, float* o, int64_t n);
+
+/// o[i] = max(a[i], 0.0f), with scalar `x > 0 ? x : 0` semantics for
+/// -0.0/NaN (both map to +0.0 on every tier).
+void ReluRow(const float* a, float* o, int64_t n);
+
+/// o[i] = a[i] * s  and  o[i] = a[i] + s.
+void ScaleRow(const float* a, float s, float* o, int64_t n);
+void AddScalarRow(const float* a, float s, float* o, int64_t n);
+
+/// acc[i] += g[i]  and  acc[i] += (-1.0f) * g[i]  and  acc[i] += b[i] * g[i]
+/// and  acc[i] += s * g[i]. The Add/Sub/Mul/scalar-op backward rows.
+void AccumRow(const float* g, float* acc, int64_t n);
+void NegAccumRow(const float* g, float* acc, int64_t n);
+void MulAccumRow(const float* b, const float* g, float* acc, int64_t n);
+
+/// xh[i] = (x[i] - mu) * is; y[i] = gamma[i] * xh[i] + beta[i].
+/// The layer-norm normalize+affine pass (mean/variance stay scalar).
+void LayerNormAffineRow(const float* x, float mu, float is, const float* gamma,
+                        const float* beta, float* xh, float* y, int64_t n);
+
+/// gx[i] += (gamma[i] * g[i] - m1 - xh[i] * m2) * is. The layer-norm input
+/// gradient row (the m1/m2 means stay scalar).
+void LayerNormGradRow(const float* g, const float* gamma, const float* xh,
+                      float m1, float m2, float is, float* gx, int64_t n);
+
+/// ga[i] += y[i] * (g[i] - dot). The softmax input gradient row (the dot
+/// reduction stays scalar).
+void SoftmaxGradRow(const float* y, const float* g, float dot, float* ga,
+                    int64_t n);
+
+}  // namespace missl::simd
+
+#endif  // MISSL_TENSOR_SIMD_H_

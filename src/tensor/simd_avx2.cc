@@ -1,0 +1,393 @@
+// AVX2 kernel tier. This is the only translation unit built with -mavx2,
+// and it is built with -ffp-contract=off and WITHOUT -mfma: every multiply
+// and every add below rounds separately, exactly like the scalar reference
+// loops in simd.cc. Vector lanes hold independent output elements; no
+// horizontal operations, no reassociated reductions, no FMA.
+#ifdef MISSL_SIMD_AVX2
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace missl::simd::avx2 {
+
+namespace {
+
+// o[i] = a[i] OP b[i] for one row, 8 lanes at a time plus a scalar tail.
+// The tail uses the same single rounded OP per element, so ragged widths
+// (n % 8 != 0) stay bitwise identical to the scalar tier.
+template <typename VecOp, typename ScalarOp>
+inline void BinaryRow(const float* a, const float* b, float* o, int64_t n,
+                      VecOp vop, ScalarOp sop) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 av = _mm256_loadu_ps(a + i);
+    __m256 bv = _mm256_loadu_ps(b + i);
+    _mm256_storeu_ps(o + i, vop(av, bv));
+  }
+  for (; i < n; ++i) o[i] = sop(a[i], b[i]);
+}
+
+// crow[j:] += arow * B[:, j:] for one output row starting at column j,
+// ascending-k accumulation per cell, zero-skip preserved: a 64-column
+// register-blocked loop that keeps eight accumulators in ymm registers
+// across the whole k loop (eight independent add chains hide the add
+// latency and remove the C load/store per k step), a 32-column block, then
+// an 8-wide loop, then a scalar tail. Every variant performs, per C cell
+// and per k step, one rounded multiply followed by one rounded add in
+// ascending k order — the scalar semantics exactly.
+void GemmOneRow(const float* arow, const float* b, float* crow, int64_t k,
+                int64_t n, int64_t j) {
+  for (; j + 64 <= n; j += 64) {
+    __m256 acc0 = _mm256_loadu_ps(crow + j);
+    __m256 acc1 = _mm256_loadu_ps(crow + j + 8);
+    __m256 acc2 = _mm256_loadu_ps(crow + j + 16);
+    __m256 acc3 = _mm256_loadu_ps(crow + j + 24);
+    __m256 acc4 = _mm256_loadu_ps(crow + j + 32);
+    __m256 acc5 = _mm256_loadu_ps(crow + j + 40);
+    __m256 acc6 = _mm256_loadu_ps(crow + j + 48);
+    __m256 acc7 = _mm256_loadu_ps(crow + j + 56);
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + kk * n + j;
+      __m256 avv = _mm256_set1_ps(av);
+      acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(avv, _mm256_loadu_ps(brow)));
+      acc1 =
+          _mm256_add_ps(acc1, _mm256_mul_ps(avv, _mm256_loadu_ps(brow + 8)));
+      acc2 =
+          _mm256_add_ps(acc2, _mm256_mul_ps(avv, _mm256_loadu_ps(brow + 16)));
+      acc3 =
+          _mm256_add_ps(acc3, _mm256_mul_ps(avv, _mm256_loadu_ps(brow + 24)));
+      acc4 =
+          _mm256_add_ps(acc4, _mm256_mul_ps(avv, _mm256_loadu_ps(brow + 32)));
+      acc5 =
+          _mm256_add_ps(acc5, _mm256_mul_ps(avv, _mm256_loadu_ps(brow + 40)));
+      acc6 =
+          _mm256_add_ps(acc6, _mm256_mul_ps(avv, _mm256_loadu_ps(brow + 48)));
+      acc7 =
+          _mm256_add_ps(acc7, _mm256_mul_ps(avv, _mm256_loadu_ps(brow + 56)));
+    }
+    _mm256_storeu_ps(crow + j, acc0);
+    _mm256_storeu_ps(crow + j + 8, acc1);
+    _mm256_storeu_ps(crow + j + 16, acc2);
+    _mm256_storeu_ps(crow + j + 24, acc3);
+    _mm256_storeu_ps(crow + j + 32, acc4);
+    _mm256_storeu_ps(crow + j + 40, acc5);
+    _mm256_storeu_ps(crow + j + 48, acc6);
+    _mm256_storeu_ps(crow + j + 56, acc7);
+  }
+  for (; j + 32 <= n; j += 32) {
+    __m256 acc0 = _mm256_loadu_ps(crow + j);
+    __m256 acc1 = _mm256_loadu_ps(crow + j + 8);
+    __m256 acc2 = _mm256_loadu_ps(crow + j + 16);
+    __m256 acc3 = _mm256_loadu_ps(crow + j + 24);
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + kk * n + j;
+      __m256 avv = _mm256_set1_ps(av);
+      acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(avv, _mm256_loadu_ps(brow)));
+      acc1 =
+          _mm256_add_ps(acc1, _mm256_mul_ps(avv, _mm256_loadu_ps(brow + 8)));
+      acc2 =
+          _mm256_add_ps(acc2, _mm256_mul_ps(avv, _mm256_loadu_ps(brow + 16)));
+      acc3 =
+          _mm256_add_ps(acc3, _mm256_mul_ps(avv, _mm256_loadu_ps(brow + 24)));
+    }
+    _mm256_storeu_ps(crow + j, acc0);
+    _mm256_storeu_ps(crow + j + 8, acc1);
+    _mm256_storeu_ps(crow + j + 16, acc2);
+    _mm256_storeu_ps(crow + j + 24, acc3);
+  }
+  for (; j + 8 <= n; j += 8) {
+    __m256 acc = _mm256_loadu_ps(crow + j);
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float av = arow[kk];
+      if (av == 0.0f) continue;
+      __m256 avv = _mm256_set1_ps(av);
+      acc = _mm256_add_ps(
+          acc, _mm256_mul_ps(avv, _mm256_loadu_ps(b + kk * n + j)));
+    }
+    _mm256_storeu_ps(crow + j, acc);
+  }
+  for (; j < n; ++j) {
+    float acc = crow[j];
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float av = arow[kk];
+      if (av == 0.0f) continue;
+      acc += av * b[kk * n + j];
+    }
+    crow[j] = acc;
+  }
+}
+
+}  // namespace
+
+// C[i,:] += A[i,:] * B for rows [r0, r1). Cache-aware traversal, not a
+// different computation. The naive row-major loop re-streams all of B from
+// L2 once per output row, and at power-of-two n the rows of a k x 32
+// column strip of B are 4*n bytes apart — they alias onto a handful of L1
+// sets and evict each other no matter how small the strip is. So the hot
+// path packs each k-tile of the strip into a small contiguous stack buffer
+// (a pure copy — bitwise-neutral) and then sweeps all output rows, in
+// pairs, against that L1-resident tile; each loaded B vector feeds two
+// output rows. Traversal order and copying are the only changes — every C
+// cell still receives one rounded multiply followed by one rounded add per
+// k step in ascending k order (k-tiles are visited in ascending order and
+// accumulate into C), and the zero-skip is applied per row exactly as in
+// the scalar tier, so results stay bitwise identical.
+void GemmRows(const float* a, const float* b, float* c, int64_t k, int64_t n,
+              int64_t r0, int64_t r1) {
+  // 64 k-steps x 32 columns = 8 KiB: comfortably L1-resident alongside the
+  // A and C lines the sweep touches.
+  constexpr int64_t kKTile = 64;
+  alignas(32) float pack[kKTile * 32];
+  // Last row of an odd-sized range is swept unpaired against the same tile.
+  const int64_t rows2 = r0 + ((r1 - r0) / 2) * 2;
+  int64_t j = 0;
+  for (; j + 32 <= n; j += 32) {
+    for (int64_t kk0 = 0; kk0 < k; kk0 += kKTile) {
+      const int64_t kt = kk0 + kKTile <= k ? kKTile : k - kk0;
+      for (int64_t t = 0; t < kt; ++t) {
+        const float* brow = b + (kk0 + t) * n + j;
+        float* prow = pack + t * 32;
+        _mm256_store_ps(prow, _mm256_loadu_ps(brow));
+        _mm256_store_ps(prow + 8, _mm256_loadu_ps(brow + 8));
+        _mm256_store_ps(prow + 16, _mm256_loadu_ps(brow + 16));
+        _mm256_store_ps(prow + 24, _mm256_loadu_ps(brow + 24));
+      }
+      for (int64_t i = r0; i < rows2; i += 2) {
+        const float* arow0 = a + i * k + kk0;
+        const float* arow1 = arow0 + k;
+        float* crow0 = c + i * n + j;
+        float* crow1 = crow0 + n;
+        __m256 p0 = _mm256_loadu_ps(crow0);
+        __m256 p1 = _mm256_loadu_ps(crow0 + 8);
+        __m256 p2 = _mm256_loadu_ps(crow0 + 16);
+        __m256 p3 = _mm256_loadu_ps(crow0 + 24);
+        __m256 q0 = _mm256_loadu_ps(crow1);
+        __m256 q1 = _mm256_loadu_ps(crow1 + 8);
+        __m256 q2 = _mm256_loadu_ps(crow1 + 16);
+        __m256 q3 = _mm256_loadu_ps(crow1 + 24);
+        for (int64_t t = 0; t < kt; ++t) {
+          float av0 = arow0[t];
+          float av1 = arow1[t];
+          if (av0 == 0.0f && av1 == 0.0f) continue;
+          const float* bp = pack + t * 32;
+          __m256 b0 = _mm256_load_ps(bp);
+          __m256 b1 = _mm256_load_ps(bp + 8);
+          __m256 b2 = _mm256_load_ps(bp + 16);
+          __m256 b3 = _mm256_load_ps(bp + 24);
+          if (av0 != 0.0f) {
+            __m256 avv = _mm256_set1_ps(av0);
+            p0 = _mm256_add_ps(p0, _mm256_mul_ps(avv, b0));
+            p1 = _mm256_add_ps(p1, _mm256_mul_ps(avv, b1));
+            p2 = _mm256_add_ps(p2, _mm256_mul_ps(avv, b2));
+            p3 = _mm256_add_ps(p3, _mm256_mul_ps(avv, b3));
+          }
+          if (av1 != 0.0f) {
+            __m256 avv = _mm256_set1_ps(av1);
+            q0 = _mm256_add_ps(q0, _mm256_mul_ps(avv, b0));
+            q1 = _mm256_add_ps(q1, _mm256_mul_ps(avv, b1));
+            q2 = _mm256_add_ps(q2, _mm256_mul_ps(avv, b2));
+            q3 = _mm256_add_ps(q3, _mm256_mul_ps(avv, b3));
+          }
+        }
+        _mm256_storeu_ps(crow0, p0);
+        _mm256_storeu_ps(crow0 + 8, p1);
+        _mm256_storeu_ps(crow0 + 16, p2);
+        _mm256_storeu_ps(crow0 + 24, p3);
+        _mm256_storeu_ps(crow1, q0);
+        _mm256_storeu_ps(crow1 + 8, q1);
+        _mm256_storeu_ps(crow1 + 16, q2);
+        _mm256_storeu_ps(crow1 + 24, q3);
+      }
+      if (rows2 < r1) {
+        const float* arow = a + rows2 * k + kk0;
+        float* crow = c + rows2 * n + j;
+        __m256 p0 = _mm256_loadu_ps(crow);
+        __m256 p1 = _mm256_loadu_ps(crow + 8);
+        __m256 p2 = _mm256_loadu_ps(crow + 16);
+        __m256 p3 = _mm256_loadu_ps(crow + 24);
+        for (int64_t t = 0; t < kt; ++t) {
+          float av = arow[t];
+          if (av == 0.0f) continue;
+          const float* bp = pack + t * 32;
+          __m256 avv = _mm256_set1_ps(av);
+          p0 = _mm256_add_ps(p0, _mm256_mul_ps(avv, _mm256_load_ps(bp)));
+          p1 = _mm256_add_ps(p1, _mm256_mul_ps(avv, _mm256_load_ps(bp + 8)));
+          p2 = _mm256_add_ps(p2, _mm256_mul_ps(avv, _mm256_load_ps(bp + 16)));
+          p3 = _mm256_add_ps(p3, _mm256_mul_ps(avv, _mm256_load_ps(bp + 24)));
+        }
+        _mm256_storeu_ps(crow, p0);
+        _mm256_storeu_ps(crow + 8, p1);
+        _mm256_storeu_ps(crow + 16, p2);
+        _mm256_storeu_ps(crow + 24, p3);
+      }
+    }
+  }
+  if (j < n) {
+    // Ragged column tail (< 32 columns), unpacked per row.
+    for (int64_t i = r0; i < r1; ++i) {
+      GemmOneRow(a + i * k, b, c + i * n, k, n, j);
+    }
+  }
+}
+
+void AxpyRow(float s, const float* x, float* y, int64_t n) {
+  __m256 sv = _mm256_set1_ps(s);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 yv = _mm256_loadu_ps(y + i);
+    yv = _mm256_add_ps(yv, _mm256_mul_ps(sv, _mm256_loadu_ps(x + i)));
+    _mm256_storeu_ps(y + i, yv);
+  }
+  for (; i < n; ++i) y[i] += s * x[i];
+}
+
+void AddRow(const float* a, const float* b, float* o, int64_t n) {
+  BinaryRow(
+      a, b, o, n, [](__m256 x, __m256 y) { return _mm256_add_ps(x, y); },
+      [](float x, float y) { return x + y; });
+}
+
+void SubRow(const float* a, const float* b, float* o, int64_t n) {
+  BinaryRow(
+      a, b, o, n, [](__m256 x, __m256 y) { return _mm256_sub_ps(x, y); },
+      [](float x, float y) { return x - y; });
+}
+
+void MulRow(const float* a, const float* b, float* o, int64_t n) {
+  BinaryRow(
+      a, b, o, n, [](__m256 x, __m256 y) { return _mm256_mul_ps(x, y); },
+      [](float x, float y) { return x * y; });
+}
+
+void DivRow(const float* a, const float* b, float* o, int64_t n) {
+  BinaryRow(
+      a, b, o, n, [](__m256 x, __m256 y) { return _mm256_div_ps(x, y); },
+      [](float x, float y) { return x / y; });
+}
+
+// max(a, 0.0f) with the second operand as the max "fallback" matches the
+// scalar `a > 0 ? a : 0` exactly: vmaxps returns the SECOND operand when
+// either input is NaN or when comparing -0.0 vs +0.0, so NaN -> 0.0f and
+// -0.0f -> +0.0f on both tiers.
+void ReluRow(const float* a, float* o, int64_t n) {
+  __m256 zero = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_max_ps(_mm256_loadu_ps(a + i), zero));
+  }
+  for (; i < n; ++i) o[i] = a[i] > 0.0f ? a[i] : 0.0f;
+}
+
+void ScaleRow(const float* a, float s, float* o, int64_t n) {
+  __m256 sv = _mm256_set1_ps(s);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), sv));
+  }
+  for (; i < n; ++i) o[i] = a[i] * s;
+}
+
+void AddScalarRow(const float* a, float s, float* o, int64_t n) {
+  __m256 sv = _mm256_set1_ps(s);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_add_ps(_mm256_loadu_ps(a + i), sv));
+  }
+  for (; i < n; ++i) o[i] = a[i] + s;
+}
+
+void AccumRow(const float* g, float* acc, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 av = _mm256_loadu_ps(acc + i);
+    _mm256_storeu_ps(acc + i, _mm256_add_ps(av, _mm256_loadu_ps(g + i)));
+  }
+  for (; i < n; ++i) acc[i] += g[i];
+}
+
+// acc[i] += (-1.0f) * g[i], keeping the scalar's explicit rounded multiply
+// (NOT a subtract: -1*g and acc-g differ in sign for g == 0 edge cases of
+// the intermediate, so we replay the same instruction sequence).
+void NegAccumRow(const float* g, float* acc, int64_t n) {
+  __m256 neg1 = _mm256_set1_ps(-1.0f);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 av = _mm256_loadu_ps(acc + i);
+    av = _mm256_add_ps(av, _mm256_mul_ps(neg1, _mm256_loadu_ps(g + i)));
+    _mm256_storeu_ps(acc + i, av);
+  }
+  for (; i < n; ++i) acc[i] += -1.0f * g[i];
+}
+
+void MulAccumRow(const float* b, const float* g, float* acc, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 av = _mm256_loadu_ps(acc + i);
+    av = _mm256_add_ps(
+        av, _mm256_mul_ps(_mm256_loadu_ps(b + i), _mm256_loadu_ps(g + i)));
+    _mm256_storeu_ps(acc + i, av);
+  }
+  for (; i < n; ++i) acc[i] += b[i] * g[i];
+}
+
+void LayerNormAffineRow(const float* x, float mu, float is, const float* gamma,
+                        const float* beta, float* xh, float* y, int64_t n) {
+  __m256 muv = _mm256_set1_ps(mu);
+  __m256 isv = _mm256_set1_ps(is);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 xv = _mm256_loadu_ps(x + i);
+    __m256 xhv = _mm256_mul_ps(_mm256_sub_ps(xv, muv), isv);
+    _mm256_storeu_ps(xh + i, xhv);
+    __m256 yv = _mm256_add_ps(_mm256_mul_ps(_mm256_loadu_ps(gamma + i), xhv),
+                              _mm256_loadu_ps(beta + i));
+    _mm256_storeu_ps(y + i, yv);
+  }
+  for (; i < n; ++i) {
+    xh[i] = (x[i] - mu) * is;
+    y[i] = gamma[i] * xh[i] + beta[i];
+  }
+}
+
+void LayerNormGradRow(const float* g, const float* gamma, const float* xh,
+                      float m1, float m2, float is, float* gx, int64_t n) {
+  __m256 m1v = _mm256_set1_ps(m1);
+  __m256 m2v = _mm256_set1_ps(m2);
+  __m256 isv = _mm256_set1_ps(is);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 gg =
+        _mm256_mul_ps(_mm256_loadu_ps(gamma + i), _mm256_loadu_ps(g + i));
+    __m256 t = _mm256_sub_ps(
+        _mm256_sub_ps(gg, m1v),
+        _mm256_mul_ps(_mm256_loadu_ps(xh + i), m2v));
+    __m256 gxv =
+        _mm256_add_ps(_mm256_loadu_ps(gx + i), _mm256_mul_ps(t, isv));
+    _mm256_storeu_ps(gx + i, gxv);
+  }
+  for (; i < n; ++i) {
+    float gg = gamma[i] * g[i];
+    gx[i] += (gg - m1 - xh[i] * m2) * is;
+  }
+}
+
+void SoftmaxGradRow(const float* y, const float* g, float dot, float* ga,
+                    int64_t n) {
+  __m256 dotv = _mm256_set1_ps(dot);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 t = _mm256_mul_ps(_mm256_loadu_ps(y + i),
+                             _mm256_sub_ps(_mm256_loadu_ps(g + i), dotv));
+    _mm256_storeu_ps(ga + i, _mm256_add_ps(_mm256_loadu_ps(ga + i), t));
+  }
+  for (; i < n; ++i) ga[i] += y[i] * (g[i] - dot);
+}
+
+}  // namespace missl::simd::avx2
+
+#endif  // MISSL_SIMD_AVX2

@@ -61,6 +61,12 @@ class TensorImpl {
   std::function<void()> backward_fn;
 
   int64_t numel() const { return static_cast<int64_t>(data.size()); }
+  /// True when the buffer is a dense row-major layout of `shape`, i.e. the
+  /// storage invariant every kernel relies on before taking raw pointers.
+  /// All factory/op paths maintain this; a false return means an impl was
+  /// assembled by hand (e.g. simulating a strided view) and must not be fed
+  /// to the SIMD kernels — see MISSL_CHECK_CONTIGUOUS in ops.
+  bool IsContiguous() const { return numel() == NumElements(shape); }
   /// Allocates (zero-filled) the grad buffer if not present.
   void EnsureGrad();
   /// Adds `n` values from `g` into the grad buffer (allocating if needed).
@@ -126,6 +132,8 @@ class Tensor {
   /// Size along dimension `d`; negative d counts from the end.
   int64_t size(int64_t d) const;
   bool requires_grad() const { return impl()->requires_grad; }
+  /// True when storage is dense row-major for shape() (see TensorImpl).
+  bool IsContiguous() const { return impl()->IsContiguous(); }
   /// Marks this tensor as a leaf requiring gradient.
   Tensor& set_requires_grad(bool v);
 

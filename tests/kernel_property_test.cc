@@ -1,0 +1,453 @@
+// Kernel correctness harness for the SIMD tier (tensor/simd.h).
+//
+// The tier contract is "tiers change wall clock, never numbers": for every
+// op with a vectorized path, scalar vs AVX2 vs threaded×AVX2 execution must
+// produce bitwise-identical tensors — forward AND backward — at any shape,
+// including ragged tails narrower than one vector width and size-0/1 edges.
+// This file enforces that with randomized shape sweeps (memcmp, not
+// EXPECT_NEAR), runs gradcheck on the SIMD tier, pins the tier
+// dispatch/gauge plumbing, checks the contiguity guard, and locks the whole
+// stack down with a seeded 2-epoch end-to-end training golden compared
+// bitwise across every tier × thread-count combination.
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/zoo.h"
+#include "data/synthetic.h"
+#include "obs/metrics.h"
+#include "runtime/runtime.h"
+#include "tensor/ops.h"
+#include "tensor/simd.h"
+#include "tensor/tensor.h"
+#include "test_util.h"
+#include "train/trainer.h"
+
+namespace missl {
+namespace {
+
+using simd::Tier;
+using testing::GradCheck;
+
+std::vector<Tier> TiersToTest() {
+  std::vector<Tier> tiers{Tier::kScalar};
+  if (simd::Avx2Available()) tiers.push_back(Tier::kAvx2);
+  return tiers;
+}
+
+// Mixed-sign data with an optional fraction of exact zeros (exercises the
+// matmul zero-skip branch, which must behave identically on every tier).
+std::vector<float> RandomData(int64_t n, Rng* rng, float zero_frac = 0.0f) {
+  std::vector<float> v(static_cast<size_t>(n));
+  for (float& x : v) {
+    x = rng->Uniform() < zero_frac ? 0.0f : rng->Uniform(-2.0f, 2.0f);
+  }
+  return v;
+}
+
+struct CaseResult {
+  std::vector<float> out;
+  std::vector<std::vector<float>> grads;
+};
+
+// Runs `fn` over fresh tensors built from `data`/`shapes` under the given
+// tier and thread count; captures the forward output and (optionally) every
+// input's gradient after backprop from Sum(out).
+CaseResult RunOpCase(Tier tier, int threads,
+                     const std::function<Tensor(std::vector<Tensor>&)>& fn,
+                     const std::vector<std::vector<float>>& data,
+                     const std::vector<Shape>& shapes, bool backward) {
+  simd::ScopedTier st(tier);
+  runtime::ScopedNumThreads snt(threads);
+  std::vector<Tensor> inputs;
+  for (size_t i = 0; i < data.size(); ++i) {
+    inputs.push_back(Tensor::FromData(data[i], shapes[i], backward));
+  }
+  Tensor out = fn(inputs);
+  CaseResult res;
+  res.out = out.vec();
+  if (backward) {
+    Tensor loss = out.numel() == 1 ? out : Sum(out);
+    loss.Backward();
+    for (Tensor& in : inputs) {
+      res.grads.push_back(in.has_grad() ? in.impl()->grad
+                                        : std::vector<float>());
+    }
+  }
+  return res;
+}
+
+void ExpectBitwise(const std::vector<float>& want,
+                   const std::vector<float>& got, const std::string& what) {
+  ASSERT_EQ(want.size(), got.size()) << what;
+  if (!want.empty()) {
+    EXPECT_EQ(0, std::memcmp(want.data(), got.data(),
+                             want.size() * sizeof(float)))
+        << what << ": bitwise mismatch";
+  }
+}
+
+// The sweep core: reference run on (scalar, 1 thread), then every tier ×
+// {1, 2, 4} threads must reproduce it bit for bit.
+void SweepOp(const std::string& name,
+             const std::function<Tensor(std::vector<Tensor>&)>& fn,
+             const std::vector<std::vector<float>>& data,
+             const std::vector<Shape>& shapes, bool backward = true) {
+  CaseResult ref = RunOpCase(Tier::kScalar, 1, fn, data, shapes, backward);
+  for (Tier tier : TiersToTest()) {
+    for (int threads : {1, 2, 4}) {
+      SCOPED_TRACE(name + " tier=" + simd::TierName(tier) +
+                   " threads=" + std::to_string(threads));
+      CaseResult got = RunOpCase(tier, threads, fn, data, shapes, backward);
+      ExpectBitwise(ref.out, got.out, "forward");
+      ASSERT_EQ(ref.grads.size(), got.grads.size());
+      for (size_t i = 0; i < ref.grads.size(); ++i) {
+        ExpectBitwise(ref.grads[i], got.grads[i],
+                      "grad of input " + std::to_string(i));
+      }
+    }
+  }
+}
+
+// ---- Tier dispatch ----------------------------------------------------------
+
+TEST(SimdTierTest, ScalarAlwaysAvailableAndNamed) {
+  EXPECT_STREQ("scalar", simd::TierName(Tier::kScalar));
+  EXPECT_STREQ("avx2", simd::TierName(Tier::kAvx2));
+  simd::ScopedTier st(Tier::kScalar);
+  EXPECT_EQ(Tier::kScalar, simd::ActiveTier());
+}
+
+TEST(SimdTierTest, ScopedTierRestoresPrevious) {
+  Tier before = simd::ActiveTier();
+  {
+    simd::ScopedTier st(Tier::kScalar);
+    EXPECT_EQ(Tier::kScalar, simd::ActiveTier());
+    if (simd::Avx2Available()) {
+      simd::ScopedTier inner(Tier::kAvx2);
+      EXPECT_EQ(Tier::kAvx2, simd::ActiveTier());
+    }
+    EXPECT_EQ(Tier::kScalar, simd::ActiveTier());
+  }
+  EXPECT_EQ(before, simd::ActiveTier());
+}
+
+TEST(SimdTierTest, GaugeReportsActiveTier) {
+  obs::SetMetricsEnabled(true);
+  auto& gauge = obs::MetricsRegistry::Global().GetGauge("simd.tier");
+  Tier before = simd::ActiveTier();
+  simd::SetTier(Tier::kScalar);
+  EXPECT_EQ(0, gauge.value());
+  if (simd::Avx2Available()) {
+    simd::SetTier(Tier::kAvx2);
+    EXPECT_EQ(1, gauge.value());
+  }
+  simd::SetTier(before);
+  obs::SetMetricsEnabled(false);
+}
+
+// ---- Property-based shape sweeps -------------------------------------------
+
+// Elementwise binary ops, same-shape fast path. Shapes deliberately include
+// sub-vector-width (n < 8), exact multiples, n % 8 tails, and size-0/1.
+TEST(KernelPropertyTest, ElementwiseBinarySweep) {
+  Rng rng;
+  rng.Seed(101);
+  const std::vector<Shape> shapes = {{0},      {1},      {7},     {8},
+                                     {9},      {3, 5},   {4, 8},  {2, 17},
+                                     {5, 33},  {2, 3, 20}};
+  struct BinCase {
+    const char* name;
+    Tensor (*op)(const Tensor&, const Tensor&);
+  };
+  const BinCase cases[] = {
+      {"Add", Add}, {"Sub", Sub}, {"Mul", Mul}, {"Div", Div}};
+  for (const Shape& s : shapes) {
+    int64_t n = NumElements(s);
+    std::vector<float> a = RandomData(n, &rng);
+    // Keep divisors away from zero so Div stays finite.
+    std::vector<float> b(static_cast<size_t>(n));
+    for (float& x : b) {
+      x = rng.Uniform(0.5f, 2.5f) * (rng.Bernoulli(0.5f) ? 1.0f : -1.0f);
+    }
+    for (const BinCase& c : cases) {
+      SweepOp(std::string(c.name) + " " + ShapeToString(s),
+              [op = c.op](std::vector<Tensor>& in) { return op(in[0], in[1]); },
+              {a, b}, {s, s}, /*backward=*/n > 0);
+    }
+  }
+}
+
+// The broadcast (different-shape) path has no vector kernel; it must still
+// agree with itself across tiers and threads (i.e. stay untouched).
+TEST(KernelPropertyTest, ElementwiseBroadcastSweep) {
+  Rng rng;
+  rng.Seed(202);
+  std::vector<float> a = RandomData(6 * 9, &rng);
+  std::vector<float> b = RandomData(9, &rng);
+  SweepOp("Add broadcast [6,9]+[9]",
+          [](std::vector<Tensor>& in) { return Add(in[0], in[1]); }, {a, b},
+          {{6, 9}, {9}});
+  SweepOp("Mul broadcast [6,9]*[9]",
+          [](std::vector<Tensor>& in) { return Mul(in[0], in[1]); }, {a, b},
+          {{6, 9}, {9}});
+}
+
+TEST(KernelPropertyTest, ElementwiseUnarySweep) {
+  Rng rng;
+  rng.Seed(303);
+  const std::vector<Shape> shapes = {{0},     {1},    {7},    {8},
+                                     {15},    {16},   {17},   {3, 11},
+                                     {2, 40}, {129}};
+  for (const Shape& s : shapes) {
+    int64_t n = NumElements(s);
+    std::vector<float> a = RandomData(n, &rng, /*zero_frac=*/0.1f);
+    SweepOp("Relu " + ShapeToString(s),
+            [](std::vector<Tensor>& in) { return Relu(in[0]); }, {a}, {s},
+            n > 0);
+    SweepOp("AddScalar " + ShapeToString(s),
+            [](std::vector<Tensor>& in) { return AddScalar(in[0], 0.37f); },
+            {a}, {s}, n > 0);
+    SweepOp("MulScalar " + ShapeToString(s),
+            [](std::vector<Tensor>& in) { return MulScalar(in[0], -1.7f); },
+            {a}, {s}, n > 0);
+    SweepOp("Neg " + ShapeToString(s),
+            [](std::vector<Tensor>& in) { return Neg(in[0]); }, {a}, {s},
+            n > 0);
+  }
+}
+
+// MatMul: output-column counts sweep across the 32-wide register-blocked
+// path, the 8-wide path, and the scalar tail — plus batched and shared-B
+// variants. ~20% exact zeros in A exercise the zero-skip branch.
+TEST(KernelPropertyTest, MatMulSweep) {
+  Rng rng;
+  rng.Seed(404);
+  struct Dims {
+    int64_t m, k, n;
+  };
+  const Dims dims[] = {{1, 1, 1},  {2, 3, 1},  {3, 4, 7},   {4, 5, 8},
+                       {5, 6, 9},  {3, 8, 31}, {2, 7, 32},  {3, 5, 33},
+                       {4, 9, 40}, {2, 16, 67}};
+  for (const Dims& d : dims) {
+    std::vector<float> a = RandomData(d.m * d.k, &rng, /*zero_frac=*/0.2f);
+    std::vector<float> b = RandomData(d.k * d.n, &rng);
+    SweepOp("MatMul [" + std::to_string(d.m) + "," + std::to_string(d.k) +
+                "]x[" + std::to_string(d.k) + "," + std::to_string(d.n) + "]",
+            [](std::vector<Tensor>& in) { return MatMul(in[0], in[1]); },
+            {a, b}, {{d.m, d.k}, {d.k, d.n}});
+  }
+  // Batched and shared-right-operand forms.
+  const int64_t bt = 3, m = 4, k = 5, n = 33;
+  std::vector<float> a3 = RandomData(bt * m * k, &rng, 0.2f);
+  std::vector<float> b3 = RandomData(bt * k * n, &rng);
+  std::vector<float> b2 = RandomData(k * n, &rng);
+  SweepOp("MatMul batched",
+          [](std::vector<Tensor>& in) { return MatMul(in[0], in[1]); },
+          {a3, b3}, {{bt, m, k}, {bt, k, n}});
+  SweepOp("MatMul shared-B",
+          [](std::vector<Tensor>& in) { return MatMul(in[0], in[1]); },
+          {a3, b2}, {{bt, m, k}, {k, n}});
+}
+
+TEST(KernelPropertyTest, SoftmaxFamilySweep) {
+  Rng rng;
+  rng.Seed(505);
+  const std::vector<Shape> shapes = {{1, 1},  {1, 7},  {3, 8},  {4, 9},
+                                     {2, 33}, {5, 17}, {2, 3, 11}};
+  for (const Shape& s : shapes) {
+    int64_t n = NumElements(s);
+    std::vector<float> a = RandomData(n, &rng);
+    SweepOp("Softmax " + ShapeToString(s),
+            [](std::vector<Tensor>& in) { return Softmax(in[0]); }, {a}, {s});
+    SweepOp("LogSoftmax " + ShapeToString(s),
+            [](std::vector<Tensor>& in) { return LogSoftmax(in[0]); }, {a},
+            {s});
+    SweepOp("L2Normalize " + ShapeToString(s),
+            [](std::vector<Tensor>& in) { return L2Normalize(in[0]); }, {a},
+            {s});
+  }
+}
+
+TEST(KernelPropertyTest, LayerNormSweep) {
+  Rng rng;
+  rng.Seed(606);
+  const std::vector<Shape> shapes = {{1, 1},  {2, 7},  {3, 8},
+                                     {4, 9},  {2, 33}, {3, 2, 17}};
+  for (const Shape& s : shapes) {
+    int64_t d = s.back();
+    std::vector<float> x = RandomData(NumElements(s), &rng);
+    std::vector<float> gamma = RandomData(d, &rng);
+    std::vector<float> beta = RandomData(d, &rng);
+    SweepOp("LayerNorm " + ShapeToString(s),
+            [](std::vector<Tensor>& in) {
+              return LayerNorm(in[0], in[1], in[2]);
+            },
+            {x, gamma, beta}, {s, {d}, {d}});
+  }
+}
+
+TEST(KernelPropertyTest, CrossEntropySweep) {
+  Rng rng;
+  rng.Seed(707);
+  for (int64_t c : {1, 7, 8, 9, 33, 50}) {
+    const int64_t bsz = 5;
+    std::vector<float> logits = RandomData(bsz * c, &rng);
+    std::vector<int32_t> targets;
+    for (int64_t r = 0; r < bsz; ++r) {
+      // Mix in an ignored (-1) target to cover that branch too.
+      targets.push_back(r == 2 ? -1
+                               : static_cast<int32_t>(rng.UniformInt(
+                                     static_cast<uint64_t>(c))));
+    }
+    SweepOp("CrossEntropy C=" + std::to_string(c),
+            [targets](std::vector<Tensor>& in) {
+              return CrossEntropyLoss(in[0], targets);
+            },
+            {logits}, {{bsz, c}});
+  }
+}
+
+// ---- Gradcheck on the SIMD tier --------------------------------------------
+
+TEST(KernelPropertyTest, GradcheckOnSimdTier) {
+  if (!simd::Avx2Available()) GTEST_SKIP() << "AVX2 tier not available";
+  simd::ScopedTier st(Tier::kAvx2);
+  Rng rng;
+  rng.Seed(808);
+  Tensor a = Tensor::Rand({3, 9}, &rng, -1.0f, 1.0f);
+  Tensor b = Tensor::Rand({3, 9}, &rng, 0.5f, 1.5f);
+  GradCheck([](const std::vector<Tensor>& in) { return Sum(Add(in[0], in[1])); },
+            {a.Clone(), b.Clone()});
+  GradCheck([](const std::vector<Tensor>& in) { return Sum(Mul(in[0], in[1])); },
+            {a.Clone(), b.Clone()});
+  GradCheck([](const std::vector<Tensor>& in) { return Sum(Div(in[0], in[1])); },
+            {a.Clone(), b.Clone()});
+  GradCheck(
+      [](const std::vector<Tensor>& in) { return Sum(MulScalar(in[0], -1.3f)); },
+      {a.Clone()});
+  Tensor ma = Tensor::Rand({4, 5}, &rng, -1.0f, 1.0f);
+  Tensor mb = Tensor::Rand({5, 9}, &rng, -1.0f, 1.0f);
+  GradCheck(
+      [](const std::vector<Tensor>& in) { return Sum(MatMul(in[0], in[1])); },
+      {ma, mb});
+  Tensor x = Tensor::Rand({3, 9}, &rng, -1.0f, 1.0f);
+  Tensor gamma = Tensor::Rand({9}, &rng, 0.5f, 1.5f);
+  Tensor beta = Tensor::Rand({9}, &rng, -0.5f, 0.5f);
+  GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return Sum(Square(LayerNorm(in[0], in[1], in[2])));
+      },
+      {x, gamma, beta});
+  Tensor s = Tensor::Rand({2, 9}, &rng, -1.0f, 1.0f);
+  GradCheck(
+      [](const std::vector<Tensor>& in) { return Sum(Square(Softmax(in[0]))); },
+      {s.Clone()});
+  GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return Sum(Square(LogSoftmax(in[0])));
+      },
+      {s.Clone()});
+}
+
+// ---- Contiguity guard -------------------------------------------------------
+
+// A hand-assembled impl whose storage does not match its shape simulates the
+// strided/transposed views this library does not support; kernels must
+// refuse it instead of reading the wrong elements.
+TEST(KernelPropertyTest, NonContiguousInputIsRejected) {
+  Tensor a = Tensor::FromData({1, 2, 3, 4, 5, 6}, {2, 3});
+  EXPECT_TRUE(a.IsContiguous());
+  a.impl()->shape = {3, 3};  // storage still holds 6 floats
+  EXPECT_FALSE(a.IsContiguous());
+  Tensor b = Tensor::Ones({3, 2});
+  EXPECT_DEATH(MatMul(a, b), "contiguous");
+  EXPECT_DEATH(Add(a, Tensor::Ones({3, 3})), "contiguous");
+  EXPECT_DEATH(Softmax(a), "contiguous");
+  EXPECT_DEATH(LayerNorm(a, Tensor::Ones({3}), Tensor::Zeros({3})),
+               "contiguous");
+}
+
+// Transpose materializes a dense copy, so its output is contiguous and safe
+// to feed the kernels; the result must match a hand-computed product.
+TEST(KernelPropertyTest, TransposedInputIsDenseAndMatches) {
+  Rng rng;
+  rng.Seed(909);
+  Tensor a = Tensor::Rand({3, 4}, &rng, -1.0f, 1.0f);
+  Tensor at = Transpose(a);
+  EXPECT_TRUE(at.IsContiguous());
+  Tensor b = Tensor::Rand({3, 9}, &rng, -1.0f, 1.0f);
+  Tensor out = MatMul(at, b);  // [4,3] x [3,9]
+  for (Tier tier : TiersToTest()) {
+    simd::ScopedTier st(tier);
+    Tensor again = MatMul(Transpose(a), b);
+    ExpectBitwise(out.vec(), again.vec(),
+                  std::string("transposed matmul on ") +
+                      simd::TierName(tier));
+  }
+}
+
+// ---- Seeded end-to-end training golden --------------------------------------
+
+// Two epochs of real training (the paper model, synthetic multi-behavior
+// data) must produce identical losses, metrics, and final weights on every
+// tier × thread-count combination. This is the drift tripwire: any kernel
+// change that alters a single bit anywhere in forward/backward/optimizer
+// shows up here.
+TEST(KernelPropertyTest, TrainTwoEpochsGoldenAcrossTiersAndThreads) {
+  data::SyntheticConfig cfg;
+  cfg.num_users = 60;
+  cfg.num_items = 120;
+  cfg.num_clusters = 6;
+  cfg.min_events = 12;
+  cfg.max_events = 25;
+  cfg.seed = 33;
+  data::Dataset ds = data::GenerateSynthetic(cfg);
+  data::SplitView split(ds);
+  eval::EvalConfig ec;
+  ec.max_len = 12;
+  eval::Evaluator evaluator(ds, split, ec);
+
+  baselines::ZooConfig zc;
+  zc.dim = 16;
+  zc.max_len = 12;
+  zc.num_interests = 2;
+
+  auto run = [&](Tier tier, int threads) {
+    simd::ScopedTier st(tier);
+    train::TrainConfig tc;
+    tc.max_epochs = 2;
+    tc.batch_size = 32;
+    tc.max_len = 12;
+    tc.num_threads = threads;
+    auto model = baselines::CreateModel("MISSL", ds, zc);
+    train::TrainResult r =
+        train::Fit(model.get(), ds, split, evaluator, tc);
+    std::vector<float> params;
+    for (const Tensor& p : model->Parameters()) {
+      params.insert(params.end(), p.vec().begin(), p.vec().end());
+    }
+    return std::make_tuple(r.final_train_loss, r.test.ndcg10, r.test.hr10,
+                           std::move(params));
+  };
+
+  auto ref = run(Tier::kScalar, 1);
+  for (Tier tier : TiersToTest()) {
+    for (int threads : {1, 2, 4}) {
+      if (tier == Tier::kScalar && threads == 1) continue;
+      SCOPED_TRACE(std::string("tier=") + simd::TierName(tier) +
+                   " threads=" + std::to_string(threads));
+      auto got = run(tier, threads);
+      EXPECT_EQ(std::get<0>(ref), std::get<0>(got)) << "final train loss";
+      EXPECT_DOUBLE_EQ(std::get<1>(ref), std::get<1>(got)) << "test ndcg10";
+      EXPECT_DOUBLE_EQ(std::get<2>(ref), std::get<2>(got)) << "test hr10";
+      ExpectBitwise(std::get<3>(ref), std::get<3>(got), "final parameters");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace missl

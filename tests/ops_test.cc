@@ -2,9 +2,12 @@
 // including finite-difference gradient checks over randomized shapes.
 #include "tensor/ops.h"
 
+#include <memory>
+
 #include <gtest/gtest.h>
 
 #include "runtime/runtime.h"
+#include "tensor/simd.h"
 #include "test_util.h"
 #include "utils/rng.h"
 
@@ -145,6 +148,52 @@ TEST(OpsGrad, UnaryOpsGradCheck) {
             {a.Clone()});
   GradCheck([](const std::vector<Tensor>& in) { return Sum(Pow(in[0], 3.0f)); },
             {pos.Clone()});
+  // a was nudged away from 0 above, which is also Abs's kink.
+  GradCheck([](const std::vector<Tensor>& in) { return Sum(Abs(in[0])); },
+            {a.Clone()});
+}
+
+TEST(OpsGrad, ScalarOpsGradCheck) {
+  Rng rng(14);
+  Tensor a = Tensor::Randn({2, 5}, &rng);
+  // Composed with Square so the incoming gradient varies per element.
+  GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return Sum(Square(AddScalar(in[0], 0.7f)));
+      },
+      {a.Clone()});
+  GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return Sum(Square(MulScalar(in[0], -1.6f)));
+      },
+      {a.Clone()});
+  GradCheck(
+      [](const std::vector<Tensor>& in) { return Sum(Square(Neg(in[0]))); },
+      {a.Clone()});
+}
+
+TEST(OpsGrad, ClampGradCheck) {
+  // Mix of clamped and pass-through elements, all well away from the
+  // lo/hi kinks relative to the finite-difference step.
+  Tensor a = Tensor::FromData({-2.0f, -0.5f, 0.1f, 0.6f, 1.5f, 3.0f}, {6});
+  GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return Sum(Square(Clamp(in[0], -0.8f, 0.8f)));
+      },
+      {a.Clone()});
+}
+
+TEST(OpsGrad, DropoutGradCheck) {
+  Rng rng(15);
+  Tensor a = Tensor::Randn({3, 6}, &rng);
+  // A fresh generator per invocation keeps the mask identical across the
+  // analytic pass and every finite-difference probe.
+  GradCheck(
+      [](const std::vector<Tensor>& in) {
+        Rng mask_rng(55);
+        return Sum(Square(Dropout(in[0], 0.4f, true, &mask_rng)));
+      },
+      {a.Clone()});
 }
 
 TEST(OpsMatmul, MatMul2dValues) {
@@ -319,6 +368,21 @@ TEST(OpsReduce, ReduceGradCheck) {
   GradCheck(
       [](const std::vector<Tensor>& in) {
         return Sum(Square(Mean(in[0], 2, true)));
+      },
+      {a.Clone()});
+  // Full-tensor Mean (scalar output).
+  GradCheck(
+      [](const std::vector<Tensor>& in) { return Mean(Square(in[0])); },
+      {a.Clone()});
+}
+
+TEST(OpsReduce, MaxGradCheck) {
+  // Values separated by far more than the finite-difference step so the
+  // argmax cannot flip mid-check.
+  Tensor a = Tensor::FromData({0.1f, 1.2f, -0.9f, 2.5f, 0.4f, -1.8f}, {2, 3});
+  GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return Sum(Square(Max(in[0], 1, false)));
       },
       {a.Clone()});
 }
@@ -519,6 +583,106 @@ TEST(OpsThreaded, SoftmaxGradCheck) {
         return Sum(Square(LogSoftmax(in[0])));
       },
       {Tensor::Randn({6, 9}, &rng)});
+}
+
+// Gradchecks on the SIMD tier: the same analytic-vs-finite-difference
+// probes with the AVX2 kernels active (skipped where unavailable), composed
+// with a 4-thread runtime so tier × threading interactions are covered.
+// Bitwise tier identity is enforced separately by kernel_property_test;
+// these verify the SIMD path's gradients are also *correct*, not just
+// consistent.
+class OpsSimd : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!simd::Avx2Available()) {
+      GTEST_SKIP() << "AVX2 tier not compiled in or not supported";
+    }
+    tier_ = std::make_unique<simd::ScopedTier>(simd::Tier::kAvx2);
+    threads_ = std::make_unique<runtime::ScopedNumThreads>(4);
+  }
+  std::unique_ptr<simd::ScopedTier> tier_;
+  std::unique_ptr<runtime::ScopedNumThreads> threads_;
+};
+
+TEST_F(OpsSimd, BinaryOpsGradCheck) {
+  Rng rng(41);
+  Tensor a = Tensor::Randn({3, 9}, &rng);
+  Tensor b = Tensor::Rand({3, 9}, &rng, 0.5f, 2.0f);
+  GradCheck([](const std::vector<Tensor>& in) { return Sum(Add(in[0], in[1])); },
+            {a.Clone(), b.Clone()});
+  GradCheck([](const std::vector<Tensor>& in) { return Sum(Sub(in[0], in[1])); },
+            {a.Clone(), b.Clone()});
+  GradCheck([](const std::vector<Tensor>& in) { return Sum(Mul(in[0], in[1])); },
+            {a.Clone(), b.Clone()});
+  GradCheck([](const std::vector<Tensor>& in) { return Sum(Div(in[0], in[1])); },
+            {a.Clone(), b.Clone()});
+}
+
+TEST_F(OpsSimd, ScalarAndReluGradCheck) {
+  Rng rng(42);
+  Tensor a = Tensor::Randn({2, 17}, &rng);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    float v = a.data()[i];
+    if (std::fabs(v) < 0.2f) a.data()[i] = v < 0 ? v - 0.3f : v + 0.3f;
+  }
+  GradCheck([](const std::vector<Tensor>& in) { return Sum(Relu(in[0])); },
+            {a.Clone()});
+  GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return Sum(Square(AddScalar(in[0], -0.4f)));
+      },
+      {a.Clone()});
+  GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return Sum(Square(MulScalar(in[0], 2.3f)));
+      },
+      {a.Clone()});
+}
+
+TEST_F(OpsSimd, MatMulAllFormsGradCheck) {
+  Rng rng(43);
+  GradCheck(
+      [](const std::vector<Tensor>& in) { return Sum(MatMul(in[0], in[1])); },
+      {Tensor::Randn({3, 5}, &rng), Tensor::Randn({5, 9}, &rng)});
+  GradCheck(
+      [](const std::vector<Tensor>& in) { return Sum(MatMul(in[0], in[1])); },
+      {Tensor::Randn({2, 3, 4}, &rng), Tensor::Randn({2, 4, 9}, &rng)});
+  GradCheck(
+      [](const std::vector<Tensor>& in) { return Sum(MatMul(in[0], in[1])); },
+      {Tensor::Randn({2, 3, 4}, &rng), Tensor::Randn({4, 9}, &rng)});
+}
+
+TEST_F(OpsSimd, NnOpsGradCheck) {
+  Rng rng(44);
+  // Moderate logit scale keeps the softmax away from saturation, where
+  // float32 finite differences get too noisy for the default tolerance.
+  GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return Sum(Square(Softmax(in[0])));
+      },
+      {Tensor::Randn({4, 9}, &rng, 0.5f)});
+  GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return Sum(Square(LogSoftmax(in[0])));
+      },
+      {Tensor::Randn({4, 9}, &rng, 0.5f)});
+  GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return Sum(Square(LayerNorm(in[0], in[1], in[2])));
+      },
+      {Tensor::Randn({3, 9}, &rng), Tensor::Rand({9}, &rng, 0.5f, 1.5f),
+       Tensor::Randn({9}, &rng)});
+  std::vector<int32_t> targets = {2, 0, -1, 4};
+  GradCheck(
+      [targets](const std::vector<Tensor>& in) {
+        return CrossEntropyLoss(in[0], targets);
+      },
+      {Tensor::Randn({4, 9}, &rng)});
+  GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return Sum(Square(L2Normalize(in[0])));
+      },
+      {Tensor::Randn({3, 9}, &rng)});
 }
 
 TEST(OpsDeath, MatMulDimMismatchAborts) {

@@ -1,0 +1,161 @@
+// Fuzz-style negative tests for the serving line protocol. A live request
+// stream must never crash the server: every malformed line — truncated
+// fields, non-numeric ids, integer overflow, oversized payloads, embedded
+// NULs — has to come back as a descriptive InvalidArgument Status. The CI
+// ASan job runs this binary, so any out-of-bounds read in the parser that
+// a malformed line can reach fails loudly here.
+#include "serve/protocol.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "utils/rng.h"
+
+namespace missl::serve {
+namespace {
+
+// Must reject with InvalidArgument and a non-empty message; must not crash.
+void ExpectRejected(const std::string& line) {
+  SCOPED_TRACE("line: \"" + line + "\"");
+  ParsedQuery q;
+  Status s = ParseQueryLine(line, &q);
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(s.message().empty()) << "rejection must say why";
+}
+
+// Invariants any accepted line must satisfy — checked after every fuzz
+// iteration that happens to parse.
+void ExpectWellFormed(const ParsedQuery& q) {
+  EXPECT_GE(q.id, 0);
+  EXPECT_GE(q.query.k, 1);
+  EXPECT_FALSE(q.query.items.empty());
+  EXPECT_EQ(q.query.items.size(), q.query.behaviors.size());
+  EXPECT_TRUE(q.query.timestamps.empty() ||
+              q.query.timestamps.size() == q.query.items.size());
+  for (int32_t item : q.query.items) EXPECT_GE(item, 0);
+  for (int32_t beh : q.query.behaviors) EXPECT_GE(beh, 0);
+  for (int32_t ex : q.query.exclude) EXPECT_GE(ex, 0);
+}
+
+TEST(ServeFuzzTest, TruncatedFields) {
+  ExpectRejected("");
+  ExpectRejected("5");
+  ExpectRejected("5\t10");
+  ExpectRejected("5\t");
+  ExpectRejected("5\t10\t");
+  ExpectRejected("\t\t");
+  ExpectRejected("5\t10\t1:0\t3\textra");  // too many fields
+  ExpectRejected("5\t10\t1:");             // truncated event
+  ExpectRejected("5\t10\t:0");
+  ExpectRejected("5\t10\t1:0,");           // trailing empty event
+  ExpectRejected("5\t10\t1:0:");           // truncated timestamp
+}
+
+TEST(ServeFuzzTest, NonNumericIds) {
+  ExpectRejected("abc\t10\t1:0");
+  ExpectRejected("5x\t10\t1:0");
+  ExpectRejected(" 5\t10\t1:0");   // leading space: not a full-consume parse
+  ExpectRejected("5\tten\t1:0");
+  ExpectRejected("5\t10\tx:0");
+  ExpectRejected("5\t10\t1:y");
+  ExpectRejected("5\t10\t1:0:zz");
+  ExpectRejected("5\t10\t1:0\tfoo");
+  ExpectRejected("5\t10\t1.5:0");  // floats are not item ids
+  ExpectRejected("5\t10\t1:0:1e3");
+}
+
+TEST(ServeFuzzTest, OutOfRangeValues) {
+  ExpectRejected("-1\t10\t1:0");                     // negative id
+  ExpectRejected("5\t0\t1:0");                       // k < 1
+  ExpectRejected("5\t-3\t1:0");                      // negative k
+  ExpectRejected("5\t10\t-2:0");                     // negative item
+  ExpectRejected("5\t10\t1:-1");                     // negative behavior
+  ExpectRejected("5\t10\t1:0\t-4");                  // negative exclude
+  ExpectRejected("99999999999999999999\t10\t1:0");   // id overflows int64
+  ExpectRejected("5\t4294967296\t1:0");              // k overflows int32
+  ExpectRejected("5\t10\t4294967296:0");             // item overflows int32
+  ExpectRejected("5\t10\t1:0:99999999999999999999"); // ts overflows int64
+}
+
+TEST(ServeFuzzTest, MixedTimestampPresenceRejected) {
+  ExpectRejected("5\t10\t1:0:100,2:1");
+  ExpectRejected("5\t10\t1:0,2:1:200");
+}
+
+TEST(ServeFuzzTest, EmbeddedNulBytes) {
+  ExpectRejected(std::string("5\t10\t1:0\0", 9));
+  ExpectRejected(std::string("5\00010\t1:0", 9));
+  ExpectRejected(std::string("\0", 1));
+  // NUL inside a numeric token must not truncate the full-consume check.
+  ExpectRejected(std::string("5\t10\t1\0:0", 9));
+}
+
+TEST(ServeFuzzTest, OversizedLines) {
+  // A huge but well-formed history must parse (bounded only by memory)...
+  std::string big = "7\t5\t";
+  for (int i = 0; i < 100000; ++i) {
+    if (i > 0) big += ',';
+    big += std::to_string(i % 1000) + ":" + std::to_string(i % 4);
+  }
+  ParsedQuery q;
+  Status s = ParseQueryLine(big, &q);
+  ASSERT_TRUE(s.ok()) << s.message();
+  EXPECT_EQ(100000u, q.query.items.size());
+  ExpectWellFormed(q);
+  // ...while a huge garbage token must be rejected, not crash.
+  ExpectRejected(std::string(1 << 20, 'A'));
+  ExpectRejected("5\t10\t" + std::string(1 << 20, '9') + ":0");
+}
+
+// Seeded mutation fuzzing: random byte edits of a valid line. The parser
+// must always return (never crash, hang, or trip ASan), and anything it
+// accepts must satisfy the query invariants.
+TEST(ServeFuzzTest, SeededMutationSweep) {
+  const std::string base = "42\t10\t1:0:100,2:1:200,3:0:300\t7,9";
+  Rng rng(20240806);
+  // Explicit length: the interesting byte set includes NUL, which would
+  // otherwise truncate the literal.
+  static const char kBytes[] = "0123456789:,\t.-+ex\n\r #\x00\x01\x7f\xff";
+  const std::string bytes(kBytes, sizeof(kBytes) - 1);
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::string line = base;
+    int edits = 1 + static_cast<int>(rng.UniformInt(4));
+    for (int e = 0; e < edits; ++e) {
+      switch (rng.UniformInt(4)) {
+        case 0:  // overwrite a byte
+          if (!line.empty()) {
+            line[rng.UniformInt(line.size())] =
+                bytes[rng.UniformInt(bytes.size())];
+          }
+          break;
+        case 1:  // insert a byte
+          line.insert(line.begin() + static_cast<int64_t>(
+                                         rng.UniformInt(line.size() + 1)),
+                      bytes[rng.UniformInt(bytes.size())]);
+          break;
+        case 2:  // delete a byte
+          if (!line.empty()) {
+            line.erase(line.begin() +
+                       static_cast<int64_t>(rng.UniformInt(line.size())));
+          }
+          break;
+        default:  // truncate
+          line.resize(rng.UniformInt(line.size() + 1));
+          break;
+      }
+    }
+    SCOPED_TRACE("iter " + std::to_string(iter));
+    ParsedQuery q;
+    Status s = ParseQueryLine(line, &q);
+    if (s.ok()) {
+      ExpectWellFormed(q);
+    } else {
+      EXPECT_FALSE(s.message().empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace missl::serve
