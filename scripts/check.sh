@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Local reproduction of the CI jobs (.github/workflows/ci.yml):
 #   1. Release build + full ctest suite, serial, with MISSL_NUM_THREADS=4,
-#      and with MISSL_SIMD=off (all three must agree bitwise)
+#      with MISSL_SIMD=off, and with MISSL_ALLOC=system (all four must agree
+#      bitwise)
 #   2. ASan+UBSan build + full ctest suite
 #   3. TSan build, running the threaded tests (runtime_test, models_test,
-#      serve_test — the serving micro-batcher must stay race-free — and
-#      kernel_property_test, which sweeps the SIMD tiers at 1/2/4 threads)
+#      serve_test — the serving micro-batcher must stay race-free —
+#      kernel_property_test, which sweeps the SIMD tiers at 1/2/4 threads,
+#      and alloc_test, which stresses the pooled allocator's cross-thread
+#      free path)
 #   4. Documentation consistency (scripts/check_docs.sh)
 #
 # Usage:
@@ -29,6 +32,10 @@ run_release() {
   MISSL_NUM_THREADS=4 ctest --test-dir build-check-release --output-on-failure -j"$(nproc)"
   echo "=== [release] again with MISSL_SIMD=off (results must match) ==="
   MISSL_SIMD=off ctest --test-dir build-check-release --output-on-failure -j"$(nproc)"
+  echo "=== [release] again with MISSL_ALLOC=system (results must match) ==="
+  MISSL_ALLOC=system ctest --test-dir build-check-release --output-on-failure -j"$(nproc)"
+  echo "=== [release] allocator-churn regression gate ==="
+  ./build-check-release/bench/bench_m1_alloc --smoke
 }
 
 run_asan() {
@@ -48,11 +55,13 @@ run_tsan() {
   cmake -B build-check-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DMISSL_SANITIZE=thread
   cmake --build build-check-tsan -j"$(nproc)" \
-        --target runtime_test models_test serve_test kernel_property_test
+        --target runtime_test models_test serve_test kernel_property_test \
+                 alloc_test
   TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/runtime_test
   TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/models_test
   TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/serve_test
   TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/kernel_property_test
+  TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/alloc_test
 }
 
 run_docs() {

@@ -118,7 +118,7 @@ Status LoadParameters(Module* module, const std::string& path) {
                                      ShapeToString(it->second.first) + " vs module " +
                                      ShapeToString(t.shape()));
     }
-    t.vec() = it->second.second;
+    t.CopyFrom(it->second.second);
   }
   return Status::OK();
 }

@@ -10,6 +10,7 @@
 #include "obs/trace.h"
 #include "runtime/runtime.h"
 #include "runtime/thread_pool.h"
+#include "tensor/alloc.h"
 #include "utils/check.h"
 
 namespace missl::serve {
@@ -135,6 +136,10 @@ std::unique_ptr<RecoService> RecoService::Load(
   int threads = config.num_threads > 0 ? config.num_threads
                                        : runtime::NumThreads();
   runtime::ThreadPool::Global().Prewarm(threads);
+  // Load-time work (parameter deserialization, catalog precompute) churns
+  // through large one-off buffers; return them to the system so the
+  // steady-state footprint reflects only what serving re-uses.
+  alloc::Trim();
   svc->dispatcher_ = std::thread([s = svc.get()] { s->DispatcherLoop(); });
   return svc;
 }

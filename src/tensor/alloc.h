@@ -1,0 +1,198 @@
+// Pooled, aligned tensor storage (see docs/MEMORY.md).
+//
+// The autograd graph is rebuilt every training step, so every op output and
+// every lazily-created grad buffer used to be a fresh heap allocation —
+// thousands of malloc/free round-trips per step that recur with identical
+// sizes step after step. This module replaces that churn with a size-class
+// caching allocator in the style of PyTorch's CUDACachingAllocator /
+// tcmalloc's front cache:
+//
+//   Storage ──► per-thread free lists (no lock) ──► global pool (mutex)
+//                                                        │ miss
+//                                                        ▼
+//                                          32-byte-aligned system allocation
+//
+//  - size classes are powers of two from 64 B to 64 MiB; larger blocks
+//    bypass the cache and go straight to the system;
+//  - every block is 32-byte aligned, so the AVX2 kernel tier can use aligned
+//    loads/stores on tensor buffers (tensor/simd_avx2.cc checks and falls
+//    back to unaligned instructions otherwise);
+//  - blocks remember their origin, so flipping the mode at runtime (tests,
+//    benches) never frees a block into the wrong allocator;
+//  - determinism: the pool hands back recycled blocks without zeroing, but
+//    Storage's only mutators (assign / copy_from) overwrite every element
+//    they expose, so no computation can observe recycled bytes and results
+//    stay bitwise identical between pool and system modes (the seed
+//    std::vector semantics — tests/alloc_test.cc holds a 2-epoch training
+//    golden to it).
+//
+// Mode selection: MISSL_ALLOC=pool (default) or system, resolved once on
+// first allocation; SetMode/ScopedMode override it at runtime. Under ASan
+// the pool is compiled out (PoolAvailable() == false) and every Storage is a
+// plain aligned system allocation, so leak detection and use-after-free
+// redzones keep working at full fidelity.
+#ifndef MISSL_TENSOR_ALLOC_H_
+#define MISSL_TENSOR_ALLOC_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace missl::alloc {
+
+/// Block alignment guarantee, in bytes, for every Storage buffer in either
+/// mode (pool classes and direct system allocations alike).
+inline constexpr int64_t kAlignment = 32;
+
+/// Allocation backends. Values are stable (telemetry/bench labels).
+enum class Mode : int {
+  kSystem = 0,  ///< aligned system malloc/free per allocation, no caching
+  kPool = 1,    ///< size-class caching allocator (the default)
+};
+
+/// The mode allocations dispatch on. Resolved once from MISSL_ALLOC on first
+/// use (thread-safe), then cached; SetMode overrides it. Always kSystem when
+/// PoolAvailable() is false.
+Mode ActiveMode();
+
+/// Overrides the active mode (tests/benches). Requests for kPool degrade to
+/// kSystem with a warning when the pool is unavailable (ASan builds). Safe
+/// at any time: live blocks are freed to the allocator that produced them.
+void SetMode(Mode m);
+
+/// False when the pool was compiled out (address-sanitized builds, so LSan
+/// and use-after-free detection see every tensor buffer individually).
+bool PoolAvailable();
+
+/// Human-readable mode name ("system", "pool").
+const char* ModeName(Mode m);
+
+/// RAII mode override restoring the previous mode on scope exit; used by
+/// tests and benches to compare modes on the same computation.
+class ScopedMode {
+ public:
+  explicit ScopedMode(Mode m);
+  ~ScopedMode();
+  ScopedMode(const ScopedMode&) = delete;
+  ScopedMode& operator=(const ScopedMode&) = delete;
+
+ private:
+  Mode prev_;
+};
+
+/// Always-on allocator counters (relaxed atomics, negligible next to the
+/// allocations they track — same policy as obs/memory.h). The same values
+/// are mirrored to the opt-in metrics registry as the alloc.pool_hits /
+/// alloc.pool_misses counters and alloc.cached_bytes / alloc.live_bytes
+/// gauges.
+struct AllocStats {
+  int64_t pool_hits = 0;      ///< allocations served from a free list
+  int64_t pool_misses = 0;    ///< pool-mode allocations that hit the system
+  int64_t system_allocs = 0;  ///< aligned system allocations, either mode
+  int64_t system_frees = 0;   ///< blocks returned to the system
+  int64_t cached_bytes = 0;   ///< bytes parked in free lists right now
+  int64_t live_bytes = 0;     ///< bytes handed out to live Storage objects
+};
+
+/// Reads all counters (each individually consistent; the snapshot is not
+/// atomic across fields).
+AllocStats GetAllocStats();
+
+/// Releases every cached block in the global pool and the calling thread's
+/// front cache back to the system; returns the number of bytes released.
+/// Other threads' front caches are small (a few blocks per size class) and
+/// drain into the global pool when those threads exit.
+int64_t Trim();
+
+/// The byte capacity a request of `bytes` is rounded up to: the next
+/// power-of-two size class (minimum 64) for cacheable sizes, or the next
+/// multiple of kAlignment for oversize direct allocations. Exposed for
+/// tests.
+int64_t RoundUpBytes(int64_t bytes);
+
+namespace internal {
+/// Allocates a 32-byte-aligned block of at least `bytes`; writes the rounded
+/// capacity to *cap_bytes and the owning size class (or -1 for a direct
+/// system block) to *cls. bytes must be > 0.
+void* Acquire(int64_t bytes, int64_t* cap_bytes, int* cls);
+/// Returns a block from Acquire. cap_bytes/cls must be the values Acquire
+/// produced for it — they route the block back to its origin.
+void Release(void* ptr, int64_t cap_bytes, int cls);
+}  // namespace internal
+
+}  // namespace missl::alloc
+
+namespace missl {
+
+/// Owning handle to one aligned float buffer from the tensor allocator; the
+/// backing store of TensorImpl::data and ::grad. Mimics the slice of the
+/// std::vector<float> interface the tensor core used before pooling —
+/// data()/size()/empty()/operator[]/begin()/end() — so kernel and op code
+/// is agnostic to the storage backend. The only mutators are assign() and
+/// copy_from(), both of which overwrite every element they expose (the
+/// zero-fill/full-overwrite determinism rule above); there is deliberately
+/// no resize() that could surface recycled bytes.
+class Storage {
+ public:
+  Storage() = default;
+  ~Storage() { reset(); }
+  Storage(Storage&& other) noexcept { MoveFrom(&other); }
+  Storage& operator=(Storage&& other) noexcept {
+    if (this != &other) {
+      reset();
+      MoveFrom(&other);
+    }
+    return *this;
+  }
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
+
+  /// Sets the buffer to `n` copies of `value`, reusing the current block
+  /// when it is large enough (like vector::assign, capacity never shrinks).
+  void assign(int64_t n, float value);
+  /// Sets the buffer to a copy of src[0, n).
+  void copy_from(const float* src, int64_t n);
+  /// Releases the block back to the allocator; size and capacity become 0.
+  void reset();
+
+  float* data() { return ptr_; }
+  const float* data() const { return ptr_; }
+  int64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Rounded capacity of the held block (what memory accounting reports).
+  int64_t capacity_bytes() const { return cap_bytes_; }
+
+  float& operator[](int64_t i) { return ptr_[i]; }
+  const float& operator[](int64_t i) const { return ptr_[i]; }
+  float* begin() { return ptr_; }
+  float* end() { return ptr_ + size_; }
+  const float* begin() const { return ptr_; }
+  const float* end() const { return ptr_ + size_; }
+
+  /// Copy of the contents as a plain vector (tests, parameter snapshots).
+  std::vector<float> ToVector() const {
+    return std::vector<float>(ptr_, ptr_ + size_);
+  }
+
+ private:
+  void MoveFrom(Storage* other) {
+    ptr_ = other->ptr_;
+    size_ = other->size_;
+    cap_bytes_ = other->cap_bytes_;
+    cls_ = other->cls_;
+    other->ptr_ = nullptr;
+    other->size_ = 0;
+    other->cap_bytes_ = 0;
+    other->cls_ = -1;
+  }
+  /// Ensures capacity for n floats, discarding current contents on growth.
+  void Reserve(int64_t n);
+
+  float* ptr_ = nullptr;
+  int64_t size_ = 0;       ///< floats exposed
+  int64_t cap_bytes_ = 0;  ///< rounded block capacity
+  int cls_ = -1;           ///< owning size class; -1 = direct system block
+};
+
+}  // namespace missl
+
+#endif  // MISSL_TENSOR_ALLOC_H_

@@ -13,19 +13,64 @@ namespace missl::simd::avx2 {
 
 namespace {
 
+// ---- Aligned-load fast path -------------------------------------------------
+//
+// The pooled tensor allocator (tensor/alloc.h) guarantees every Storage
+// buffer is 32-byte aligned, so in practice the row kernels below almost
+// always see aligned base pointers and can use vmovaps instead of vmovups.
+// Alignment is checked per invocation on the actual row pointers (ops hand
+// kernels row offsets, and a row stride that is not a multiple of 8 floats
+// breaks alignment mid-tensor), and the 8-float step preserves 32-byte
+// alignment from one iteration to the next. The unaligned fallback is the
+// exact same instruction sequence with vmovups — loads/stores carry no
+// rounding, so both paths are bitwise identical (asserted by
+// kernel_property_test.cc's pool-vs-system and alignment sweeps).
+
+inline bool Aligned32(const void* p) {
+  return (reinterpret_cast<uintptr_t>(p) & 31u) == 0;
+}
+
+template <bool kAligned>
+inline __m256 Load(const float* p) {
+  if constexpr (kAligned) {
+    return _mm256_load_ps(p);
+  } else {
+    return _mm256_loadu_ps(p);
+  }
+}
+
+template <bool kAligned>
+inline void Store(float* p, __m256 v) {
+  if constexpr (kAligned) {
+    _mm256_store_ps(p, v);
+  } else {
+    _mm256_storeu_ps(p, v);
+  }
+}
+
 // o[i] = a[i] OP b[i] for one row, 8 lanes at a time plus a scalar tail.
 // The tail uses the same single rounded OP per element, so ragged widths
 // (n % 8 != 0) stay bitwise identical to the scalar tier.
+template <bool kA, typename VecOp, typename ScalarOp>
+inline void BinaryRowImpl(const float* a, const float* b, float* o, int64_t n,
+                          VecOp vop, ScalarOp sop) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 av = Load<kA>(a + i);
+    __m256 bv = Load<kA>(b + i);
+    Store<kA>(o + i, vop(av, bv));
+  }
+  for (; i < n; ++i) o[i] = sop(a[i], b[i]);
+}
+
 template <typename VecOp, typename ScalarOp>
 inline void BinaryRow(const float* a, const float* b, float* o, int64_t n,
                       VecOp vop, ScalarOp sop) {
-  int64_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    __m256 av = _mm256_loadu_ps(a + i);
-    __m256 bv = _mm256_loadu_ps(b + i);
-    _mm256_storeu_ps(o + i, vop(av, bv));
+  if (Aligned32(a) && Aligned32(b) && Aligned32(o)) {
+    BinaryRowImpl<true>(a, b, o, n, vop, sop);
+  } else {
+    BinaryRowImpl<false>(a, b, o, n, vop, sop);
   }
-  for (; i < n; ++i) o[i] = sop(a[i], b[i]);
 }
 
 // crow[j:] += arow * B[:, j:] for one output row starting at column j,
@@ -235,15 +280,26 @@ void GemmRows(const float* a, const float* b, float* c, int64_t k, int64_t n,
   }
 }
 
-void AxpyRow(float s, const float* x, float* y, int64_t n) {
+namespace {
+template <bool kA>
+inline void AxpyRowImpl(float s, const float* x, float* y, int64_t n) {
   __m256 sv = _mm256_set1_ps(s);
   int64_t i = 0;
   for (; i + 8 <= n; i += 8) {
-    __m256 yv = _mm256_loadu_ps(y + i);
-    yv = _mm256_add_ps(yv, _mm256_mul_ps(sv, _mm256_loadu_ps(x + i)));
-    _mm256_storeu_ps(y + i, yv);
+    __m256 yv = Load<kA>(y + i);
+    yv = _mm256_add_ps(yv, _mm256_mul_ps(sv, Load<kA>(x + i)));
+    Store<kA>(y + i, yv);
   }
   for (; i < n; ++i) y[i] += s * x[i];
+}
+}  // namespace
+
+void AxpyRow(float s, const float* x, float* y, int64_t n) {
+  if (Aligned32(x) && Aligned32(y)) {
+    AxpyRowImpl<true>(s, x, y, n);
+  } else {
+    AxpyRowImpl<false>(s, x, y, n);
+  }
 }
 
 void AddRow(const float* a, const float* b, float* o, int64_t n) {
@@ -274,118 +330,221 @@ void DivRow(const float* a, const float* b, float* o, int64_t n) {
 // scalar `a > 0 ? a : 0` exactly: vmaxps returns the SECOND operand when
 // either input is NaN or when comparing -0.0 vs +0.0, so NaN -> 0.0f and
 // -0.0f -> +0.0f on both tiers.
-void ReluRow(const float* a, float* o, int64_t n) {
+namespace {
+template <bool kA>
+inline void ReluRowImpl(const float* a, float* o, int64_t n) {
   __m256 zero = _mm256_setzero_ps();
   int64_t i = 0;
   for (; i + 8 <= n; i += 8) {
-    _mm256_storeu_ps(o + i, _mm256_max_ps(_mm256_loadu_ps(a + i), zero));
+    Store<kA>(o + i, _mm256_max_ps(Load<kA>(a + i), zero));
   }
   for (; i < n; ++i) o[i] = a[i] > 0.0f ? a[i] : 0.0f;
 }
+}  // namespace
 
-void ScaleRow(const float* a, float s, float* o, int64_t n) {
+void ReluRow(const float* a, float* o, int64_t n) {
+  if (Aligned32(a) && Aligned32(o)) {
+    ReluRowImpl<true>(a, o, n);
+  } else {
+    ReluRowImpl<false>(a, o, n);
+  }
+}
+
+namespace {
+template <bool kA>
+inline void ScaleRowImpl(const float* a, float s, float* o, int64_t n) {
   __m256 sv = _mm256_set1_ps(s);
   int64_t i = 0;
   for (; i + 8 <= n; i += 8) {
-    _mm256_storeu_ps(o + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), sv));
+    Store<kA>(o + i, _mm256_mul_ps(Load<kA>(a + i), sv));
   }
   for (; i < n; ++i) o[i] = a[i] * s;
 }
+}  // namespace
 
-void AddScalarRow(const float* a, float s, float* o, int64_t n) {
+void ScaleRow(const float* a, float s, float* o, int64_t n) {
+  if (Aligned32(a) && Aligned32(o)) {
+    ScaleRowImpl<true>(a, s, o, n);
+  } else {
+    ScaleRowImpl<false>(a, s, o, n);
+  }
+}
+
+namespace {
+template <bool kA>
+inline void AddScalarRowImpl(const float* a, float s, float* o, int64_t n) {
   __m256 sv = _mm256_set1_ps(s);
   int64_t i = 0;
   for (; i + 8 <= n; i += 8) {
-    _mm256_storeu_ps(o + i, _mm256_add_ps(_mm256_loadu_ps(a + i), sv));
+    Store<kA>(o + i, _mm256_add_ps(Load<kA>(a + i), sv));
   }
   for (; i < n; ++i) o[i] = a[i] + s;
 }
+}  // namespace
 
-void AccumRow(const float* g, float* acc, int64_t n) {
+void AddScalarRow(const float* a, float s, float* o, int64_t n) {
+  if (Aligned32(a) && Aligned32(o)) {
+    AddScalarRowImpl<true>(a, s, o, n);
+  } else {
+    AddScalarRowImpl<false>(a, s, o, n);
+  }
+}
+
+namespace {
+template <bool kA>
+inline void AccumRowImpl(const float* g, float* acc, int64_t n) {
   int64_t i = 0;
   for (; i + 8 <= n; i += 8) {
-    __m256 av = _mm256_loadu_ps(acc + i);
-    _mm256_storeu_ps(acc + i, _mm256_add_ps(av, _mm256_loadu_ps(g + i)));
+    __m256 av = Load<kA>(acc + i);
+    Store<kA>(acc + i, _mm256_add_ps(av, Load<kA>(g + i)));
   }
   for (; i < n; ++i) acc[i] += g[i];
+}
+}  // namespace
+
+void AccumRow(const float* g, float* acc, int64_t n) {
+  if (Aligned32(g) && Aligned32(acc)) {
+    AccumRowImpl<true>(g, acc, n);
+  } else {
+    AccumRowImpl<false>(g, acc, n);
+  }
 }
 
 // acc[i] += (-1.0f) * g[i], keeping the scalar's explicit rounded multiply
 // (NOT a subtract: -1*g and acc-g differ in sign for g == 0 edge cases of
 // the intermediate, so we replay the same instruction sequence).
-void NegAccumRow(const float* g, float* acc, int64_t n) {
+namespace {
+template <bool kA>
+inline void NegAccumRowImpl(const float* g, float* acc, int64_t n) {
   __m256 neg1 = _mm256_set1_ps(-1.0f);
   int64_t i = 0;
   for (; i + 8 <= n; i += 8) {
-    __m256 av = _mm256_loadu_ps(acc + i);
-    av = _mm256_add_ps(av, _mm256_mul_ps(neg1, _mm256_loadu_ps(g + i)));
-    _mm256_storeu_ps(acc + i, av);
+    __m256 av = Load<kA>(acc + i);
+    av = _mm256_add_ps(av, _mm256_mul_ps(neg1, Load<kA>(g + i)));
+    Store<kA>(acc + i, av);
   }
   for (; i < n; ++i) acc[i] += -1.0f * g[i];
 }
+}  // namespace
 
-void MulAccumRow(const float* b, const float* g, float* acc, int64_t n) {
+void NegAccumRow(const float* g, float* acc, int64_t n) {
+  if (Aligned32(g) && Aligned32(acc)) {
+    NegAccumRowImpl<true>(g, acc, n);
+  } else {
+    NegAccumRowImpl<false>(g, acc, n);
+  }
+}
+
+namespace {
+template <bool kA>
+inline void MulAccumRowImpl(const float* b, const float* g, float* acc,
+                            int64_t n) {
   int64_t i = 0;
   for (; i + 8 <= n; i += 8) {
-    __m256 av = _mm256_loadu_ps(acc + i);
-    av = _mm256_add_ps(
-        av, _mm256_mul_ps(_mm256_loadu_ps(b + i), _mm256_loadu_ps(g + i)));
-    _mm256_storeu_ps(acc + i, av);
+    __m256 av = Load<kA>(acc + i);
+    av = _mm256_add_ps(av, _mm256_mul_ps(Load<kA>(b + i), Load<kA>(g + i)));
+    Store<kA>(acc + i, av);
   }
   for (; i < n; ++i) acc[i] += b[i] * g[i];
 }
+}  // namespace
 
-void LayerNormAffineRow(const float* x, float mu, float is, const float* gamma,
-                        const float* beta, float* xh, float* y, int64_t n) {
+void MulAccumRow(const float* b, const float* g, float* acc, int64_t n) {
+  if (Aligned32(b) && Aligned32(g) && Aligned32(acc)) {
+    MulAccumRowImpl<true>(b, g, acc, n);
+  } else {
+    MulAccumRowImpl<false>(b, g, acc, n);
+  }
+}
+
+namespace {
+template <bool kA>
+inline void LayerNormAffineRowImpl(const float* x, float mu, float is,
+                                   const float* gamma, const float* beta,
+                                   float* xh, float* y, int64_t n) {
   __m256 muv = _mm256_set1_ps(mu);
   __m256 isv = _mm256_set1_ps(is);
   int64_t i = 0;
   for (; i + 8 <= n; i += 8) {
-    __m256 xv = _mm256_loadu_ps(x + i);
+    __m256 xv = Load<kA>(x + i);
     __m256 xhv = _mm256_mul_ps(_mm256_sub_ps(xv, muv), isv);
-    _mm256_storeu_ps(xh + i, xhv);
-    __m256 yv = _mm256_add_ps(_mm256_mul_ps(_mm256_loadu_ps(gamma + i), xhv),
-                              _mm256_loadu_ps(beta + i));
-    _mm256_storeu_ps(y + i, yv);
+    Store<kA>(xh + i, xhv);
+    __m256 yv =
+        _mm256_add_ps(_mm256_mul_ps(Load<kA>(gamma + i), xhv),
+                      Load<kA>(beta + i));
+    Store<kA>(y + i, yv);
   }
   for (; i < n; ++i) {
     xh[i] = (x[i] - mu) * is;
     y[i] = gamma[i] * xh[i] + beta[i];
   }
 }
+}  // namespace
 
-void LayerNormGradRow(const float* g, const float* gamma, const float* xh,
-                      float m1, float m2, float is, float* gx, int64_t n) {
+void LayerNormAffineRow(const float* x, float mu, float is, const float* gamma,
+                        const float* beta, float* xh, float* y, int64_t n) {
+  if (Aligned32(x) && Aligned32(gamma) && Aligned32(beta) && Aligned32(xh) &&
+      Aligned32(y)) {
+    LayerNormAffineRowImpl<true>(x, mu, is, gamma, beta, xh, y, n);
+  } else {
+    LayerNormAffineRowImpl<false>(x, mu, is, gamma, beta, xh, y, n);
+  }
+}
+
+namespace {
+template <bool kA>
+inline void LayerNormGradRowImpl(const float* g, const float* gamma,
+                                 const float* xh, float m1, float m2, float is,
+                                 float* gx, int64_t n) {
   __m256 m1v = _mm256_set1_ps(m1);
   __m256 m2v = _mm256_set1_ps(m2);
   __m256 isv = _mm256_set1_ps(is);
   int64_t i = 0;
   for (; i + 8 <= n; i += 8) {
-    __m256 gg =
-        _mm256_mul_ps(_mm256_loadu_ps(gamma + i), _mm256_loadu_ps(g + i));
-    __m256 t = _mm256_sub_ps(
-        _mm256_sub_ps(gg, m1v),
-        _mm256_mul_ps(_mm256_loadu_ps(xh + i), m2v));
-    __m256 gxv =
-        _mm256_add_ps(_mm256_loadu_ps(gx + i), _mm256_mul_ps(t, isv));
-    _mm256_storeu_ps(gx + i, gxv);
+    __m256 gg = _mm256_mul_ps(Load<kA>(gamma + i), Load<kA>(g + i));
+    __m256 t = _mm256_sub_ps(_mm256_sub_ps(gg, m1v),
+                             _mm256_mul_ps(Load<kA>(xh + i), m2v));
+    __m256 gxv = _mm256_add_ps(Load<kA>(gx + i), _mm256_mul_ps(t, isv));
+    Store<kA>(gx + i, gxv);
   }
   for (; i < n; ++i) {
     float gg = gamma[i] * g[i];
     gx[i] += (gg - m1 - xh[i] * m2) * is;
   }
 }
+}  // namespace
 
-void SoftmaxGradRow(const float* y, const float* g, float dot, float* ga,
-                    int64_t n) {
+void LayerNormGradRow(const float* g, const float* gamma, const float* xh,
+                      float m1, float m2, float is, float* gx, int64_t n) {
+  if (Aligned32(g) && Aligned32(gamma) && Aligned32(xh) && Aligned32(gx)) {
+    LayerNormGradRowImpl<true>(g, gamma, xh, m1, m2, is, gx, n);
+  } else {
+    LayerNormGradRowImpl<false>(g, gamma, xh, m1, m2, is, gx, n);
+  }
+}
+
+namespace {
+template <bool kA>
+inline void SoftmaxGradRowImpl(const float* y, const float* g, float dot,
+                               float* ga, int64_t n) {
   __m256 dotv = _mm256_set1_ps(dot);
   int64_t i = 0;
   for (; i + 8 <= n; i += 8) {
-    __m256 t = _mm256_mul_ps(_mm256_loadu_ps(y + i),
-                             _mm256_sub_ps(_mm256_loadu_ps(g + i), dotv));
-    _mm256_storeu_ps(ga + i, _mm256_add_ps(_mm256_loadu_ps(ga + i), t));
+    __m256 t =
+        _mm256_mul_ps(Load<kA>(y + i), _mm256_sub_ps(Load<kA>(g + i), dotv));
+    Store<kA>(ga + i, _mm256_add_ps(Load<kA>(ga + i), t));
   }
   for (; i < n; ++i) ga[i] += y[i] * (g[i] - dot);
+}
+}  // namespace
+
+void SoftmaxGradRow(const float* y, const float* g, float dot, float* ga,
+                    int64_t n) {
+  if (Aligned32(y) && Aligned32(g) && Aligned32(ga)) {
+    SoftmaxGradRowImpl<true>(y, g, dot, ga, n);
+  } else {
+    SoftmaxGradRowImpl<false>(y, g, dot, ga, n);
+  }
 }
 
 }  // namespace missl::simd::avx2

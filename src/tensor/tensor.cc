@@ -19,8 +19,7 @@ TensorImpl::~TensorImpl() {
 }
 
 void TensorImpl::SyncBytesAccounting() {
-  int64_t now = static_cast<int64_t>((data.capacity() + grad.capacity()) *
-                                     sizeof(float));
+  int64_t now = data.capacity_bytes() + grad.capacity_bytes();
   if (now != accounted_bytes_) {
     obs::memory_internal::AddBytes(now - accounted_bytes_);
     accounted_bytes_ = now;
@@ -90,7 +89,7 @@ Tensor Tensor::Ones(Shape shape, bool requires_grad) {
 
 Tensor Tensor::Full(Shape shape, float value, bool requires_grad) {
   auto impl = std::make_shared<TensorImpl>();
-  impl->data.assign(static_cast<size_t>(NumElements(shape)), value);
+  impl->data.assign(NumElements(shape), value);
   impl->shape = std::move(shape);
   impl->requires_grad = requires_grad;
   impl->SyncBytesAccounting();
@@ -102,7 +101,7 @@ Tensor Tensor::FromData(std::vector<float> data, Shape shape, bool requires_grad
       << "data size " << data.size() << " does not match shape "
       << ShapeToString(shape);
   auto impl = std::make_shared<TensorImpl>();
-  impl->data = std::move(data);
+  impl->data.copy_from(data.data(), static_cast<int64_t>(data.size()));
   impl->shape = std::move(shape);
   impl->requires_grad = requires_grad;
   impl->SyncBytesAccounting();
@@ -116,14 +115,18 @@ Tensor Tensor::Scalar(float value, bool requires_grad) {
 Tensor Tensor::Randn(Shape shape, Rng* rng, float stddev, bool requires_grad) {
   MISSL_CHECK(rng != nullptr);
   Tensor t = Zeros(std::move(shape), requires_grad);
-  for (auto& v : t.vec()) v = rng->Normal(0.0f, stddev);
+  float* d = t.mutable_data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) d[i] = rng->Normal(0.0f, stddev);
   return t;
 }
 
 Tensor Tensor::Rand(Shape shape, Rng* rng, float lo, float hi, bool requires_grad) {
   MISSL_CHECK(rng != nullptr);
   Tensor t = Zeros(std::move(shape), requires_grad);
-  for (auto& v : t.vec()) v = rng->Uniform(lo, hi);
+  float* d = t.mutable_data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) d[i] = rng->Uniform(lo, hi);
   return t;
 }
 
@@ -162,7 +165,22 @@ float Tensor::at(std::initializer_list<int64_t> idx) const {
 
 Tensor Tensor::grad() const {
   MISSL_CHECK(!impl()->grad.empty()) << "grad() before any backward accumulation";
-  return Tensor::FromData(impl()->grad, shape());
+  auto out = std::make_shared<TensorImpl>();
+  out->data.copy_from(impl()->grad.data(), impl()->grad.size());
+  out->shape = shape();
+  out->SyncBytesAccounting();
+  return Tensor(std::move(out));
+}
+
+void Tensor::CopyFrom(const std::vector<float>& values) {
+  MISSL_CHECK(static_cast<int64_t>(values.size()) == numel())
+      << "CopyFrom size " << values.size() << " does not match "
+      << ShapeToString(shape());
+  impl()->data.copy_from(values.data(), static_cast<int64_t>(values.size()));
+}
+
+void Tensor::Fill(float value) {
+  impl()->data.assign(numel(), value);
 }
 
 void Tensor::ZeroGrad() {
@@ -217,7 +235,7 @@ void Tensor::Backward() {
 Tensor Tensor::Detach() const {
   auto out = std::make_shared<TensorImpl>();
   out->shape = impl()->shape;
-  out->data = impl()->data;
+  out->data.copy_from(impl()->data.data(), impl()->data.size());
   out->requires_grad = false;
   out->SyncBytesAccounting();
   return Tensor(std::move(out));

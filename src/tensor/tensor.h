@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/alloc.h"
 #include "utils/check.h"
 #include "utils/rng.h"
 
@@ -49,8 +50,8 @@ class TensorImpl {
   TensorImpl& operator=(const TensorImpl&) = delete;
 
   Shape shape;
-  std::vector<float> data;
-  std::vector<float> grad;  ///< lazily allocated, same numel as data
+  Storage data;  ///< pooled, 32-byte-aligned buffer (see tensor/alloc.h)
+  Storage grad;  ///< lazily allocated, same numel as data
   bool requires_grad = false;
 
   /// Parents in the autograd graph (inputs of the op that produced this).
@@ -139,8 +140,17 @@ class Tensor {
 
   float* data() { return impl()->data.data(); }
   const float* data() const { return impl()->data.data(); }
-  std::vector<float>& vec() { return impl()->data; }
-  const std::vector<float>& vec() const { return impl()->data; }
+  /// Writable pointer to the element buffer (the replacement for the old
+  /// vec() accessor — pooled Storage deliberately has no resize, so writers
+  /// get a pointer + numel(), never a container they could grow).
+  float* mutable_data() { return impl()->data.data(); }
+
+  /// Copy of the elements as a plain vector (snapshots, test expectations).
+  std::vector<float> ToVector() const { return impl()->data.ToVector(); }
+  /// Overwrites the elements from `values`; CHECKs the size matches numel().
+  void CopyFrom(const std::vector<float>& values);
+  /// Sets every element to `value`.
+  void Fill(float value);
 
   /// Value of a scalar (numel()==1) tensor.
   float item() const;

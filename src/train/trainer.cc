@@ -12,6 +12,7 @@
 #include "obs/trace.h"
 #include "optim/optimizer.h"
 #include "runtime/runtime.h"
+#include "tensor/alloc.h"
 #include "utils/logging.h"
 
 namespace missl::train {
@@ -21,7 +22,7 @@ namespace {
 // Snapshot/restore of parameter values for best-checkpoint tracking.
 std::vector<std::vector<float>> SnapshotParams(const core::SeqRecModel& model) {
   std::vector<std::vector<float>> snap;
-  for (const auto& p : model.Parameters()) snap.push_back(p.vec());
+  for (const auto& p : model.Parameters()) snap.push_back(p.ToVector());
   return snap;
 }
 
@@ -29,7 +30,7 @@ void RestoreParams(core::SeqRecModel* model,
                    const std::vector<std::vector<float>>& snap) {
   auto params = model->Parameters();
   MISSL_CHECK(params.size() == snap.size()) << "snapshot size mismatch";
-  for (size_t i = 0; i < params.size(); ++i) params[i].vec() = snap[i];
+  for (size_t i = 0; i < params.size(); ++i) params[i].CopyFrom(snap[i]);
 }
 
 // Line-per-event JSON stream (TrainConfig::telemetry_path). A failed open
@@ -146,6 +147,7 @@ TrainResult Fit(core::SeqRecModel* model, const data::Dataset& ds,
     }
     if (telemetry.enabled()) {
       obs::MemoryStats mem = obs::CurrentMemoryStats();
+      alloc::AllocStats alloc_stats = alloc::GetAllocStats();
       std::ostringstream line;
       line << "{\"event\":\"epoch\",\"model\":\""
            << obs::JsonEscape(model->Name()) << "\",\"epoch\":" << epoch
@@ -165,6 +167,11 @@ TrainResult Fit(core::SeqRecModel* model, const data::Dataset& ds,
            << ",\"live_bytes\":" << mem.live_bytes
            << ",\"live_tensors\":" << mem.live_tensors
            << ",\"live_autograd_nodes\":" << mem.live_autograd_nodes
+           << ",\"alloc_mode\":\"" << alloc::ModeName(alloc::ActiveMode())
+           << "\",\"alloc_pool_hits\":" << alloc_stats.pool_hits
+           << ",\"alloc_pool_misses\":" << alloc_stats.pool_misses
+           << ",\"alloc_system_allocs\":" << alloc_stats.system_allocs
+           << ",\"alloc_cached_bytes\":" << alloc_stats.cached_bytes
            << ",\"threads\":" << runtime::NumThreads() << "}";
       telemetry.WriteLine(line.str());
     }

@@ -9,6 +9,7 @@
 // dispatch/gauge plumbing, checks the contiguity guard, and locks the whole
 // stack down with a seeded 2-epoch end-to-end training golden compared
 // bitwise across every tier × thread-count combination.
+#include <cstdint>
 #include <cstring>
 #include <functional>
 #include <string>
@@ -20,6 +21,7 @@
 #include "data/synthetic.h"
 #include "obs/metrics.h"
 #include "runtime/runtime.h"
+#include "tensor/alloc.h"
 #include "tensor/ops.h"
 #include "tensor/simd.h"
 #include "tensor/tensor.h"
@@ -68,12 +70,12 @@ CaseResult RunOpCase(Tier tier, int threads,
   }
   Tensor out = fn(inputs);
   CaseResult res;
-  res.out = out.vec();
+  res.out = out.ToVector();
   if (backward) {
     Tensor loss = out.numel() == 1 ? out : Sum(out);
     loss.Backward();
     for (Tensor& in : inputs) {
-      res.grads.push_back(in.has_grad() ? in.impl()->grad
+      res.grads.push_back(in.has_grad() ? in.impl()->grad.ToVector()
                                         : std::vector<float>());
     }
   }
@@ -384,9 +386,91 @@ TEST(KernelPropertyTest, TransposedInputIsDenseAndMatches) {
   for (Tier tier : TiersToTest()) {
     simd::ScopedTier st(tier);
     Tensor again = MatMul(Transpose(a), b);
-    ExpectBitwise(out.vec(), again.vec(),
+    ExpectBitwise(out.ToVector(), again.ToVector(),
                   std::string("transposed matmul on ") +
                       simd::TierName(tier));
+  }
+}
+
+// ---- Pooled-storage alignment and the AVX2 aligned-load fast path -----------
+
+// The allocator contract the AVX2 tier's vmovaps fast path rests on: every
+// tensor buffer is 32-byte aligned, in pool AND system mode (tensor/alloc.h
+// kAlignment). A violation here would make the aligned loads fault.
+TEST(KernelPropertyTest, TensorBuffersAre32ByteAligned) {
+  Rng rng(4242);
+  for (alloc::Mode mode : {alloc::Mode::kPool, alloc::Mode::kSystem}) {
+    alloc::ScopedMode sm(mode);
+    for (int64_t n : {1, 7, 8, 9, 16, 33, 100, 1000, 4097}) {
+      Tensor t = Tensor::Rand({n}, &rng);
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(t.data()) % 32, 0u)
+          << "mode=" << alloc::ModeName(alloc::ActiveMode()) << " n=" << n;
+      t.set_requires_grad(true);
+      Sum(t).Backward();
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(t.impl()->grad.data()) % 32, 0u)
+          << "grad buffer, mode=" << alloc::ModeName(alloc::ActiveMode())
+          << " n=" << n;
+    }
+  }
+}
+
+// The aligned-load fast path must be invisible in the numbers: loads and
+// stores carry no rounding, so vmovaps vs vmovups sequences are bitwise
+// identical. Sweep shapes whose row widths hit both the aligned path
+// (multiples of 8 floats keep 32-byte alignment row to row) and the
+// unaligned fallback (odd widths break it mid-tensor), forward and
+// backward, comparing pool against system storage on every tier.
+TEST(KernelPropertyTest, AlignedFastPathMatchesUnalignedAcrossModes) {
+  Rng rng(7575);
+  const std::vector<Shape> shapes = {{4, 8}, {4, 16}, {3, 7}, {5, 9},
+                                     {2, 3, 8}, {2, 3, 5}, {1, 64}, {6, 1}};
+  for (const Shape& shape : shapes) {
+    const int64_t n = NumElements(shape);
+    const auto a = RandomData(n, &rng, 0.1f);
+    const auto b = RandomData(n, &rng, 0.1f);
+    auto run_all = [&](alloc::Mode mode, Tier tier) {
+      alloc::ScopedMode sm(mode);
+      std::vector<CaseResult> results;
+      const std::vector<std::vector<float>> data1 = {a};
+      const std::vector<std::vector<float>> data2 = {a, b};
+      const std::vector<Shape> shapes1 = {shape};
+      const std::vector<Shape> shapes2 = {shape, shape};
+      results.push_back(RunOpCase(
+          tier, 1,
+          [&](std::vector<Tensor>& in) { return Add(in[0], in[1]); }, data2,
+          shapes2, true));
+      results.push_back(RunOpCase(
+          tier, 1,
+          [&](std::vector<Tensor>& in) { return Mul(in[0], in[1]); }, data2,
+          shapes2, true));
+      results.push_back(RunOpCase(
+          tier, 1, [&](std::vector<Tensor>& in) { return Relu(in[0]); },
+          data1, shapes1, true));
+      results.push_back(RunOpCase(
+          tier, 1,
+          [&](std::vector<Tensor>& in) { return MulScalar(in[0], 1.7f); },
+          data1, shapes1, true));
+      results.push_back(RunOpCase(
+          tier, 1,
+          [&](std::vector<Tensor>& in) { return Softmax(in[0]); }, data1,
+          shapes1, true));
+      return results;
+    };
+    for (Tier tier : TiersToTest()) {
+      auto pool = run_all(alloc::Mode::kPool, tier);
+      auto system = run_all(alloc::Mode::kSystem, tier);
+      ASSERT_EQ(pool.size(), system.size());
+      for (size_t c = 0; c < pool.size(); ++c) {
+        SCOPED_TRACE(std::string("tier=") + simd::TierName(tier) + " case=" +
+                     std::to_string(c) + " shape=" + ShapeToString(shape));
+        ExpectBitwise(pool[c].out, system[c].out, "forward pool-vs-system");
+        ASSERT_EQ(pool[c].grads.size(), system[c].grads.size());
+        for (size_t g = 0; g < pool[c].grads.size(); ++g) {
+          ExpectBitwise(pool[c].grads[g], system[c].grads[g],
+                        "grad pool-vs-system");
+        }
+      }
+    }
   }
 }
 
@@ -428,7 +512,7 @@ TEST(KernelPropertyTest, TrainTwoEpochsGoldenAcrossTiersAndThreads) {
         train::Fit(model.get(), ds, split, evaluator, tc);
     std::vector<float> params;
     for (const Tensor& p : model->Parameters()) {
-      params.insert(params.end(), p.vec().begin(), p.vec().end());
+      params.insert(params.end(), p.data(), p.data() + p.numel());
     }
     return std::make_tuple(r.final_train_loss, r.test.ndcg10, r.test.hr10,
                            std::move(params));

@@ -78,8 +78,8 @@ TEST(LinearTest, ForwardMatchesManual) {
   Linear fc(2, 2, &rng);
   // Overwrite weights for a deterministic check (handles alias storage).
   Tensor w = fc.weight(), b = fc.bias();
-  w.vec() = {1, 2, 3, 4};  // [in=2, out=2] row-major
-  b.vec() = {10, 20};
+  w.CopyFrom({1, 2, 3, 4});  // [in=2, out=2] row-major
+  b.CopyFrom({10, 20});
   Tensor x = Tensor::FromData({1, 1}, {1, 2});
   testing::ExpectTensorNear(fc.Forward(x), {1 + 3 + 10, 2 + 4 + 20});
 }

@@ -465,7 +465,7 @@ TEST(OpsNN, DropoutIdentityWhenEval) {
   Rng rng(53);
   Tensor x = Tensor::Randn({10}, &rng);
   Tensor y = Dropout(x, 0.5f, /*training=*/false, &rng);
-  ExpectTensorNear(y, x.vec());
+  ExpectTensorNear(y, x.ToVector());
 }
 
 TEST(OpsNN, DropoutZeroesAndRescales) {

@@ -112,7 +112,8 @@ TEST(OptimizerTest, SkipsParamsWithoutGrad) {
 
 TEST(ClipTest, NormAboveThresholdIsScaled) {
   Tensor w = Tensor::FromData({0.0f, 0.0f}, {2}, true);
-  w.impl()->grad = {3.0f, 4.0f};  // norm 5
+  const std::vector<float> g = {3.0f, 4.0f};  // norm 5
+  w.impl()->grad.copy_from(g.data(), 2);
   float pre = ClipGradNorm({w}, 1.0f);
   EXPECT_NEAR(pre, 5.0f, 1e-5f);
   EXPECT_NEAR(w.impl()->grad[0], 0.6f, 1e-5f);
@@ -121,7 +122,8 @@ TEST(ClipTest, NormAboveThresholdIsScaled) {
 
 TEST(ClipTest, NormBelowThresholdUntouched) {
   Tensor w = Tensor::FromData({0.0f}, {1}, true);
-  w.impl()->grad = {0.5f};
+  const float g = 0.5f;
+  w.impl()->grad.copy_from(&g, 1);
   ClipGradNorm({w}, 1.0f);
   EXPECT_EQ(w.impl()->grad[0], 0.5f);
 }

@@ -17,7 +17,7 @@ namespace {
 void SetParam(const Tensor& param, const std::vector<float>& values) {
   Tensor alias = param;
   ASSERT_EQ(static_cast<size_t>(alias.numel()), values.size());
-  alias.vec() = values;
+  alias.CopyFrom(values);
 }
 
 TEST(GruReference, StepMatchesHandComputation) {
@@ -54,7 +54,7 @@ TEST(GruReference, ZeroWeightsFreezeState) {
   nn::GRU gru(2, 2, &rng);
   for (const auto& [name, p] : gru.NamedParameters()) {
     Tensor alias = p;
-    std::fill(alias.vec().begin(), alias.vec().end(), 0.0f);
+    alias.Fill(0.0f);
   }
   Tensor x = Tensor::Ones({1, 2});
   Tensor h = Tensor::FromData({0.8f, -0.4f}, {1, 2});
@@ -70,11 +70,11 @@ TEST(AttentionReference, UniformWeightsAverageValues) {
   for (const auto& [name, p] : mha.NamedParameters()) {
     Tensor alias = p;
     if (name == "wq.weight" || name == "wk.weight") {
-      std::fill(alias.vec().begin(), alias.vec().end(), 0.0f);
+      alias.Fill(0.0f);
     } else if (name == "wv.weight" || name == "wo.weight") {
-      alias.vec() = {1.0f, 0.0f, 0.0f, 1.0f};  // identity
+      alias.CopyFrom({1.0f, 0.0f, 0.0f, 1.0f});  // identity
     } else {
-      std::fill(alias.vec().begin(), alias.vec().end(), 0.0f);  // biases
+      alias.Fill(0.0f);  // biases
     }
   }
   mha.SetTraining(false);
@@ -94,12 +94,12 @@ TEST(AttentionReference, SharpScoresSelectOneValue) {
   for (const auto& [name, p] : mha.NamedParameters()) {
     Tensor alias = p;
     if (name == "wq.weight") {
-      alias.vec() = {100.0f, 0.0f, 0.0f, 100.0f};
+      alias.CopyFrom({100.0f, 0.0f, 0.0f, 100.0f});
     } else if (name == "wk.weight" || name == "wv.weight" ||
                name == "wo.weight") {
-      alias.vec() = {1.0f, 0.0f, 0.0f, 1.0f};
+      alias.CopyFrom({1.0f, 0.0f, 0.0f, 1.0f});
     } else {
-      std::fill(alias.vec().begin(), alias.vec().end(), 0.0f);
+      alias.Fill(0.0f);
     }
   }
   mha.SetTraining(false);

@@ -172,10 +172,10 @@ std::vector<std::vector<float>> RunKernel(const KernelFn& fn,
   Tensor out = fn(inputs);
   Sum(out).Backward();
   std::vector<std::vector<float>> buffers;
-  buffers.push_back(out.vec());
+  buffers.push_back(out.ToVector());
   for (const Tensor& in : inputs) {
     EXPECT_TRUE(in.has_grad());
-    buffers.push_back(in.impl()->grad);
+    buffers.push_back(in.impl()->grad.ToVector());
   }
   return buffers;
 }

@@ -135,7 +135,7 @@ TEST(CommonTest, MultiInterestScoringTakesMax) {
   Rng rng(8);
   nn::Embedding emb(3, 2, &rng);
   Tensor w = emb.weight();
-  w.vec() = {1, 0, 0, 1, 1, 1};  // items: e0, e1, e0+e1
+  w.CopyFrom({1, 0, 0, 1, 1, 1});  // items: e0, e1, e0+e1
   Tensor interests = Tensor::FromData({2, 0, 0, 3}, {1, 2, 2});  // v0=2e0, v1=3e1
   Tensor s = ScoreCandidatesMultiInterest(interests, emb, {0, 1, 2}, 1, 3);
   testing::ExpectTensorNear(s, {2, 3, 3});  // max over interests per item
@@ -145,7 +145,7 @@ TEST(CommonTest, SelectInterestByTargetPicksBest) {
   Rng rng(9);
   nn::Embedding emb(2, 2, &rng);
   Tensor w = emb.weight();
-  w.vec() = {1, 0, 0, 1};
+  w.CopyFrom({1, 0, 0, 1});
   Tensor interests = Tensor::FromData({5, 0, 0, 7}, {1, 2, 2});
   // Target item 1 = e1 -> interest 1 (value {0,7}) wins.
   Tensor sel = SelectInterestByTarget(interests, emb, {1});

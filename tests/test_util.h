@@ -27,7 +27,7 @@ inline void GradCheck(const std::function<Tensor(const std::vector<Tensor>&)>& f
   for (size_t t = 0; t < inputs.size(); ++t) {
     Tensor& in = inputs[t];
     ASSERT_TRUE(in.has_grad()) << "input " << t << " got no gradient";
-    std::vector<float> analytic = in.impl()->grad;
+    std::vector<float> analytic = in.impl()->grad.ToVector();
     for (int64_t i = 0; i < in.numel(); ++i) {
       float orig = in.data()[i];
       in.data()[i] = orig + eps;
