@@ -16,10 +16,22 @@
 //   # checks, all in one process (exit code 0 only if everything holds)
 //   ./build/examples/missl_serve --smoke --queries examples/serve_queries.tsv
 //
+//   # serve over TCP (epoll front-end, src/serve/tcp_server.h) until
+//   # SIGINT/SIGTERM, then drain gracefully; port 0 picks an ephemeral one
+//   # and the bound port is printed to stderr
+//   ./build/examples/missl_serve --checkpoint ckpt.bin --listen 7421
+//
 // Flags:
 //   --checkpoint PATH        checkpoint to serve from
 //   --init-checkpoint PATH   write a seeded, untrained checkpoint and exit
 //   --queries PATH           query file (default: stdin)
+//   --listen PORT            serve the line protocol over TCP on
+//                            127.0.0.1:PORT instead of answering a query
+//                            file ("--listen=PORT" also accepted); runs
+//                            until SIGINT/SIGTERM, then drains
+//   --workers N              TCP mode: worker threads blocking in the
+//                            micro-batcher (default 4)
+//   --max-conns N            TCP mode: connection limit (default 256)
 //   --clients N              concurrent client threads (default 4)
 //   --batch N                micro-batcher max batch size (default 8)
 //   --wait-us N              micro-batcher max wait in us (default 2000)
@@ -31,6 +43,7 @@
 //   --items/--behaviors/--dim/--interests/--max-len/--seed
 //                            model shape (must match between --init-checkpoint
 //                            and serving; defaults: 120/3/32/3/20/17)
+#include <signal.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -52,6 +65,7 @@
 #include "obs/trace.h"
 #include "serve/protocol.h"
 #include "serve/service.h"
+#include "serve/tcp_server.h"
 
 namespace {
 
@@ -60,6 +74,9 @@ struct Options {
   std::string init_checkpoint;
   std::string queries;
   std::string trace;
+  int listen_port = -1;  ///< >= 0: TCP mode on 127.0.0.1:port (0 ephemeral)
+  int workers = 4;
+  int max_conns = 256;
   int clients = 4;
   int32_t batch = 8;
   int64_t wait_us = 2000;
@@ -110,6 +127,10 @@ int main(int argc, char** argv) {
     if (a == "--checkpoint") opt.checkpoint = next("--checkpoint");
     else if (a == "--init-checkpoint") opt.init_checkpoint = next("--init-checkpoint");
     else if (a == "--queries") opt.queries = next("--queries");
+    else if (a == "--listen") opt.listen_port = std::atoi(next("--listen").c_str());
+    else if (a.rfind("--listen=", 0) == 0) opt.listen_port = std::atoi(a.c_str() + 9);
+    else if (a == "--workers") opt.workers = std::atoi(next("--workers").c_str());
+    else if (a == "--max-conns") opt.max_conns = std::atoi(next("--max-conns").c_str());
     else if (a == "--trace") opt.trace = next("--trace");
     else if (a == "--clients") opt.clients = std::atoi(next("--clients").c_str());
     else if (a == "--batch") opt.batch = std::atoi(next("--batch").c_str());
@@ -163,6 +184,57 @@ int main(int argc, char** argv) {
 
   obs::SetMetricsEnabled(true);
   if (!opt.trace.empty()) obs::StartTracing();
+
+  // --listen: TCP mode. Load the frozen service, put the epoll front-end in
+  // front of it, and serve until SIGINT/SIGTERM triggers a graceful drain.
+  if (opt.listen_port >= 0) {
+    // Block the shutdown signals before any server thread exists so they
+    // are delivered to sigwait below, not to a worker.
+    sigset_t sigs;
+    sigemptyset(&sigs);
+    sigaddset(&sigs, SIGINT);
+    sigaddset(&sigs, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+    serve::ServeConfig scfg;
+    scfg.max_len = opt.max_len;
+    scfg.max_batch = opt.batch;
+    scfg.max_wait_us = opt.wait_us;
+    Status status;
+    auto service = serve::RecoService::Load(MakeModel(opt), opt.items,
+                                            opt.behaviors, opt.checkpoint,
+                                            scfg, &status);
+    if (service == nullptr) return Fail("load failed: " + status.ToString());
+    serve::TcpServerConfig tcfg;
+    tcfg.port = opt.listen_port;
+    tcfg.num_workers = opt.workers;
+    tcfg.max_connections = opt.max_conns;
+    auto server = serve::TcpServer::Start(service.get(), tcfg, &status);
+    if (server == nullptr) {
+      return Fail("listen failed: " + status.ToString());
+    }
+    std::fprintf(stderr,
+                 "listening on 127.0.0.1:%d (%d workers, <=%d connections, "
+                 "batch<=%d, wait %lldus); SIGINT/SIGTERM drains\n",
+                 server->port(), opt.workers, opt.max_conns, opt.batch,
+                 static_cast<long long>(opt.wait_us));
+    int sig = 0;
+    sigwait(&sigs, &sig);
+    std::fprintf(stderr, "signal %d: draining...\n", sig);
+    server->Shutdown();
+    std::fprintf(stderr,
+                 "drained: %lld connections served, %lld refused, %lld "
+                 "requests answered\n",
+                 static_cast<long long>(server->connections_accepted()),
+                 static_cast<long long>(server->connections_refused()),
+                 static_cast<long long>(service->requests_served()));
+    if (opt.metrics) {
+      std::fprintf(stderr, "\n== metrics ==\n%s",
+                   obs::MetricsRegistry::Global().ToText().c_str());
+    }
+    if (!smoke_ckpt.empty()) std::remove(smoke_ckpt.c_str());
+    return 0;
+  }
 
   // Read and parse all queries up front (blank and '#' lines skipped).
   std::ifstream file;

@@ -6,9 +6,10 @@
 #   2. ASan+UBSan build + full ctest suite
 #   3. TSan build, running the threaded tests (runtime_test, models_test,
 #      serve_test — the serving micro-batcher must stay race-free —
-#      kernel_property_test, which sweeps the SIMD tiers at 1/2/4 threads,
-#      and alloc_test, which stresses the pooled allocator's cross-thread
-#      free path)
+#      tcp_server_test — every epoll-thread/worker handoff in the TCP
+#      front-end over real sockets — kernel_property_test, which sweeps the
+#      SIMD tiers at 1/2/4 threads, and alloc_test, which stresses the
+#      pooled allocator's cross-thread free path)
 #   4. Documentation consistency (scripts/check_docs.sh)
 #
 # Usage:
@@ -36,6 +37,8 @@ run_release() {
   MISSL_ALLOC=system ctest --test-dir build-check-release --output-on-failure -j"$(nproc)"
   echo "=== [release] allocator-churn regression gate ==="
   ./build-check-release/bench/bench_m1_alloc --smoke
+  echo "=== [release] serving-load smoke (TCP front-end under load) ==="
+  ./build-check-release/bench/bench_m1_serve --smoke
 }
 
 run_asan() {
@@ -55,11 +58,12 @@ run_tsan() {
   cmake -B build-check-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DMISSL_SANITIZE=thread
   cmake --build build-check-tsan -j"$(nproc)" \
-        --target runtime_test models_test serve_test kernel_property_test \
-                 alloc_test
+        --target runtime_test models_test serve_test tcp_server_test \
+                 kernel_property_test alloc_test
   TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/runtime_test
   TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/models_test
   TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/serve_test
+  TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/tcp_server_test
   TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/kernel_property_test
   TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/alloc_test
 }

@@ -1,0 +1,88 @@
+// Closed/open-loop load generator for the TCP serving front-end
+// (serve/tcp_server.h). Drives N concurrent connections with a seeded,
+// deterministic query mix over the synthetic catalog and reports
+// client-observed latency percentiles plus achieved QPS; bench_m1_serve
+// feeds the numbers into the BENCH_*.json pipeline next to the server-side
+// serve.* histograms.
+//
+// Two pacing modes:
+//   closed loop (target_qps == 0): every connection keeps exactly one
+//     request outstanding — send, block for the answer, repeat. Offered
+//     load adapts to the server; concurrency is bounded by `connections`
+//     (tests/loadgen_test.cc locks that bound).
+//   open loop (target_qps > 0): each connection sends on a fixed schedule
+//     (target_qps / connections each) regardless of response progress, the
+//     regime where queueing delay becomes visible in p99/p999.
+//
+// Determinism: the query sequence is a pure function of (seed, config) —
+// connection c draws from Rng sub-stream c, so the mix is independent of
+// scheduling and timing. Same seed, same queries, run to run.
+#ifndef MISSL_SERVE_LOADGEN_H_
+#define MISSL_SERVE_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "utils/rng.h"
+#include "utils/status.h"
+
+namespace missl::serve {
+
+/// Load shape + query-mix knobs. The mix must stay inside the served
+/// model's (num_items, num_behaviors) ranges or answers come back as
+/// protocol errors (counted in LoadGenResult::errors).
+struct LoadGenConfig {
+  std::string host = "127.0.0.1";
+  int port = 0;               ///< required: the server's bound port
+  int connections = 4;        ///< concurrent client connections
+  double target_qps = 0;      ///< aggregate send rate; 0 = closed loop
+  int64_t total_requests = 1000;  ///< across all connections
+  uint64_t seed = 1;          ///< query-mix seed (deterministic per seed)
+
+  int32_t num_items = 120;    ///< catalog size of the served model
+  int32_t num_behaviors = 3;  ///< behavior channels of the served model
+  int min_history = 4;        ///< events per query, inclusive bounds
+  int max_history = 24;
+  int32_t k = 10;             ///< list length requested
+  double timestamp_prob = 0.5;  ///< fraction of queries carrying timestamps
+  double exclude_prob = 0.25;   ///< fraction carrying an exclusion list
+
+  int64_t recv_timeout_ms = 30000;  ///< per-read socket timeout (stall guard)
+};
+
+/// Aggregated result of one RunLoadGen call. Latencies are client-observed
+/// (write first byte → full response line read), exact percentiles over all
+/// samples, nearest-rank.
+struct LoadGenResult {
+  int64_t sent = 0;        ///< requests written
+  int64_t ok = 0;          ///< well-formed top-K answers received
+  int64_t errors = 0;      ///< error-JSON answers received
+  double wall_seconds = 0;
+  double achieved_qps = 0;  ///< ok+errors answered / wall_seconds
+  int64_t p50_us = 0;
+  int64_t p99_us = 0;
+  int64_t p999_us = 0;
+  int64_t max_us = 0;
+  int32_t max_in_flight = 0;  ///< peak outstanding requests, all connections
+};
+
+/// Draws the `index`-th query of connection sub-stream `rng` — pure function
+/// of the Rng state and config, exposed so tests can pin determinism.
+ParsedQuery MakeLoadQuery(Rng* rng, int64_t id, const LoadGenConfig& config);
+
+/// Exact nearest-rank percentile: the smallest sample x such that at least
+/// ceil(p * n) samples are <= x (p in (0, 1]; p <= 0 returns the minimum).
+/// Returns 0 on an empty sample set. Takes samples by value and sorts.
+int64_t PercentileNearestRank(std::vector<int64_t> samples, double p);
+
+/// Runs the configured load against host:port and fills `*out`. Returns
+/// non-OK on connection/socket failures or if the server stalls past
+/// recv_timeout_ms; protocol-level error answers do NOT fail the run (they
+/// are counted in out->errors).
+Status RunLoadGen(const LoadGenConfig& config, LoadGenResult* out);
+
+}  // namespace missl::serve
+
+#endif  // MISSL_SERVE_LOADGEN_H_

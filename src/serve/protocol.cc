@@ -110,6 +110,32 @@ Status ParseQueryLine(const std::string& line, ParsedQuery* out) {
   return Status::OK();
 }
 
+std::string ErrorToJson(int64_t id, const std::string& message) {
+  return "{\"id\":" + std::to_string(id) + ",\"error\":\"" +
+         obs::JsonEscape(message) + "\"}";
+}
+
+std::string QueryToLine(int64_t id, const Query& query) {
+  std::string line = std::to_string(id) + '\t' + std::to_string(query.k) +
+                     '\t';
+  for (size_t i = 0; i < query.items.size(); ++i) {
+    if (i > 0) line += ',';
+    line += std::to_string(query.items[i]) + ':' +
+            std::to_string(query.behaviors[i]);
+    if (!query.timestamps.empty()) {
+      line += ':' + std::to_string(query.timestamps[i]);
+    }
+  }
+  if (!query.exclude.empty()) {
+    line += '\t';
+    for (size_t i = 0; i < query.exclude.size(); ++i) {
+      if (i > 0) line += ',';
+      line += std::to_string(query.exclude[i]);
+    }
+  }
+  return line;
+}
+
 std::string TopKToJson(int64_t id, const TopKResult& result) {
   std::string out = "{\"id\":" + std::to_string(id) +
                     ",\"k\":" + std::to_string(result.items.size()) +

@@ -39,6 +39,19 @@ Status ParseQueryLine(const std::string& line, ParsedQuery* out);
 /// Renders one response line (no trailing newline).
 std::string TopKToJson(int64_t id, const TopKResult& result);
 
+/// Renders one error-response line (no trailing newline), e.g.
+///   {"id":7,"error":"bad k: 'x'"}
+/// The TCP front-end answers malformed or rejected queries with these so a
+/// client can keep its pipeline aligned; `id` is -1 when the offending line
+/// never yielded one (parse failures, connection refusals).
+std::string ErrorToJson(int64_t id, const std::string& message);
+
+/// Renders a query as one protocol line (no trailing newline) — the exact
+/// inverse of ParseQueryLine for queries whose `now` is the newest timestamp
+/// (the only form the wire can carry). Used by the load generator and the
+/// socket tests to speak the protocol from the client side.
+std::string QueryToLine(int64_t id, const Query& query);
+
 }  // namespace missl::serve
 
 #endif  // MISSL_SERVE_PROTOCOL_H_

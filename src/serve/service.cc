@@ -121,10 +121,59 @@ std::unique_ptr<RecoService> RecoService::Load(
     int32_t num_behaviors, const std::string& checkpoint_path,
     const ServeConfig& config, Status* status) {
   MISSL_CHECK(model != nullptr && status != nullptr);
-  MISSL_CHECK(num_items > 0 && num_behaviors > 0 && config.max_len > 0 &&
-              config.max_batch > 0 && config.max_wait_us >= 0);
+  // Config validation: a serving front-end is wired to live traffic, so a
+  // bad knob must come back as a Status the caller can surface, not as
+  // undefined behavior (or a CHECK abort) on the first query.
+  if (num_items <= 0 || num_behaviors <= 0) {
+    *status = Status::InvalidArgument(
+        "num_items and num_behaviors must be >= 1, got " +
+        std::to_string(num_items) + " / " + std::to_string(num_behaviors));
+    return nullptr;
+  }
+  if (config.max_len <= 0) {
+    *status = Status::InvalidArgument("ServeConfig.max_len must be >= 1, got " +
+                                      std::to_string(config.max_len));
+    return nullptr;
+  }
+  if (config.max_batch <= 0) {
+    *status = Status::InvalidArgument(
+        "ServeConfig.max_batch must be >= 1, got " +
+        std::to_string(config.max_batch));
+    return nullptr;
+  }
+  if (config.max_wait_us < 0) {
+    *status = Status::InvalidArgument(
+        "ServeConfig.max_wait_us must be >= 0, got " +
+        std::to_string(config.max_wait_us));
+    return nullptr;
+  }
+  if (config.num_threads < 0) {
+    *status = Status::InvalidArgument(
+        "ServeConfig.num_threads must be >= 0, got " +
+        std::to_string(config.num_threads));
+    return nullptr;
+  }
   *status = nn::LoadParametersForInference(model.get(), checkpoint_path);
   if (!status->ok()) return nullptr;
+  // The batcher front-pads every query to config.max_len positions; if the
+  // checkpoint's position table is shorter, the first long history would
+  // index past it. Checkpoints pin parameter shapes, so the loaded table is
+  // exactly what the file carried.
+  for (const auto& [name, t] : model->NamedParameters()) {
+    const std::string suffix = "pos_emb.weight";
+    if (name.size() < suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    int64_t table_rows = t.shape().empty() ? 0 : t.shape()[0];
+    if (table_rows != config.max_len) {
+      *status = Status::InvalidArgument(
+          "ServeConfig.max_len (" + std::to_string(config.max_len) +
+          ") does not match the checkpoint's position table (" +
+          std::to_string(table_rows) + " rows in '" + name + "')");
+      return nullptr;
+    }
+  }
   std::unique_ptr<RecoService> svc(new RecoService(
       std::move(model), num_items, num_behaviors, config));
   {

@@ -1,0 +1,554 @@
+#include "serve/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "utils/check.h"
+
+namespace missl::serve {
+
+namespace {
+
+struct TcpMetrics {
+  obs::Counter& accepted;
+  obs::Counter& refused;
+  obs::Counter& closed;
+  obs::Gauge& active;
+  obs::Counter& lines;
+  obs::Counter& malformed;
+  obs::Counter& bytes_in;
+  obs::Counter& bytes_out;
+
+  static TcpMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static TcpMetrics m{reg.GetCounter("serve.tcp.accepted"),
+                        reg.GetCounter("serve.tcp.refused"),
+                        reg.GetCounter("serve.tcp.closed"),
+                        reg.GetGauge("serve.tcp.active"),
+                        reg.GetCounter("serve.tcp.lines"),
+                        reg.GetCounter("serve.tcp.malformed"),
+                        reg.GetCounter("serve.tcp.bytes_in"),
+                        reg.GetCounter("serve.tcp.bytes_out")};
+    return m;
+  }
+};
+
+// Compact a partially-sent write buffer once this many bytes are dead prefix.
+constexpr size_t kCompactThreshold = 64 * 1024;
+
+}  // namespace
+
+TcpServer::TcpServer(RecoService* service, const TcpServerConfig& config)
+    : service_(service), config_(config) {}
+
+std::unique_ptr<TcpServer> TcpServer::Start(RecoService* service,
+                                            const TcpServerConfig& config,
+                                            Status* status) {
+  MISSL_CHECK(service != nullptr && status != nullptr);
+  if (config.port < 0 || config.port > 65535) {
+    *status = Status::InvalidArgument("TcpServerConfig.port out of range: " +
+                                      std::to_string(config.port));
+    return nullptr;
+  }
+  if (config.max_connections < 1) {
+    *status = Status::InvalidArgument(
+        "TcpServerConfig.max_connections must be >= 1");
+    return nullptr;
+  }
+  if (config.num_workers < 1) {
+    *status =
+        Status::InvalidArgument("TcpServerConfig.num_workers must be >= 1");
+    return nullptr;
+  }
+  if (config.max_line_bytes < 1 || config.max_buffered_write_bytes < 1) {
+    *status = Status::InvalidArgument(
+        "TcpServerConfig byte limits must be >= 1");
+    return nullptr;
+  }
+
+  std::unique_ptr<TcpServer> srv(new TcpServer(service, config));
+  srv->listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (srv->listen_fd_ < 0) {
+    *status = Status::IOError(std::string("socket: ") + std::strerror(errno));
+    return nullptr;
+  }
+  int one = 1;
+  ::setsockopt(srv->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(config.port));
+  if (::bind(srv->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    *status = Status::IOError(std::string("bind 127.0.0.1:") +
+                              std::to_string(config.port) + ": " +
+                              std::strerror(errno));
+    return nullptr;
+  }
+  if (::listen(srv->listen_fd_, config.backlog) != 0) {
+    *status = Status::IOError(std::string("listen: ") + std::strerror(errno));
+    return nullptr;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(srv->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &len) != 0) {
+    *status =
+        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
+    return nullptr;
+  }
+  srv->port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  srv->epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  srv->wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (srv->epoll_fd_ < 0 || srv->wake_fd_ < 0) {
+    *status = Status::IOError(std::string("epoll/eventfd: ") +
+                              std::strerror(errno));
+    return nullptr;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = srv->listen_fd_;
+  if (::epoll_ctl(srv->epoll_fd_, EPOLL_CTL_ADD, srv->listen_fd_, &ev) != 0) {
+    *status = Status::IOError(std::string("epoll_ctl(listen): ") +
+                              std::strerror(errno));
+    return nullptr;
+  }
+  ev.events = EPOLLIN;
+  ev.data.fd = srv->wake_fd_;
+  if (::epoll_ctl(srv->epoll_fd_, EPOLL_CTL_ADD, srv->wake_fd_, &ev) != 0) {
+    *status = Status::IOError(std::string("epoll_ctl(wake): ") +
+                              std::strerror(errno));
+    return nullptr;
+  }
+
+  srv->epoll_thread_ = std::thread([s = srv.get()] { s->EpollLoop(); });
+  srv->workers_.reserve(static_cast<size_t>(config.num_workers));
+  for (int i = 0; i < config.num_workers; ++i) {
+    srv->workers_.emplace_back([s = srv.get()] { s->WorkerLoop(); });
+  }
+  *status = Status::OK();
+  return srv;
+}
+
+TcpServer::~TcpServer() {
+  Shutdown();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+}
+
+void TcpServer::BeginShutdown() {
+  draining_.store(true, std::memory_order_release);
+  WakeEpoll();
+}
+
+void TcpServer::Shutdown() {
+  if (!epoll_thread_.joinable()) return;  // Start failed or already shut down
+  BeginShutdown();
+  {
+    std::unique_lock<std::mutex> l(mu_);
+    drained_cv_.wait(l, [&] { return conns_.empty(); });
+  }
+  stop_.store(true, std::memory_order_release);
+  WakeEpoll();
+  epoll_thread_.join();
+  // No accept loop remains; close the listener so post-shutdown connects are
+  // refused by the kernel instead of parking in the backlog forever.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    std::lock_guard<std::mutex> l(jobs_mu_);
+    jobs_stop_ = true;
+  }
+  jobs_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+}
+
+int64_t TcpServer::active_connections() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return static_cast<int64_t>(conns_.size());
+}
+
+int64_t TcpServer::connections_accepted() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return accepted_;
+}
+
+int64_t TcpServer::connections_refused() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return refused_;
+}
+
+void TcpServer::WakeEpoll() {
+  uint64_t v = 1;
+  ssize_t ignored = ::write(wake_fd_, &v, sizeof(v));
+  (void)ignored;  // eventfd writes only fail if the counter saturates
+}
+
+void TcpServer::EpollLoop() {
+  std::vector<epoll_event> events(64);
+  while (!stop_.load(std::memory_order_acquire)) {
+    // The eventfd wakes us for flushes and shutdown; the timeout is only a
+    // safety net so a missed edge can never wedge the loop.
+    int n = ::epoll_wait(epoll_fd_, events.data(),
+                         static_cast<int>(events.size()), 100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable epoll failure; Shutdown still drains workers
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[static_cast<size_t>(i)].data.fd;
+      uint32_t mask = events[static_cast<size_t>(i)].events;
+      if (fd == wake_fd_) {
+        uint64_t v = 0;
+        ssize_t ignored = ::read(wake_fd_, &v, sizeof(v));
+        (void)ignored;
+        continue;
+      }
+      if (fd == listen_fd_) {
+        AcceptPending();
+        continue;
+      }
+      std::shared_ptr<Conn> conn;
+      {
+        std::lock_guard<std::mutex> l(mu_);
+        auto it = conns_.find(fd);
+        if (it != conns_.end()) conn = it->second;
+      }
+      if (conn == nullptr) continue;  // closed earlier in this batch
+      if ((mask & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
+        HandleReadable(conn);
+      }
+      {
+        std::lock_guard<std::mutex> l(mu_);
+        if (conns_.count(fd) == 0) continue;  // HandleReadable closed it
+      }
+      if ((mask & EPOLLOUT) != 0) FlushConn(conn);
+    }
+
+    // Flush requests queued by workers since the last pass.
+    std::vector<std::shared_ptr<Conn>> to_flush;
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      to_flush.swap(flush_);
+    }
+    for (const auto& conn : to_flush) FlushConn(conn);
+
+    if (draining_.load(std::memory_order_acquire)) {
+      // Drain pass: stop reading everywhere, forget partial lines, and close
+      // every connection that has nothing left in flight or buffered.
+      std::vector<std::shared_ptr<Conn>> snapshot;
+      {
+        std::lock_guard<std::mutex> l(mu_);
+        snapshot.reserve(conns_.size());
+        for (const auto& [cfd, c] : conns_) snapshot.push_back(c);
+      }
+      for (const auto& conn : snapshot) {
+        SetReading(conn, false);
+        conn->rbuf.clear();
+        conn->discarding = false;
+        FlushConn(conn);
+      }
+      std::lock_guard<std::mutex> l(mu_);
+      if (conns_.empty()) drained_cv_.notify_all();
+    }
+  }
+}
+
+void TcpServer::AcceptPending() {
+  for (;;) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (no more pending) or transient accept failure
+    }
+    if (draining_.load(std::memory_order_acquire)) {
+      RefuseConnection(fd, "shutting down");
+      continue;
+    }
+    size_t active = 0;
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      active = conns_.size();
+    }
+    if (active >= static_cast<size_t>(config_.max_connections)) {
+      RefuseConnection(fd, "connection limit reached");
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    size_t now_active = 0;
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      conns_.emplace(fd, std::move(conn));
+      ++accepted_;
+      now_active = conns_.size();
+    }
+    TcpMetrics::Get().accepted.Add(1);
+    TcpMetrics::Get().active.Set(static_cast<int64_t>(now_active));
+  }
+}
+
+void TcpServer::RefuseConnection(int fd, const std::string& reason) {
+  std::string line = ErrorToJson(-1, reason) + "\n";
+  // Best effort: the socket buffer of a fresh connection always has room for
+  // one short line, and a peer that vanished mid-refusal loses nothing.
+  ssize_t ignored = ::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+  (void)ignored;
+  ::close(fd);
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    ++refused_;
+  }
+  TcpMetrics::Get().refused.Add(1);
+}
+
+void TcpServer::HandleReadable(const std::shared_ptr<Conn>& conn) {
+  char buf[65536];
+  // Bounded reads per wake-up: a peer that streams without pause cannot
+  // starve other connections; level-triggered epoll re-arms for the rest.
+  for (int rounds = 0; rounds < 16; ++rounds) {
+    ssize_t r = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (r > 0) {
+      conn->rbuf.append(buf, static_cast<size_t>(r));
+      TcpMetrics::Get().bytes_in.Add(r);
+      ProcessReadBuffer(conn);
+      continue;
+    }
+    if (r == 0) {
+      // Peer half-closed its write side. Whatever partial line remains can
+      // never complete; answers still in flight are flushed before close.
+      conn->rd_eof = true;
+      conn->rbuf.clear();
+      conn->discarding = false;
+      SetReading(conn, false);
+      FlushConn(conn);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    // Hard error (ECONNRESET...): the peer is gone, drop it entirely.
+    CloseConn(conn);
+    return;
+  }
+}
+
+void TcpServer::ProcessReadBuffer(const std::shared_ptr<Conn>& conn) {
+  size_t start = 0;
+  for (;;) {
+    size_t nl = conn->rbuf.find('\n', start);
+    if (nl == std::string::npos) break;
+    if (conn->discarding) {
+      // End of an over-long line we already answered: resynchronize.
+      conn->discarding = false;
+    } else {
+      std::string line = conn->rbuf.substr(start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      HandleLine(conn, line);
+    }
+    start = nl + 1;
+  }
+  conn->rbuf.erase(0, start);
+  if (conn->discarding) {
+    conn->rbuf.clear();
+  } else if (static_cast<int64_t>(conn->rbuf.size()) > config_.max_line_bytes) {
+    conn->discarding = true;
+    conn->rbuf.clear();
+    TcpMetrics::Get().malformed.Add(1);
+    EnqueueResponse(
+        conn, ErrorToJson(-1, "request line exceeds " +
+                                  std::to_string(config_.max_line_bytes) +
+                                  " bytes"));
+  }
+}
+
+void TcpServer::HandleLine(const std::shared_ptr<Conn>& conn,
+                           const std::string& line) {
+  if (line.empty() || line[0] == '#') return;  // protocol: caller-skippable
+  TcpMetrics::Get().lines.Add(1);
+  ParsedQuery parsed;
+  Status s = ParseQueryLine(line, &parsed);
+  if (!s.ok()) {
+    TcpMetrics::Get().malformed.Add(1);
+    EnqueueResponse(conn, ErrorToJson(-1, s.message()));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> l(conn->mu);
+    ++conn->in_flight;
+  }
+  {
+    std::lock_guard<std::mutex> l(jobs_mu_);
+    jobs_.push_back(Job{conn, std::move(parsed)});
+  }
+  jobs_cv_.notify_one();
+}
+
+void TcpServer::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> l(jobs_mu_);
+      jobs_cv_.wait(l, [&] { return jobs_stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) {
+        if (jobs_stop_) return;
+        continue;
+      }
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    TopKResult result;
+    Status s = service_->TopK(job.parsed.query, &result);
+    std::string line = s.ok() ? TopKToJson(job.parsed.id, result)
+                              : ErrorToJson(job.parsed.id, s.message());
+    {
+      // Decrement and append under one lock: the epoll thread may only close
+      // a draining connection when it can see BOTH in_flight == 0 and the
+      // answer bytes, never a window in between (the drain guarantee).
+      std::lock_guard<std::mutex> l(job.conn->mu);
+      --job.conn->in_flight;
+      if (!job.conn->closed) {
+        job.conn->wbuf += line;
+        job.conn->wbuf += '\n';
+      }
+    }
+    ScheduleFlush(job.conn);
+  }
+}
+
+void TcpServer::EnqueueResponse(const std::shared_ptr<Conn>& conn,
+                                const std::string& line) {
+  {
+    std::lock_guard<std::mutex> l(conn->mu);
+    if (conn->closed) return;
+    conn->wbuf += line;
+    conn->wbuf += '\n';
+  }
+  ScheduleFlush(conn);
+}
+
+void TcpServer::ScheduleFlush(const std::shared_ptr<Conn>& conn) {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    flush_.push_back(conn);
+  }
+  WakeEpoll();
+}
+
+void TcpServer::FlushConn(const std::shared_ptr<Conn>& conn) {
+  bool close_now = false;
+  bool want_write = false;
+  size_t pending = 0;
+  {
+    std::lock_guard<std::mutex> l(conn->mu);
+    if (conn->closed) return;
+    while (conn->woff < conn->wbuf.size()) {
+      ssize_t w = ::send(conn->fd, conn->wbuf.data() + conn->woff,
+                         conn->wbuf.size() - conn->woff, MSG_NOSIGNAL);
+      if (w > 0) {
+        conn->woff += static_cast<size_t>(w);
+        TcpMetrics::Get().bytes_out.Add(w);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_now = true;  // EPIPE/ECONNRESET: peer gone
+      break;
+    }
+    if (conn->woff == conn->wbuf.size()) {
+      conn->wbuf.clear();
+      conn->woff = 0;
+    } else if (conn->woff > kCompactThreshold) {
+      conn->wbuf.erase(0, conn->woff);
+      conn->woff = 0;
+    }
+    pending = conn->wbuf.size() - conn->woff;
+    want_write = pending > 0 && !close_now;
+    if (!close_now && pending == 0 && conn->in_flight == 0 &&
+        (conn->rd_eof || draining_.load(std::memory_order_acquire))) {
+      close_now = true;  // fully answered and no more input possible
+    }
+  }
+  if (close_now) {
+    CloseConn(conn);
+    return;
+  }
+  if (want_write != conn->want_write) {
+    conn->want_write = want_write;
+    UpdateEvents(conn);
+  }
+  // Backpressure: a reader that cannot keep up stops being read from until
+  // its buffered output drains below half the cap.
+  bool drain_mode = conn->rd_eof || draining_.load(std::memory_order_acquire);
+  if (!drain_mode && conn->reading &&
+      pending > static_cast<size_t>(config_.max_buffered_write_bytes)) {
+    SetReading(conn, false);
+  } else if (!drain_mode && !conn->reading &&
+             pending <
+                 static_cast<size_t>(config_.max_buffered_write_bytes) / 2) {
+    SetReading(conn, true);
+  }
+}
+
+void TcpServer::SetReading(const std::shared_ptr<Conn>& conn, bool enable) {
+  if (conn->reading == enable) return;
+  conn->reading = enable;
+  UpdateEvents(conn);
+}
+
+void TcpServer::UpdateEvents(const std::shared_ptr<Conn>& conn) {
+  epoll_event ev{};
+  ev.events = (conn->reading ? EPOLLIN : 0u) |
+              (conn->want_write ? EPOLLOUT : 0u);
+  ev.data.fd = conn->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void TcpServer::CloseConn(const std::shared_ptr<Conn>& conn) {
+  {
+    std::lock_guard<std::mutex> l(conn->mu);
+    if (conn->closed) return;
+    conn->closed = true;
+    conn->wbuf.clear();
+    conn->woff = 0;
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  size_t now_active = 0;
+  bool drained = false;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    conns_.erase(conn->fd);
+    now_active = conns_.size();
+    drained = draining_.load(std::memory_order_acquire) && conns_.empty();
+  }
+  TcpMetrics::Get().closed.Add(1);
+  TcpMetrics::Get().active.Set(static_cast<int64_t>(now_active));
+  if (drained) drained_cv_.notify_all();
+}
+
+}  // namespace missl::serve

@@ -285,6 +285,81 @@ TEST(RecoServiceTest, RejectsMalformedQueriesWithoutCrashing) {
   std::remove(path.c_str());
 }
 
+TEST(RecoServiceTest, LoadRejectsNonPositiveMaxBatch) {
+  auto model = MakeModel(50);
+  std::string path = CkptPath("serve_cfg_batch.bin");
+  ASSERT_TRUE(nn::SaveParameters(*model, path).ok());
+  serve::ServeConfig cfg;
+  cfg.max_len = kMaxLen;
+  cfg.max_batch = 0;
+  Status status;
+  EXPECT_EQ(serve::RecoService::Load(MakeModel(51), kItems, kBehaviors, path,
+                                     cfg, &status),
+            nullptr);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("max_batch"), std::string::npos);
+  cfg.max_batch = -3;
+  EXPECT_EQ(serve::RecoService::Load(MakeModel(51), kItems, kBehaviors, path,
+                                     cfg, &status),
+            nullptr);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(RecoServiceTest, LoadRejectsNegativeWaitAndThreads) {
+  auto model = MakeModel(52);
+  std::string path = CkptPath("serve_cfg_wait.bin");
+  ASSERT_TRUE(nn::SaveParameters(*model, path).ok());
+  serve::ServeConfig cfg;
+  cfg.max_len = kMaxLen;
+  cfg.max_wait_us = -1;
+  Status status;
+  EXPECT_EQ(serve::RecoService::Load(MakeModel(53), kItems, kBehaviors, path,
+                                     cfg, &status),
+            nullptr);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("max_wait_us"), std::string::npos);
+
+  cfg = serve::ServeConfig();
+  cfg.max_len = kMaxLen;
+  cfg.num_threads = -2;
+  EXPECT_EQ(serve::RecoService::Load(MakeModel(53), kItems, kBehaviors, path,
+                                     cfg, &status),
+            nullptr);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(RecoServiceTest, LoadRejectsMaxLenMismatchWithCheckpoint) {
+  // The checkpoint's position table has kMaxLen rows; serving with a
+  // different max_len would silently index it out of distribution, so Load
+  // must reject the combination up front.
+  auto model = MakeModel(54);
+  std::string path = CkptPath("serve_cfg_len.bin");
+  ASSERT_TRUE(nn::SaveParameters(*model, path).ok());
+  serve::ServeConfig cfg;
+  cfg.max_len = 0;
+  Status status;
+  EXPECT_EQ(serve::RecoService::Load(MakeModel(55), kItems, kBehaviors, path,
+                                     cfg, &status),
+            nullptr);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+
+  cfg.max_len = kMaxLen + 8;  // valid value, wrong for this checkpoint
+  auto service = serve::RecoService::Load(MakeModel(55), kItems, kBehaviors,
+                                          path, cfg, &status);
+  EXPECT_EQ(service, nullptr);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("position table"), std::string::npos);
+
+  // The same checkpoint loads fine with the matching max_len.
+  cfg.max_len = kMaxLen;
+  service = serve::RecoService::Load(MakeModel(55), kItems, kBehaviors, path,
+                                     cfg, &status);
+  EXPECT_NE(service, nullptr) << status.ToString();
+  std::remove(path.c_str());
+}
+
 TEST(RecoServiceTest, LoadFailsCleanlyOnBadCheckpoint) {
   serve::ServeConfig cfg;
   cfg.max_len = kMaxLen;

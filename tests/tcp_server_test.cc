@@ -1,0 +1,488 @@
+// Socket-level tests for the epoll TCP front-end (serve/tcp_server.h).
+// These drive a real TcpServer over loopback sockets — the same code path
+// the bench and the CLI use — and lock the serving invariants:
+//   - answers delivered over TCP are bitwise-identical to offline
+//     RecommendTopN, under 8 concurrent pipelining client threads;
+//   - graceful shutdown drains in-flight queries to completion while late
+//     connects are refused with a clean error line;
+//   - the connection limit refuses extras and recovers when slots free up;
+//   - malformed lines are answered in-band and the connection stays usable;
+//   - a half-closed peer (shutdown(SHUT_WR)) still receives its answers.
+// tcp_server_test runs in the TSan CI job, so every cross-thread handoff in
+// the server is exercised under the race detector here.
+#include "serve/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/missl.h"
+#include "core/recommend.h"
+#include "nn/serialize.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+#include "utils/rng.h"
+
+namespace missl {
+namespace {
+
+constexpr int32_t kItems = 60;
+constexpr int32_t kBehaviors = 3;
+constexpr int64_t kMaxLen = 12;
+
+std::unique_ptr<core::MisslModel> MakeModel(uint64_t seed) {
+  core::MisslConfig cfg;
+  cfg.dim = 16;
+  cfg.num_interests = 2;
+  cfg.seed = seed;
+  return std::make_unique<core::MisslModel>(kItems, kBehaviors, kMaxLen, cfg);
+}
+
+std::string CkptPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Builds the service the tests serve from. `model_seed` picks the frozen
+// weights; the in-memory module is seeded differently on purpose so only
+// the checkpoint contents can explain matching answers.
+std::unique_ptr<serve::RecoService> MakeService(const char* ckpt_name,
+                                                uint64_t model_seed,
+                                                int32_t max_batch,
+                                                int64_t max_wait_us,
+                                                Status* status) {
+  std::string path = CkptPath(ckpt_name);
+  {
+    auto model = MakeModel(model_seed);
+    Status s = nn::SaveParameters(*model, path);
+    if (!s.ok()) {
+      *status = s;
+      return nullptr;
+    }
+  }
+  serve::ServeConfig cfg;
+  cfg.max_len = kMaxLen;
+  cfg.max_batch = max_batch;
+  cfg.max_wait_us = max_wait_us;
+  auto service = serve::RecoService::Load(MakeModel(model_seed + 1000),
+                                          kItems, kBehaviors, path, cfg,
+                                          status);
+  std::remove(path.c_str());
+  return service;
+}
+
+// A wire-representable random query: `now` is implicit on the wire, so it
+// must equal the newest timestamp (or be 0 with no timestamps).
+serve::Query RandomWireQuery(Rng* rng) {
+  serve::Query q;
+  int64_t len = 1 + static_cast<int64_t>(rng->UniformInt(2 * kMaxLen));
+  bool with_ts = rng->Bernoulli(0.5f);
+  int64_t ts = 100;
+  for (int64_t i = 0; i < len; ++i) {
+    q.items.push_back(static_cast<int32_t>(rng->UniformInt(kItems)));
+    q.behaviors.push_back(static_cast<int32_t>(rng->UniformInt(kBehaviors)));
+    if (with_ts) {
+      ts += 1 + static_cast<int64_t>(rng->UniformInt(50));
+      q.timestamps.push_back(ts);
+    }
+  }
+  if (with_ts) q.now = q.timestamps.back();
+  // Exclude a few ids, deliberately in event (unsorted) order.
+  for (int64_t i = 0; i < len; i += 3) {
+    q.exclude.push_back(q.items[static_cast<size_t>(i)]);
+  }
+  q.k = 5 + static_cast<int32_t>(rng->UniformInt(6));
+  return q;
+}
+
+// Blocking loopback client socket with a receive-stall guard.
+int ConnectLoopback(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  timeval tv{};
+  tv.tv_sec = 30;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  return fd;
+}
+
+void SendAllBytes(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t w = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    ASSERT_GT(w, 0) << "send: " << std::strerror(errno);
+    off += static_cast<size_t>(w);
+  }
+}
+
+// Reads one '\n'-terminated line; `acc` carries partial bytes across calls.
+// Returns false on EOF-with-empty-buffer or error.
+bool RecvLine(int fd, std::string* acc, std::string* line) {
+  for (;;) {
+    size_t nl = acc->find('\n');
+    if (nl != std::string::npos) {
+      line->assign(*acc, 0, nl);
+      acc->erase(0, nl + 1);
+      return true;
+    }
+    char tmp[4096];
+    ssize_t r = ::recv(fd, tmp, sizeof(tmp), 0);
+    if (r <= 0) return false;
+    acc->append(tmp, static_cast<size_t>(r));
+  }
+}
+
+// True when the peer has cleanly closed (recv returns 0 with nothing left).
+bool RecvEof(int fd) {
+  char tmp[64];
+  ssize_t r = ::recv(fd, tmp, sizeof(tmp), 0);
+  return r == 0;
+}
+
+int64_t ExtractId(const std::string& response) {
+  size_t pos = response.find("\"id\":");
+  if (pos == std::string::npos) return INT64_MIN;
+  return std::strtoll(response.c_str() + pos + 5, nullptr, 10);
+}
+
+// The offline reference: one big RecommendTopN batch over all queries,
+// trimmed to each query's k and rendered through the same JSON formatter
+// the server uses, keyed by protocol id. String comparison makes the
+// bitwise claim exact — no float reparsing on the client side.
+std::map<int64_t, std::string> OfflineExpected(
+    core::MisslModel* model, const std::vector<serve::ParsedQuery>& parsed) {
+  std::vector<serve::Query> queries;
+  std::vector<std::vector<int32_t>> seen;
+  int32_t max_k = 0;
+  for (const auto& p : parsed) {
+    queries.push_back(p.query);
+    seen.push_back(p.query.exclude);
+    max_k = std::max(max_k, p.query.k);
+  }
+  data::Batch batch = serve::BuildQueryBatch(queries, kMaxLen, kBehaviors);
+  auto recs = core::RecommendTopN(model, batch, seen, max_k, kItems);
+  std::map<int64_t, std::string> expected;
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    size_t want = std::min<size_t>(static_cast<size_t>(parsed[i].query.k),
+                                   recs[i].items.size());
+    serve::TopKResult trimmed;
+    trimmed.items.assign(recs[i].items.begin(),
+                         recs[i].items.begin() + static_cast<int64_t>(want));
+    trimmed.scores.assign(recs[i].scores.begin(),
+                          recs[i].scores.begin() + static_cast<int64_t>(want));
+    expected[parsed[i].id] = serve::TopKToJson(parsed[i].id, trimmed);
+  }
+  return expected;
+}
+
+TEST(TcpServerTest, EightClientThreadsBitwiseMatchOffline) {
+  // 8 threads x 8 pipelined queries, generated up front so the offline
+  // reference sees exactly the same mix.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 8;
+  std::vector<std::vector<serve::ParsedQuery>> per_thread(kThreads);
+  std::vector<serve::ParsedQuery> all;
+  for (int t = 0; t < kThreads; ++t) {
+    Rng rng(400 + static_cast<uint64_t>(t));
+    for (int j = 0; j < kPerThread; ++j) {
+      serve::ParsedQuery p;
+      p.id = t * 1000 + j;
+      p.query = RandomWireQuery(&rng);
+      per_thread[static_cast<size_t>(t)].push_back(p);
+      all.push_back(p);
+    }
+  }
+  // Frozen weights for the offline reference and the served checkpoint come
+  // from the same seed; the serve-side module starts from different init.
+  // The offline forward runs BEFORE the service spawns its threads so the
+  // main-thread model pass is ordered before any dispatcher activity.
+  auto offline_model = MakeModel(21);
+  std::map<int64_t, std::string> expected =
+      OfflineExpected(offline_model.get(), all);
+
+  std::string path = CkptPath("tcp_bitwise.bin");
+  ASSERT_TRUE(nn::SaveParameters(*offline_model, path).ok());
+  serve::ServeConfig scfg;
+  scfg.max_len = kMaxLen;
+  scfg.max_batch = 8;
+  scfg.max_wait_us = 2000;
+  Status status;
+  auto service = serve::RecoService::Load(MakeModel(909), kItems, kBehaviors,
+                                          path, scfg, &status);
+  std::remove(path.c_str());
+  ASSERT_NE(service, nullptr) << status.ToString();
+
+  serve::TcpServerConfig tcfg;
+  tcfg.num_workers = 8;
+  auto server = serve::TcpServer::Start(service.get(), tcfg, &status);
+  ASSERT_NE(server, nullptr) << status.ToString();
+
+  // Each thread pipelines all its requests in one write, then collects the
+  // responses — which may come back in any order; "id" is the join key.
+  std::vector<std::map<int64_t, std::string>> received(kThreads);
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      int fd = ConnectLoopback(server->port());
+      ASSERT_GE(fd, 0);
+      std::string batch;
+      for (const auto& p : per_thread[static_cast<size_t>(t)]) {
+        batch += serve::QueryToLine(p.id, p.query);
+        batch += '\n';
+      }
+      SendAllBytes(fd, batch);
+      std::string acc, line;
+      for (int j = 0; j < kPerThread; ++j) {
+        ASSERT_TRUE(RecvLine(fd, &acc, &line)) << "thread " << t;
+        received[static_cast<size_t>(t)][ExtractId(line)] = line;
+      }
+      ::close(fd);
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  int matched = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (const auto& p : per_thread[static_cast<size_t>(t)]) {
+      auto it = received[static_cast<size_t>(t)].find(p.id);
+      ASSERT_NE(it, received[static_cast<size_t>(t)].end())
+          << "no response for id " << p.id;
+      EXPECT_EQ(it->second, expected[p.id]) << "id " << p.id;
+      ++matched;
+    }
+  }
+  EXPECT_EQ(matched, kThreads * kPerThread);
+  EXPECT_EQ(server->connections_accepted(), kThreads);
+  EXPECT_EQ(server->connections_refused(), 0);
+  EXPECT_EQ(service->requests_served(), kThreads * kPerThread);
+  server->Shutdown();
+  EXPECT_EQ(server->active_connections(), 0);
+}
+
+TEST(TcpServerTest, GracefulShutdownDrainsInFlightAndRefusesLate) {
+  // Queries and their offline expectations are computed before the service
+  // exists: the main-thread model forward must be ordered before any
+  // dispatcher-thread activity.
+  constexpr int kConns = 3;
+  Rng rng(77);
+  std::vector<serve::ParsedQuery> parsed;
+  for (int c = 0; c < kConns; ++c) {
+    serve::ParsedQuery p;
+    p.id = 500 + c;
+    p.query = RandomWireQuery(&rng);
+    parsed.push_back(p);
+  }
+  auto offline = MakeModel(23);
+  std::map<int64_t, std::string> expected = OfflineExpected(offline.get(),
+                                                            parsed);
+
+  Status status;
+  // A wide batch window keeps the queries parked inside the micro-batcher
+  // when BeginShutdown() fires — genuinely in flight, not yet answered.
+  auto service = MakeService("tcp_drain.bin", 23, /*max_batch=*/64,
+                             /*max_wait_us=*/200000, &status);
+  ASSERT_NE(service, nullptr) << status.ToString();
+  serve::TcpServerConfig tcfg;
+  tcfg.num_workers = 4;
+  auto server = serve::TcpServer::Start(service.get(), tcfg, &status);
+  ASSERT_NE(server, nullptr) << status.ToString();
+
+  std::vector<int> fds;
+  for (int c = 0; c < kConns; ++c) {
+    int fd = ConnectLoopback(server->port());
+    ASSERT_GE(fd, 0);
+    fds.push_back(fd);
+    SendAllBytes(fd, serve::QueryToLine(parsed[static_cast<size_t>(c)].id,
+                                        parsed[static_cast<size_t>(c)].query) +
+                         "\n");
+  }
+  // Give the epoll thread time to parse and hand the queries to workers,
+  // which are now blocked in the 200ms batch window.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+  server->BeginShutdown();
+
+  // A connect arriving after drain begins gets a clean refusal, then EOF.
+  int late = ConnectLoopback(server->port());
+  ASSERT_GE(late, 0);
+  std::string acc, line;
+  ASSERT_TRUE(RecvLine(late, &acc, &line));
+  EXPECT_EQ(line, "{\"id\":-1,\"error\":\"shutting down\"}");
+  EXPECT_TRUE(RecvEof(late));
+  ::close(late);
+
+  // Every in-flight query still gets its complete, correct answer, then the
+  // drained connection is closed by the server.
+  for (int c = 0; c < kConns; ++c) {
+    std::string cacc, cline;
+    ASSERT_TRUE(RecvLine(fds[static_cast<size_t>(c)], &cacc, &cline))
+        << "conn " << c << " lost its in-flight answer";
+    EXPECT_EQ(cline, expected[500 + c]) << "conn " << c;
+    EXPECT_TRUE(RecvEof(fds[static_cast<size_t>(c)])) << "conn " << c;
+    ::close(fds[static_cast<size_t>(c)]);
+  }
+
+  server->Shutdown();
+  EXPECT_EQ(server->active_connections(), 0);
+  EXPECT_GE(server->connections_refused(), 1);
+  // After a full Shutdown the listener is gone: connects are refused by the
+  // kernel, not parked in the backlog.
+  EXPECT_LT(ConnectLoopback(server->port()), 0);
+}
+
+TEST(TcpServerTest, ConnectionLimitRefusesExtrasAndRecovers) {
+  Status status;
+  auto service = MakeService("tcp_limit.bin", 29, /*max_batch=*/4,
+                             /*max_wait_us=*/500, &status);
+  ASSERT_NE(service, nullptr) << status.ToString();
+  serve::TcpServerConfig tcfg;
+  tcfg.max_connections = 2;
+  auto server = serve::TcpServer::Start(service.get(), tcfg, &status);
+  ASSERT_NE(server, nullptr) << status.ToString();
+
+  // Occupy both slots and prove the server processed the accepts by
+  // completing a round-trip on each.
+  Rng rng(31);
+  int fd1 = ConnectLoopback(server->port());
+  int fd2 = ConnectLoopback(server->port());
+  ASSERT_GE(fd1, 0);
+  ASSERT_GE(fd2, 0);
+  std::string acc1, acc2, line;
+  SendAllBytes(fd1, serve::QueryToLine(1, RandomWireQuery(&rng)) + "\n");
+  ASSERT_TRUE(RecvLine(fd1, &acc1, &line));
+  EXPECT_EQ(ExtractId(line), 1);
+  SendAllBytes(fd2, serve::QueryToLine(2, RandomWireQuery(&rng)) + "\n");
+  ASSERT_TRUE(RecvLine(fd2, &acc2, &line));
+  EXPECT_EQ(ExtractId(line), 2);
+
+  // Third client: refused in-band, then closed.
+  int fd3 = ConnectLoopback(server->port());
+  ASSERT_GE(fd3, 0);
+  std::string acc3;
+  ASSERT_TRUE(RecvLine(fd3, &acc3, &line));
+  EXPECT_EQ(line, "{\"id\":-1,\"error\":\"connection limit reached\"}");
+  EXPECT_TRUE(RecvEof(fd3));
+  ::close(fd3);
+  EXPECT_EQ(server->connections_refused(), 1);
+
+  // Freeing a slot lets the next client in.
+  ::close(fd1);
+  for (int i = 0; i < 200 && server->active_connections() > 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_LE(server->active_connections(), 1);
+  int fd4 = ConnectLoopback(server->port());
+  ASSERT_GE(fd4, 0);
+  std::string acc4;
+  SendAllBytes(fd4, serve::QueryToLine(4, RandomWireQuery(&rng)) + "\n");
+  ASSERT_TRUE(RecvLine(fd4, &acc4, &line));
+  EXPECT_EQ(ExtractId(line), 4);
+  ::close(fd4);
+  ::close(fd2);
+  server->Shutdown();
+}
+
+TEST(TcpServerTest, MalformedLineAnsweredInBandConnectionStaysUsable) {
+  Status status;
+  auto service = MakeService("tcp_malformed.bin", 37, /*max_batch=*/4,
+                             /*max_wait_us=*/500, &status);
+  ASSERT_NE(service, nullptr) << status.ToString();
+  serve::TcpServerConfig tcfg;
+  auto server = serve::TcpServer::Start(service.get(), tcfg, &status);
+  ASSERT_NE(server, nullptr) << status.ToString();
+
+  int fd = ConnectLoopback(server->port());
+  ASSERT_GE(fd, 0);
+  std::string acc, line;
+
+  // Garbage gets an in-band error with id -1 (the line never yielded one).
+  SendAllBytes(fd, "definitely not a query\n");
+  ASSERT_TRUE(RecvLine(fd, &acc, &line));
+  EXPECT_EQ(ExtractId(line), -1);
+  EXPECT_NE(line.find("\"error\""), std::string::npos);
+
+  // Blank lines and comments produce no response at all: the next answer on
+  // the wire belongs to the valid query after them.
+  Rng rng(41);
+  SendAllBytes(fd, "\n# a comment line\n" +
+                       serve::QueryToLine(88, RandomWireQuery(&rng)) + "\n");
+  ASSERT_TRUE(RecvLine(fd, &acc, &line));
+  EXPECT_EQ(ExtractId(line), 88);
+  EXPECT_EQ(line.find("\"error\""), std::string::npos);
+  ::close(fd);
+  server->Shutdown();
+}
+
+TEST(TcpServerTest, HalfClosedPeerStillReceivesItsAnswers) {
+  Status status;
+  auto service = MakeService("tcp_halfclose.bin", 43, /*max_batch=*/4,
+                             /*max_wait_us=*/2000, &status);
+  ASSERT_NE(service, nullptr) << status.ToString();
+  serve::TcpServerConfig tcfg;
+  auto server = serve::TcpServer::Start(service.get(), tcfg, &status);
+  ASSERT_NE(server, nullptr) << status.ToString();
+
+  int fd = ConnectLoopback(server->port());
+  ASSERT_GE(fd, 0);
+  Rng rng(47);
+  std::string batch;
+  for (int64_t id = 0; id < 3; ++id) {
+    batch += serve::QueryToLine(id, RandomWireQuery(&rng));
+    batch += '\n';
+  }
+  SendAllBytes(fd, batch);
+  // Half-close: we will send nothing more, but the in-flight answers must
+  // still arrive, after which the server closes its side.
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+  std::string acc, line;
+  std::map<int64_t, bool> got;
+  for (int j = 0; j < 3; ++j) {
+    ASSERT_TRUE(RecvLine(fd, &acc, &line)) << "answer " << j;
+    EXPECT_EQ(line.find("\"error\""), std::string::npos) << line;
+    got[ExtractId(line)] = true;
+  }
+  EXPECT_EQ(got.size(), 3u);
+  EXPECT_TRUE(RecvEof(fd));
+  ::close(fd);
+  server->Shutdown();
+}
+
+TEST(TcpServerTest, StartRejectsBadConfig) {
+  Status status;
+  auto service = MakeService("tcp_badcfg.bin", 53, 4, 500, &status);
+  ASSERT_NE(service, nullptr) << status.ToString();
+  serve::TcpServerConfig bad;
+  bad.num_workers = 0;
+  EXPECT_EQ(serve::TcpServer::Start(service.get(), bad, &status), nullptr);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  bad = serve::TcpServerConfig();
+  bad.max_connections = 0;
+  EXPECT_EQ(serve::TcpServer::Start(service.get(), bad, &status), nullptr);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  bad = serve::TcpServerConfig();
+  bad.port = -5;
+  EXPECT_EQ(serve::TcpServer::Start(service.get(), bad, &status), nullptr);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace missl
