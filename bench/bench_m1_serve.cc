@@ -10,13 +10,22 @@
 // told apart. All rows land in BENCH_bench_m1_serve.json via
 // MISSL_BENCH_JSON_DIR (docs/OBSERVABILITY.md).
 //
+// The server runs with its admin endpoint up, and every row is bracketed by
+// two /metrics scrapes over real HTTP: the serve.stage.* histograms
+// (parse -> queue -> batch -> score -> rank -> write) are diffed with
+// PromHistogramDelta and printed as a second table, so the JSON carries the
+// per-window stage breakdown exactly as an external scraper would see it —
+// the scrape path itself is under test, not just the instruments.
+//
 // In --smoke mode this doubles as the CI serving-load gate: a few hundred
 // requests against a real socket server, exit non-zero if any request
-// errors, goes unanswered, or the serve.* instrumentation misses requests.
+// errors, goes unanswered, the serve.* instrumentation misses requests, or
+// the admin plane (/metrics /healthz /tracez) serves malformed output.
 #include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,6 +40,10 @@
 
 namespace {
 
+// The per-request pipeline stages, in wire order (docs/OBSERVABILITY.md).
+const char* const kStages[] = {"parse", "queue", "batch",
+                               "score", "rank",  "write"};
+
 struct RowResult {
   std::string mode;
   int conns = 0;
@@ -40,6 +53,8 @@ struct RowResult {
   int64_t srv_p99_us = 0;
   int64_t srv_p999_us = 0;
   double srv_mean_batch = 0;
+  // serve.stage.* deltas between the row's two /metrics scrapes.
+  std::map<std::string, missl::serve::PromHistogram> stages;
 };
 
 }  // namespace
@@ -109,11 +124,34 @@ int main(int argc, char** argv) {
   }
 
   auto& reg = obs::MetricsRegistry::Global();
+
+  // One validated /metrics scrape over the admin endpoint. The strict
+  // parser doubles as the malformed-exposition gate: any bad line fails
+  // the bench.
+  auto scrape = [&](std::map<std::string, serve::PromHistogram>* hists)
+      -> bool {
+    serve::HttpResponse r;
+    Status s =
+        serve::HttpGet("127.0.0.1", server->admin_port(), "/metrics", &r);
+    if (!s.ok() || r.code != 200) {
+      std::fprintf(stderr, "FAIL: /metrics scrape: %s (code %d)\n",
+                   s.ToString().c_str(), r.code);
+      return false;
+    }
+    if (!serve::ParsePrometheusText(r.body, nullptr, hists)) {
+      std::fprintf(stderr, "FAIL: /metrics output is malformed\n");
+      return false;
+    }
+    return true;
+  };
+
   auto run_row = [&](const std::string& mode, int conns, double target_qps,
                      RowResult* row) -> bool {
     // Per-row metric window so server-side percentiles describe this row
     // only (names stay registered; see obs/metrics.h).
     reg.ResetAll();
+    std::map<std::string, serve::PromHistogram> base;
+    if (!scrape(&base)) return false;
     serve::LoadGenConfig lg;
     lg.port = server->port();
     lg.connections = conns;
@@ -137,6 +175,23 @@ int main(int argc, char** argv) {
     row->srv_p99_us = request_ns.ApproxPercentile(0.99) / 1000;
     row->srv_p999_us = request_ns.ApproxPercentile(0.999) / 1000;
     row->srv_mean_batch = reg.GetHistogram("serve.batch_size").mean();
+    std::map<std::string, serve::PromHistogram> cur;
+    if (!scrape(&cur)) return false;
+    for (const char* stage : kStages) {
+      std::string fam = std::string("serve_stage_") + stage + "_ns";
+      auto it = cur.find(fam);
+      if (it == cur.end()) {
+        std::fprintf(stderr, "FAIL: /metrics is missing %s\n", fam.c_str());
+        return false;
+      }
+      auto bit = base.find(fam);
+      // A family absent from the base scrape registered mid-row: the whole
+      // current histogram is this row's delta.
+      row->stages[stage] = bit == base.end()
+                               ? it->second
+                               : serve::PromHistogramDelta(it->second,
+                                                           bit->second);
+    }
     bool complete =
         row->load.ok == row->load.sent && row->load.errors == 0 &&
         reg.GetCounter("serve.requests").value() == row->load.sent;
@@ -201,6 +256,55 @@ int main(int argc, char** argv) {
       "SrvP*us are log2-bucket upper bounds of serve.request_ns — queue + "
       "model time; the client-observed gap on top is loopback + epoll "
       "overhead.\n");
+
+  // Per-stage breakdown, scraped over the admin endpoint: each row is one
+  // stage of one load row, diffed between the row's two /metrics scrapes.
+  Table stage_table(
+      {"Mode", "Conns", "Stage", "Count", "P50us", "P99us", "MeanUs"});
+  for (const auto& row : rows) {
+    for (const char* stage : kStages) {
+      auto it = row.stages.find(stage);
+      if (it == row.stages.end()) continue;
+      const serve::PromHistogram& h = it->second;
+      stage_table.Row()
+          .Cell(row.mode)
+          .Int(row.conns)
+          .Cell(stage)
+          .Int(h.count)
+          .Int(serve::PromHistogramPercentile(h, 0.50) / 1000)
+          .Int(serve::PromHistogramPercentile(h, 0.99) / 1000)
+          .Num(h.count > 0 ? static_cast<double>(h.sum) /
+                                 static_cast<double>(h.count) / 1000.0
+                           : 0.0,
+               2);
+    }
+  }
+  stage_table.Print();
+  std::printf(
+      "Stage rows are server-side serve.stage.* deltas per load row "
+      "(parse -> queue -> batch -> score -> rank -> write); P*us are "
+      "log2-bucket upper bounds, MeanUs is exact. queue+batch dominate "
+      "under light load (the micro-batch window), score under saturation.\n");
+
+  // Admin-plane smoke: the remaining endpoints must answer well-formed
+  // while the server is still up — this is the CI gate's view of /healthz
+  // and /tracez (the /metrics path was validated per row above).
+  {
+    serve::HttpResponse r;
+    Status s =
+        serve::HttpGet("127.0.0.1", server->admin_port(), "/healthz", &r);
+    if (!s.ok() || r.code != 200 || r.body != "ok\n") {
+      std::fprintf(stderr, "FAIL: /healthz: %s (code %d body %s)\n",
+                   s.ToString().c_str(), r.code, r.body.c_str());
+      all_ok = false;
+    }
+    s = serve::HttpGet("127.0.0.1", server->admin_port(), "/tracez", &r);
+    if (!s.ok() || r.code != 200 ||
+        r.body.find("\"traceEvents\"") == std::string::npos) {
+      std::fprintf(stderr, "FAIL: /tracez did not return a trace document\n");
+      all_ok = false;
+    }
+  }
 
   server->Shutdown();
   if (!all_ok) {

@@ -28,7 +28,15 @@
 //   --listen PORT            serve the line protocol over TCP on
 //                            127.0.0.1:PORT instead of answering a query
 //                            file ("--listen=PORT" also accepted); runs
-//                            until SIGINT/SIGTERM, then drains
+//                            until SIGINT/SIGTERM, then drains; SIGUSR1
+//                            dumps the flight recorder to a timestamped
+//                            Chrome trace file and keeps serving
+//   --admin PORT             TCP mode: admin HTTP port for /metrics,
+//                            /healthz, /statusz, /tracez (default 0 =
+//                            ephemeral; -1 disables the admin plane)
+//   --port-file PATH         TCP mode: write "port=P\nadmin_port=Q\n" once
+//                            both listeners are bound (for scripts driving
+//                            ephemeral ports)
 //   --workers N              TCP mode: worker threads blocking in the
 //                            micro-batcher (default 4)
 //   --max-conns N            TCP mode: connection limit (default 256)
@@ -44,6 +52,7 @@
 //                            model shape (must match between --init-checkpoint
 //                            and serving; defaults: 120/3/32/3/20/17)
 #include <signal.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -61,6 +70,7 @@
 #include "core/missl.h"
 #include "core/recommend.h"
 #include "nn/serialize.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/protocol.h"
@@ -75,6 +85,8 @@ struct Options {
   std::string queries;
   std::string trace;
   int listen_port = -1;  ///< >= 0: TCP mode on 127.0.0.1:port (0 ephemeral)
+  int admin_port = 0;    ///< admin HTTP port (0 ephemeral, -1 disabled)
+  std::string port_file;
   int workers = 4;
   int max_conns = 256;
   int clients = 4;
@@ -129,6 +141,8 @@ int main(int argc, char** argv) {
     else if (a == "--queries") opt.queries = next("--queries");
     else if (a == "--listen") opt.listen_port = std::atoi(next("--listen").c_str());
     else if (a.rfind("--listen=", 0) == 0) opt.listen_port = std::atoi(a.c_str() + 9);
+    else if (a == "--admin") opt.admin_port = std::atoi(next("--admin").c_str());
+    else if (a == "--port-file") opt.port_file = next("--port-file");
     else if (a == "--workers") opt.workers = std::atoi(next("--workers").c_str());
     else if (a == "--max-conns") opt.max_conns = std::atoi(next("--max-conns").c_str());
     else if (a == "--trace") opt.trace = next("--trace");
@@ -188,12 +202,13 @@ int main(int argc, char** argv) {
   // --listen: TCP mode. Load the frozen service, put the epoll front-end in
   // front of it, and serve until SIGINT/SIGTERM triggers a graceful drain.
   if (opt.listen_port >= 0) {
-    // Block the shutdown signals before any server thread exists so they
-    // are delivered to sigwait below, not to a worker.
+    // Block the shutdown/dump signals before any server thread exists so
+    // they are delivered to sigwait below, not to a worker.
     sigset_t sigs;
     sigemptyset(&sigs);
     sigaddset(&sigs, SIGINT);
     sigaddset(&sigs, SIGTERM);
+    sigaddset(&sigs, SIGUSR1);
     pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
 
     serve::ServeConfig scfg;
@@ -207,20 +222,52 @@ int main(int argc, char** argv) {
     if (service == nullptr) return Fail("load failed: " + status.ToString());
     serve::TcpServerConfig tcfg;
     tcfg.port = opt.listen_port;
+    tcfg.admin_port = opt.admin_port;
     tcfg.num_workers = opt.workers;
     tcfg.max_connections = opt.max_conns;
     auto server = serve::TcpServer::Start(service.get(), tcfg, &status);
     if (server == nullptr) {
       return Fail("listen failed: " + status.ToString());
     }
+    // Log the *resolved* ports: with ephemeral ports (0) these are the only
+    // place the actual numbers appear.
     std::fprintf(stderr,
                  "listening on 127.0.0.1:%d (%d workers, <=%d connections, "
-                 "batch<=%d, wait %lldus); SIGINT/SIGTERM drains\n",
+                 "batch<=%d, wait %lldus); SIGINT/SIGTERM drains, SIGUSR1 "
+                 "dumps the flight recorder\n",
                  server->port(), opt.workers, opt.max_conns, opt.batch,
                  static_cast<long long>(opt.wait_us));
-    int sig = 0;
-    sigwait(&sigs, &sig);
-    std::fprintf(stderr, "signal %d: draining...\n", sig);
+    if (server->admin_port() >= 0) {
+      std::fprintf(stderr,
+                   "admin endpoint on 127.0.0.1:%d "
+                   "(/metrics /healthz /statusz /tracez)\n",
+                   server->admin_port());
+    }
+    if (!opt.port_file.empty()) {
+      std::ofstream pf(opt.port_file);
+      if (!pf.is_open()) return Fail("cannot write " + opt.port_file);
+      pf << "port=" << server->port() << "\n"
+         << "admin_port=" << server->admin_port() << "\n";
+    }
+    for (;;) {
+      int sig = 0;
+      sigwait(&sigs, &sig);
+      if (sig == SIGUSR1) {
+        std::string path =
+            "missl_flight_" + std::to_string(time(nullptr)) + ".json";
+        Status s = obs::WriteFlightRecorder(path);
+        if (s.ok()) {
+          std::fprintf(stderr, "SIGUSR1: flight recorder dumped to %s\n",
+                       path.c_str());
+        } else {
+          std::fprintf(stderr, "SIGUSR1: flight dump failed: %s\n",
+                       s.ToString().c_str());
+        }
+        continue;
+      }
+      std::fprintf(stderr, "signal %d: draining...\n", sig);
+      break;
+    }
     server->Shutdown();
     std::fprintf(stderr,
                  "drained: %lld connections served, %lld refused, %lld "

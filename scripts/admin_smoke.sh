@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Live admin-plane smoke: starts `missl_serve --listen` on ephemeral ports,
+# pushes one query through the TSV plane, then checks every admin endpoint
+# against the real HTTP socket (docs/OBSERVABILITY.md):
+#   /metrics  — Prometheus text with "# TYPE" lines and serve_* families
+#   /healthz  — 200 "ok" while serving
+#   /statusz  — machine-readable JSON
+#   /tracez   — valid Chrome trace JSON from the flight recorder
+# plus the SIGUSR1 flight-recorder dump and a clean SIGTERM drain. Run by
+# the CI release job and scripts/check.sh; exits non-zero on the first
+# malformed response.
+#
+# Usage: scripts/admin_smoke.sh [build_dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+SERVE="$PWD/$BUILD/examples/missl_serve"
+[[ -x "$SERVE" ]] || { echo "admin_smoke: missing $SERVE (build first)"; exit 1; }
+
+work="$(mktemp -d)"
+pid=""
+cleanup() {
+  [[ -n "$pid" ]] && kill "$pid" 2>/dev/null || true
+  [[ -n "$pid" ]] && wait "$pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+fetch() {  # fetch <url> -> body on stdout; fails on non-2xx
+  if command -v curl >/dev/null 2>&1; then
+    curl -fsS --max-time 10 "$1"
+  else
+    python3 -c 'import sys,urllib.request
+sys.stdout.write(urllib.request.urlopen(sys.argv[1], timeout=10).read().decode())' "$1"
+  fi
+}
+
+http_code() {  # http_code <url> -> status code on stdout, success regardless
+  python3 -c 'import sys,urllib.request,urllib.error
+try:
+  print(urllib.request.urlopen(sys.argv[1], timeout=10).status)
+except urllib.error.HTTPError as e:
+  print(e.code)' "$1"
+}
+
+# Server cwd is the scratch dir so the SIGUSR1 dump lands there.
+(cd "$work" && exec "$SERVE" --smoke --listen 0 --port-file ports) \
+  > "$work/serve.log" 2>&1 &
+pid=$!
+
+for _ in $(seq 1 100); do
+  [[ -s "$work/ports" ]] && break
+  kill -0 "$pid" 2>/dev/null || { cat "$work/serve.log"; echo "admin_smoke: server died"; exit 1; }
+  sleep 0.1
+done
+[[ -s "$work/ports" ]] || { echo "admin_smoke: no port file"; exit 1; }
+port="$(sed -n 's/^port=//p' "$work/ports")"
+admin="$(sed -n 's/^admin_port=//p' "$work/ports")"
+[[ -n "$port" && -n "$admin" ]] || { echo "admin_smoke: bad port file"; cat "$work/ports"; exit 1; }
+base="http://127.0.0.1:$admin"
+echo "admin_smoke: query port $port, admin port $admin"
+
+# One query through the TSV plane so the serve.* stage instruments exist.
+python3 - "$port" <<'EOF'
+import socket, sys
+s = socket.create_connection(("127.0.0.1", int(sys.argv[1])), timeout=10)
+s.sendall(b"1\t5\t1:0,2:1,3:2\n")
+buf = b""
+while b"\n" not in buf:
+    chunk = s.recv(4096)
+    if not chunk:
+        sys.exit("query connection closed without an answer")
+    buf += chunk
+line = buf.split(b"\n", 1)[0].decode()
+assert '"id":1' in line and '"error"' not in line, line
+s.close()
+EOF
+
+echo "admin_smoke: /healthz"
+[[ "$(fetch "$base/healthz")" == "ok" ]] || { echo "admin_smoke: /healthz != ok"; exit 1; }
+
+echo "admin_smoke: /metrics"
+metrics="$(fetch "$base/metrics")"
+grep -q '^# TYPE ' <<< "$metrics" || { echo "admin_smoke: /metrics has no # TYPE lines"; exit 1; }
+grep -q '^serve_stage_' <<< "$metrics" || { echo "admin_smoke: /metrics missing serve_stage_* families"; exit 1; }
+grep -q '_bucket{le="+Inf"}' <<< "$metrics" || { echo "admin_smoke: /metrics missing +Inf buckets"; exit 1; }
+
+echo "admin_smoke: /statusz"
+fetch "$base/statusz" | python3 -m json.tool > /dev/null
+
+echo "admin_smoke: /tracez"
+tracez="$(fetch "$base/tracez")"
+python3 -m json.tool <<< "$tracez" > /dev/null
+grep -q '"traceEvents"' <<< "$tracez" || { echo "admin_smoke: /tracez is not a trace document"; exit 1; }
+
+echo "admin_smoke: 404 on unknown path"
+[[ "$(http_code "$base/nope")" == "404" ]] || { echo "admin_smoke: expected 404"; exit 1; }
+
+echo "admin_smoke: SIGUSR1 flight dump"
+kill -USR1 "$pid"
+dump=""
+for _ in $(seq 1 50); do
+  dump="$(ls "$work"/missl_flight_*.json 2>/dev/null | head -1 || true)"
+  [[ -n "$dump" ]] && break
+  sleep 0.1
+done
+[[ -n "$dump" ]] || { echo "admin_smoke: no SIGUSR1 dump appeared"; exit 1; }
+python3 -m json.tool "$dump" > /dev/null
+
+echo "admin_smoke: graceful SIGTERM drain"
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+[[ "$rc" == "0" ]] || { echo "admin_smoke: server exit code $rc"; exit 1; }
+
+echo "admin_smoke: OK"

@@ -7,9 +7,12 @@
 #   3. TSan build, running the threaded tests (runtime_test, models_test,
 #      serve_test — the serving micro-batcher must stay race-free —
 #      tcp_server_test — every epoll-thread/worker handoff in the TCP
-#      front-end over real sockets — kernel_property_test, which sweeps the
-#      SIMD tiers at 1/2/4 threads, and alloc_test, which stresses the
-#      pooled allocator's cross-thread free path)
+#      front-end over real sockets, now including the admin HTTP plane —
+#      exposition_test, which scrapes the metrics registry and the flight
+#      recorder's seqlock rings while they are being written —
+#      kernel_property_test, which sweeps the SIMD tiers at 1/2/4 threads,
+#      and alloc_test, which stresses the pooled allocator's cross-thread
+#      free path)
 #   4. Documentation consistency (scripts/check_docs.sh)
 #
 # Usage:
@@ -39,6 +42,8 @@ run_release() {
   ./build-check-release/bench/bench_m1_alloc --smoke
   echo "=== [release] serving-load smoke (TCP front-end under load) ==="
   ./build-check-release/bench/bench_m1_serve --smoke
+  echo "=== [release] admin-plane smoke (/metrics /healthz /statusz /tracez) ==="
+  scripts/admin_smoke.sh build-check-release
 }
 
 run_asan() {
@@ -59,11 +64,12 @@ run_tsan() {
         -DMISSL_SANITIZE=thread
   cmake --build build-check-tsan -j"$(nproc)" \
         --target runtime_test models_test serve_test tcp_server_test \
-                 kernel_property_test alloc_test
+                 exposition_test kernel_property_test alloc_test
   TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/runtime_test
   TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/models_test
   TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/serve_test
   TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/tcp_server_test
+  TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/exposition_test
   TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/kernel_property_test
   TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/alloc_test
 }

@@ -1,0 +1,230 @@
+#include "obs/flight_recorder.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace missl::obs {
+
+namespace {
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled = [] {
+    const char* v = std::getenv("MISSL_FLIGHT_RECORDER");
+    // Opt-out, not opt-in: absent/empty/non-"0" all mean enabled.
+    return v == nullptr || v[0] == '\0' || v[0] != '0';
+  }();
+  return enabled;
+}
+
+// One record slot, guarded by its own sequence number (seqlock): the owner
+// thread bumps seq to odd, stores the fields, bumps it back to even. All
+// fields are atomics, so a concurrent dump never has a data race — it just
+// discards slots whose seq was odd or changed under it.
+struct FlightSlot {
+  std::atomic<uint32_t> seq{0};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<const char*> cat{nullptr};
+  std::atomic<int64_t> start_ns{0};
+  std::atomic<int64_t> dur_ns{0};
+};
+
+// Per-thread ring. Only the owning thread writes slots and head; dumps read
+// everything concurrently. `floor` implements ClearFlightRecorder without
+// touching the slots: dumps ignore records with index < floor.
+struct FlightRing {
+  explicit FlightRing(size_t cap) : slots(cap) {}
+  std::vector<FlightSlot> slots;
+  std::atomic<uint64_t> head{0};   // total records ever written by the owner
+  std::atomic<uint64_t> floor{0};  // records before this index are cleared
+  int tid = 0;
+};
+
+struct RingRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<FlightRing>> rings;
+  int next_tid = 0;
+};
+
+RingRegistry& Registry() {
+  // Leaked: thread_local destructors of late-exiting threads may still touch
+  // the registry after main() returns (still reachable, LSan-clean).
+  static RingRegistry* registry = new RingRegistry();
+  return *registry;
+}
+
+FlightRing& LocalRing() {
+  thread_local std::shared_ptr<FlightRing> ring = [] {
+    auto r = std::make_shared<FlightRing>(FlightRingCapacity());
+    RingRegistry& reg = Registry();
+    std::lock_guard<std::mutex> l(reg.mu);
+    r->tid = reg.next_tid++;
+    reg.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+struct InternTable {
+  std::mutex mu;
+  std::set<std::string> names;  // node-based: element addresses are stable
+};
+
+InternTable& Interns() {
+  static InternTable* table = new InternTable();  // leaked, like the registry
+  return *table;
+}
+
+struct DumpedEvent {
+  const char* name;
+  const char* cat;
+  int64_t start_ns;
+  int64_t dur_ns;
+};
+
+// Seqlock read of one slot; false when the slot was empty or mid-write.
+bool ReadSlot(const FlightSlot& slot, DumpedEvent& out) {
+  uint32_t s1 = slot.seq.load(std::memory_order_acquire);
+  if (s1 == 0 || (s1 & 1u) != 0) return false;
+  out.name = slot.name.load(std::memory_order_relaxed);
+  out.cat = slot.cat.load(std::memory_order_relaxed);
+  out.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+  out.dur_ns = slot.dur_ns.load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  uint32_t s2 = slot.seq.load(std::memory_order_relaxed);
+  return s1 == s2 && out.name != nullptr;
+}
+
+}  // namespace
+
+bool FlightRecorderEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetFlightRecorderEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+size_t FlightRingCapacity() {
+  static const size_t capacity = [] {
+    size_t cap = 4096;
+    if (const char* v = std::getenv("MISSL_FLIGHT_CAPACITY")) {
+      char* end = nullptr;
+      long long parsed = std::strtoll(v, &end, 10);
+      if (end != v && parsed > 0) cap = static_cast<size_t>(parsed);
+    }
+    if (cap < 64) cap = 64;
+    if (cap > (size_t{1} << 20)) cap = size_t{1} << 20;
+    return cap;
+  }();
+  return capacity;
+}
+
+const char* InternedName(const std::string& name) {
+  // Per-thread cache in front of the global table: steady state (a server
+  // emits the same few span names forever) never takes the lock.
+  thread_local std::unordered_map<std::string, const char*> cache;
+  auto it = cache.find(name);
+  if (it != cache.end()) return it->second;
+  InternTable& table = Interns();
+  const char* stable = nullptr;
+  {
+    std::lock_guard<std::mutex> l(table.mu);
+    stable = table.names.insert(name).first->c_str();
+  }
+  cache.emplace(name, stable);
+  return stable;
+}
+
+void FlightRecord(const char* name, const char* cat, int64_t start_ns,
+                  int64_t dur_ns) {
+  if (!FlightRecorderEnabled() || name == nullptr) return;
+  FlightRing& ring = LocalRing();
+  uint64_t h = ring.head.load(std::memory_order_relaxed);
+  FlightSlot& slot = ring.slots[h % ring.slots.size()];
+  uint32_t s = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(s + 1, std::memory_order_relaxed);  // odd: write in progress
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.cat.store(cat != nullptr ? cat : "", std::memory_order_relaxed);
+  slot.start_ns.store(start_ns, std::memory_order_relaxed);
+  slot.dur_ns.store(dur_ns, std::memory_order_relaxed);
+  slot.seq.store(s + 2, std::memory_order_release);  // even: consistent
+  ring.head.store(h + 1, std::memory_order_release);
+}
+
+std::string FlightRecorderToJson() {
+  std::ostringstream ss;
+  ss << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  RingRegistry& reg = Registry();
+  std::lock_guard<std::mutex> l(reg.mu);
+  bool first = true;
+  for (auto& ring : reg.rings) {
+    uint64_t head = ring->head.load(std::memory_order_acquire);
+    uint64_t floor = ring->floor.load(std::memory_order_relaxed);
+    uint64_t cap = ring->slots.size();
+    uint64_t lo = head > cap ? head - cap : 0;
+    if (floor > lo) lo = floor;
+    for (uint64_t i = lo; i < head; ++i) {
+      DumpedEvent e;
+      if (!ReadSlot(ring->slots[i % cap], e)) continue;
+      if (!first) ss << ",";
+      first = false;
+      // Chrome trace timestamps are microseconds; keep ns precision via the
+      // fractional part (same convention as obs::TraceToJson).
+      ss << "{\"name\":\"" << JsonEscape(e.name) << "\",\"cat\":\""
+         << JsonEscape(e.cat) << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+         << ring->tid
+         << ",\"ts\":" << JsonNumber(static_cast<double>(e.start_ns) / 1e3)
+         << ",\"dur\":" << JsonNumber(static_cast<double>(e.dur_ns) / 1e3)
+         << "}";
+    }
+  }
+  ss << "]}";
+  return ss.str();
+}
+
+Status WriteFlightRecorder(const std::string& path) {
+  std::string json = FlightRecorderToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open flight recorder file " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_err = std::fclose(f);
+  if (written != json.size() || close_err != 0) {
+    return Status::IOError("short write to flight recorder file " + path);
+  }
+  return Status::OK();
+}
+
+int64_t FlightRecorderTotalRecorded() {
+  RingRegistry& reg = Registry();
+  std::lock_guard<std::mutex> l(reg.mu);
+  int64_t n = 0;
+  for (auto& ring : reg.rings) {
+    uint64_t head = ring->head.load(std::memory_order_acquire);
+    uint64_t floor = ring->floor.load(std::memory_order_relaxed);
+    if (head > floor) n += static_cast<int64_t>(head - floor);
+  }
+  return n;
+}
+
+void ClearFlightRecorder() {
+  RingRegistry& reg = Registry();
+  std::lock_guard<std::mutex> l(reg.mu);
+  for (auto& ring : reg.rings) {
+    ring->floor.store(ring->head.load(std::memory_order_acquire),
+                      std::memory_order_relaxed);
+  }
+}
+
+}  // namespace missl::obs

@@ -1,0 +1,70 @@
+// Always-on flight recorder: a fixed-memory, lock-free ring of the most
+// recent trace spans per thread, for tail-latency forensics on a live
+// server without pre-arranged StartTracing.
+//
+// Unlike the tracing profiler (obs/trace.h), which grows unbounded and is
+// opt-in per run, the flight recorder is on by default and overwrites its
+// oldest records: each thread owns a ring of FlightRingCapacity() slots
+// (MISSL_FLIGHT_CAPACITY, default 4096), so memory is capped at
+// rings * capacity * sizeof(slot) regardless of uptime. Every TraceSpan
+// lands here automatically while the recorder is enabled; per-op kernel
+// spans (obs/op_stats.h) stay tracing-only — they are too hot.
+//
+// Recording takes no lock: each slot is a tiny seqlock built from plain
+// std::atomic fields (TSan-clean), written only by the ring's owner thread.
+// A dump (FlightRecorderToJson, /tracez, SIGUSR1 in missl_serve) walks the
+// rings concurrently with writers and skips slots it catches mid-write, so
+// a scrape never stalls the serving path. Span names are interned
+// (InternedName) so slots store stable pointers, not strings.
+#ifndef MISSL_OBS_FLIGHT_RECORDER_H_
+#define MISSL_OBS_FLIGHT_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "utils/status.h"
+
+namespace missl::obs {
+
+/// True while spans are being recorded into the rings. Defaults to enabled;
+/// MISSL_FLIGHT_RECORDER=0 in the environment starts the process disabled.
+bool FlightRecorderEnabled();
+void SetFlightRecorderEnabled(bool enabled);
+
+/// Slots per thread ring. Read once from MISSL_FLIGHT_CAPACITY at first use
+/// and clamped to [64, 1<<20]; fixed for the process lifetime.
+size_t FlightRingCapacity();
+
+/// Returns a pointer to a process-lifetime copy of `name`, suitable for
+/// FlightRecord. Repeat calls with the same string return the same pointer;
+/// the steady-state path is one thread-local hash lookup, no global lock.
+const char* InternedName(const std::string& name);
+
+/// Records one complete span into the calling thread's ring, overwriting
+/// the oldest record once the ring is full. `name` and `cat` must outlive
+/// the process (string literals or InternedName results). No-op while the
+/// recorder is disabled.
+void FlightRecord(const char* name, const char* cat, int64_t start_ns,
+                  int64_t dur_ns);
+
+/// Dumps every ring's surviving records as a Chrome trace-event JSON
+/// document (same shape as obs::TraceToJson — open in Perfetto or
+/// chrome://tracing). Safe to call at any time from any thread; slots being
+/// rewritten during the walk are skipped, not torn.
+std::string FlightRecorderToJson();
+
+/// FlightRecorderToJson straight to a file.
+Status WriteFlightRecorder(const std::string& path);
+
+/// Total records written and not yet cleared, across all rings — exceeds
+/// the number of dumpable records once rings wrap.
+int64_t FlightRecorderTotalRecorded();
+
+/// Logically drops all current records (dumps only show spans recorded
+/// after the clear). Rings keep their memory; writers are not disturbed.
+void ClearFlightRecorder();
+
+}  // namespace missl::obs
+
+#endif  // MISSL_OBS_FLIGHT_RECORDER_H_

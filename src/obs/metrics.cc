@@ -67,6 +67,40 @@ void Histogram::Reset() {
   sum_.store(0, std::memory_order_relaxed);
 }
 
+std::string Histogram::ToText() const {
+  std::ostringstream ss;
+  ss << "count=" << count() << " sum=" << sum() << " mean=" << mean()
+     << " p50<=" << ApproxPercentile(0.5) << " p99<=" << ApproxPercentile(0.99)
+     << " buckets=";
+  bool first = true;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    int64_t n = bucket(i);
+    if (n == 0) continue;
+    if (!first) ss << ",";
+    first = false;
+    ss << BucketUpperBound(i) << ":" << n;
+  }
+  if (first) ss << "-";
+  return ss.str();
+}
+
+std::string Histogram::ToJson() const {
+  std::ostringstream ss;
+  ss << "{\"count\":" << count() << ",\"sum\":" << sum()
+     << ",\"mean\":" << JsonNumber(mean()) << ",\"p50\":" << ApproxPercentile(0.5)
+     << ",\"p99\":" << ApproxPercentile(0.99) << ",\"buckets\":[";
+  bool first = true;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    int64_t n = bucket(i);
+    if (n == 0) continue;
+    if (!first) ss << ",";
+    first = false;
+    ss << "{\"le\":" << BucketUpperBound(i) << ",\"n\":" << n << "}";
+  }
+  ss << "]}";
+  return ss.str();
+}
+
 MetricsRegistry& MetricsRegistry::Global() {
   // Leaked so instrument references handed out to worker threads stay valid
   // through static destruction (still reachable, so LSan stays quiet).
@@ -105,9 +139,7 @@ std::string MetricsRegistry::ToText() const {
     ss << name << " " << g->value() << "\n";
   }
   for (const auto& [name, h] : histograms_) {
-    ss << name << " count=" << h->count() << " sum=" << h->sum()
-       << " mean=" << h->mean() << " p50<=" << h->ApproxPercentile(0.5)
-       << " p99<=" << h->ApproxPercentile(0.99) << "\n";
+    ss << name << " " << h->ToText() << "\n";
   }
   MemoryStats m = CurrentMemoryStats();
   ss << "memory.live_bytes " << m.live_bytes << "\n";
@@ -139,20 +171,7 @@ std::string MetricsRegistry::ToJson() const {
   for (const auto& [name, h] : histograms_) {
     if (!first) ss << ",";
     first = false;
-    ss << "\"" << JsonEscape(name) << "\":{\"count\":" << h->count()
-       << ",\"sum\":" << h->sum() << ",\"mean\":" << JsonNumber(h->mean())
-       << ",\"p50\":" << h->ApproxPercentile(0.5)
-       << ",\"p99\":" << h->ApproxPercentile(0.99) << ",\"buckets\":[";
-    bool bfirst = true;
-    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
-      int64_t n = h->bucket(i);
-      if (n == 0) continue;
-      if (!bfirst) ss << ",";
-      bfirst = false;
-      ss << "{\"le\":" << Histogram::BucketUpperBound(i) << ",\"n\":" << n
-         << "}";
-    }
-    ss << "]}";
+    ss << "\"" << JsonEscape(name) << "\":" << h->ToJson();
   }
   MemoryStats m = CurrentMemoryStats();
   ss << "},\"memory\":{\"live_bytes\":" << m.live_bytes
@@ -160,6 +179,35 @@ std::string MetricsRegistry::ToJson() const {
      << ",\"live_tensors\":" << m.live_tensors
      << ",\"live_autograd_nodes\":" << m.live_autograd_nodes << "}}";
   return ss.str();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+    for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+    for (const auto& [name, h] : histograms_) {
+      HistogramSnapshot& hs = snap.histograms[name];
+      hs.sum = h->sum();
+      // Derive count from the bucket reads instead of loading count_: a
+      // racing Observe bumps its bucket before count_, so an independently
+      // loaded count can be smaller than the bucket total — and a scraper
+      // cross-checking le="+Inf" against _count would see a torn histogram.
+      // The bucket sum is self-consistent by construction and monotone
+      // across scrapes.
+      for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+        hs.buckets[i] = h->bucket(i);
+        hs.count += hs.buckets[i];
+      }
+    }
+  }
+  MemoryStats m = CurrentMemoryStats();
+  snap.gauges["memory.live_bytes"] = m.live_bytes;
+  snap.gauges["memory.peak_bytes"] = m.peak_bytes;
+  snap.gauges["memory.live_tensors"] = m.live_tensors;
+  snap.gauges["memory.live_autograd_nodes"] = m.live_autograd_nodes;
+  return snap;
 }
 
 void MetricsRegistry::ResetAll() {

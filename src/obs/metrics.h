@@ -82,10 +82,41 @@ class Histogram {
   int64_t ApproxPercentile(double p) const;
   void Reset();
 
+  /// One-line human form with the full bucket structure spelled out
+  /// ("count=N sum=S mean=M p50<=X p99<=Y buckets=le:n,le:n,..."), so
+  /// external tools can compute their own percentiles instead of trusting
+  /// the factor-of-two ApproxPercentile. Only non-empty buckets appear.
+  std::string ToText() const;
+  /// JSON object {"count":..,"sum":..,"mean":..,"p50":..,"p99":..,
+  /// "buckets":[{"le":bound,"n":count},...]} with non-empty buckets only.
+  std::string ToJson() const;
+
  private:
   std::atomic<int64_t> buckets_[kNumBuckets]{};
   std::atomic<int64_t> count_{0};
   std::atomic<int64_t> sum_{0};
+};
+
+/// Plain-data copy of one histogram, taken with relaxed loads. `count` is
+/// the sum of the bucket reads (not an independent load of the live
+/// counter), so count and buckets always agree — the Prometheus invariant
+/// le="+Inf" == _count holds even mid-update. `sum` is read separately and
+/// may be off by in-flight observations; scrapers must not cross-check it
+/// against count.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t buckets[Histogram::kNumBuckets] = {};
+};
+
+/// Point-in-time copy of every registered instrument plus the always-on
+/// memory gauges (as "memory.*" gauges). The exposition layer
+/// (obs/exposition.h) renders and diffs these without holding the registry
+/// lock.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
 };
 
 /// Name -> instrument map. Get* registers on first use and returns a
@@ -100,11 +131,17 @@ class MetricsRegistry {
   Histogram& GetHistogram(const std::string& name);
 
   /// One "name value" line per instrument, sorted by name, plus the
-  /// always-on memory gauges (obs/memory.h).
+  /// always-on memory gauges (obs/memory.h). Histogram lines carry the
+  /// explicit bucket structure (Histogram::ToText).
   std::string ToText() const;
   /// JSON document: {"counters":{...},"gauges":{...},"histograms":{...},
   /// "memory":{...}}.
   std::string ToJson() const;
+  /// Copies every instrument's current value (relaxed loads under the
+  /// registry lock) into a plain-data snapshot, including the memory gauges.
+  /// Safe to call at any time from any thread, including while other threads
+  /// update instruments; see obs/exposition.h for rendering and deltas.
+  MetricsSnapshot Snapshot() const;
   /// Zeroes every registered counter/gauge/histogram (names stay
   /// registered). Does not touch the memory gauges.
   void ResetAll();

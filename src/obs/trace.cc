@@ -101,6 +101,9 @@ int64_t NowNanos() {
 
 void EmitCompleteSpan(std::string name, const char* cat, int64_t start_ns,
                       int64_t dur_ns, std::string args_json) {
+  if (FlightRecorderEnabled()) {
+    FlightRecord(InternedName(name), cat, start_ns, dur_ns);
+  }
   if (!TracingEnabled()) return;
   ThreadBuffer& buf = LocalBuffer();
   std::lock_guard<std::mutex> l(buf.mu);

@@ -22,6 +22,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "utils/status.h"
 
 namespace missl::obs {
@@ -51,19 +52,22 @@ std::string TraceToJson();
 /// spans (and for the metric timers in obs/op_stats.h).
 int64_t NowNanos();
 
-/// Appends a complete ("ph":"X") event for the calling thread. `args_json`,
-/// when non-empty, must be a complete JSON object (e.g. "{\"epoch\":3}").
-/// No-op unless tracing is enabled.
+/// Appends a complete ("ph":"X") event for the calling thread when tracing
+/// is enabled, and mirrors it into the flight recorder's ring
+/// (obs/flight_recorder.h, name interned, args dropped) when the recorder
+/// is enabled. No-op when both are off. `args_json`, when non-empty, must
+/// be a complete JSON object (e.g. "{\"epoch\":3}").
 void EmitCompleteSpan(std::string name, const char* cat, int64_t start_ns,
                       int64_t dur_ns, std::string args_json = std::string());
 
-/// RAII span covering its C++ scope. Constructing one while tracing is
-/// disabled records the disabled state and costs nothing at destruction.
+/// RAII span covering its C++ scope. Active when either tracing or the
+/// flight recorder is on; constructing one while both are disabled records
+/// the disabled state and costs nothing at destruction.
 class TraceSpan {
  public:
   explicit TraceSpan(std::string name, const char* cat = "missl",
                      std::string args_json = std::string())
-      : active_(TracingEnabled()) {
+      : active_(TracingEnabled() || FlightRecorderEnabled()) {
     if (active_) {
       name_ = std::move(name);
       cat_ = cat;

@@ -6,12 +6,15 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstring>
+#include <limits>
+#include <map>
 #include <thread>
 #include <unordered_map>
 
@@ -390,6 +393,234 @@ Status RunLoadGen(const LoadGenConfig& config, LoadGenResult* out) {
                           1000;
   out->max_in_flight = in_flight.peak.load(std::memory_order_relaxed);
   return Status::OK();
+}
+
+Status HttpGet(const std::string& host, int port, const std::string& path,
+               HttpResponse* out, int64_t timeout_ms) {
+  MISSL_CHECK(out != nullptr);
+  std::string err;
+  int fd = ConnectTo(host, port, &err);
+  if (fd < 0) return Status::IOError(err);
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  std::string req = "GET " + path + " HTTP/1.0\r\nHost: " + host +
+                    "\r\nConnection: close\r\n\r\n";
+  size_t off = 0;
+  while (off < req.size()) {
+    ssize_t w = ::send(fd, req.data() + off, req.size() - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<size_t>(w);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    ::close(fd);
+    return Status::IOError(std::string("send: ") + std::strerror(errno));
+  }
+  std::string raw;
+  char buf[65536];
+  for (;;) {
+    ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+    if (r > 0) {
+      raw.append(buf, static_cast<size_t>(r));
+      continue;
+    }
+    if (r == 0) break;
+    if (errno == EINTR) continue;
+    ::close(fd);
+    return Status::IOError(std::string("recv: ") + std::strerror(errno));
+  }
+  ::close(fd);
+  // Status line: "HTTP/1.x <code> <reason>".
+  if (raw.rfind("HTTP/1.", 0) != 0) {
+    return Status::IOError("malformed HTTP status line");
+  }
+  size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > raw.size()) {
+    return Status::IOError("malformed HTTP status line");
+  }
+  int code = 0;
+  for (size_t i = sp + 1; i < sp + 4 && i < raw.size(); ++i) {
+    if (raw[i] < '0' || raw[i] > '9') {
+      return Status::IOError("malformed HTTP status code");
+    }
+    code = code * 10 + (raw[i] - '0');
+  }
+  size_t body_at = raw.find("\r\n\r\n");
+  size_t skip = 4;
+  if (body_at == std::string::npos) {
+    body_at = raw.find("\n\n");
+    skip = 2;
+  }
+  if (body_at == std::string::npos) {
+    return Status::IOError("HTTP response missing header terminator");
+  }
+  out->code = code;
+  out->body = raw.substr(body_at + skip);
+  return Status::OK();
+}
+
+namespace {
+
+// Strips a trailing "_bucket"/"_sum"/"_count" suffix; empty when absent.
+std::string StripSuffix(const std::string& name, const char* suffix) {
+  size_t n = std::strlen(suffix);
+  if (name.size() <= n ||
+      name.compare(name.size() - n, n, suffix) != 0) {
+    return std::string();
+  }
+  return name.substr(0, name.size() - n);
+}
+
+}  // namespace
+
+bool ParsePrometheusText(const std::string& text,
+                         std::map<std::string, double>* scalars,
+                         std::map<std::string, PromHistogram>* histograms) {
+  std::map<std::string, std::string> types;  // family -> counter|gauge|histogram
+  std::map<std::string, PromHistogram> hists;
+  std::map<std::string, double> vals;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // The exporter only emits "# TYPE <name> <type>" comments.
+      if (line.rfind("# TYPE ", 0) != 0) return false;
+      std::string rest = line.substr(7);
+      size_t sp = rest.find(' ');
+      if (sp == std::string::npos) return false;
+      std::string name = rest.substr(0, sp);
+      std::string type = rest.substr(sp + 1);
+      if (type != "counter" && type != "gauge" && type != "histogram") {
+        return false;
+      }
+      if (types.count(name) != 0) return false;  // duplicate family
+      types[name] = type;
+      continue;
+    }
+    // Sample line: name[{labels}] SP value
+    size_t brace = line.find('{');
+    size_t name_end = std::min(brace, line.find(' '));
+    if (name_end == 0 || name_end == std::string::npos) return false;
+    std::string name = line.substr(0, name_end);
+    std::string le;
+    size_t value_at;
+    if (brace != std::string::npos && brace == name_end) {
+      size_t close = line.find('}', brace);
+      if (close == std::string::npos || close + 2 > line.size() ||
+          line[close + 1] != ' ') {
+        return false;
+      }
+      std::string labels = line.substr(brace + 1, close - brace - 1);
+      if (labels.rfind("le=\"", 0) != 0 || labels.size() < 5 ||
+          labels.back() != '"') {
+        return false;  // the exporter only emits the le label
+      }
+      le = labels.substr(4, labels.size() - 5);
+      value_at = close + 2;
+    } else {
+      value_at = name_end + 1;
+    }
+    if (value_at >= line.size()) return false;
+    char* end = nullptr;
+    std::string value_str = line.substr(value_at);
+    double value = std::strtod(value_str.c_str(), &end);
+    if (end == value_str.c_str() || *end != '\0') return false;
+
+    std::string base;
+    if (!le.empty()) {
+      base = StripSuffix(name, "_bucket");
+      if (base.empty() || types.count(base) == 0 ||
+          types[base] != "histogram") {
+        return false;
+      }
+      double bound;
+      if (le == "+Inf") {
+        bound = std::numeric_limits<double>::infinity();
+      } else {
+        char* lend = nullptr;
+        bound = std::strtod(le.c_str(), &lend);
+        if (lend == le.c_str() || *lend != '\0') return false;
+      }
+      PromHistogram& h = hists[base];
+      // Cumulative-monotone in exposition order, strictly increasing bounds.
+      if (!h.buckets.empty() &&
+          (bound <= h.buckets.back().first ||
+           static_cast<int64_t>(value) < h.buckets.back().second)) {
+        return false;
+      }
+      h.buckets.emplace_back(bound, static_cast<int64_t>(value));
+      continue;
+    }
+    if (std::string b = StripSuffix(name, "_sum");
+        !b.empty() && types.count(b) != 0 && types[b] == "histogram") {
+      hists[b].sum = static_cast<int64_t>(value);
+      continue;
+    }
+    if (std::string b = StripSuffix(name, "_count");
+        !b.empty() && types.count(b) != 0 && types[b] == "histogram") {
+      hists[b].count = static_cast<int64_t>(value);
+      continue;
+    }
+    if (types.count(name) == 0 || types[name] == "histogram") {
+      return false;  // scalar sample without a matching TYPE line
+    }
+    if (vals.count(name) != 0) return false;  // duplicate sample
+    vals[name] = value;
+  }
+  // Histogram consistency: a +Inf bucket exists and equals _count.
+  for (const auto& [name, h] : hists) {
+    if (h.buckets.empty() || !std::isinf(h.buckets.back().first) ||
+        h.buckets.back().second != h.count) {
+      return false;
+    }
+  }
+  if (scalars != nullptr) *scalars = std::move(vals);
+  if (histograms != nullptr) *histograms = std::move(hists);
+  return true;
+}
+
+int64_t PromHistogramPercentile(const PromHistogram& h, double p) {
+  if (h.count <= 0 || h.buckets.empty()) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  int64_t target =
+      static_cast<int64_t>(p * static_cast<double>(h.count - 1)) + 1;
+  double finite_max = 0;
+  for (const auto& [le, cum] : h.buckets) {
+    if (!std::isinf(le)) finite_max = le;
+    if (cum >= target) {
+      return static_cast<int64_t>(std::isinf(le) ? finite_max : le);
+    }
+  }
+  return static_cast<int64_t>(finite_max);
+}
+
+PromHistogram PromHistogramDelta(const PromHistogram& cur,
+                                 const PromHistogram& base) {
+  PromHistogram d;
+  if (cur.buckets.size() != base.buckets.size()) return d;
+  for (size_t i = 0; i < cur.buckets.size(); ++i) {
+    if (cur.buckets[i].first != base.buckets[i].first &&
+        !(std::isinf(cur.buckets[i].first) &&
+          std::isinf(base.buckets[i].first))) {
+      return d;
+    }
+  }
+  d.count = cur.count - base.count;
+  d.sum = cur.sum - base.sum;
+  d.buckets.reserve(cur.buckets.size());
+  for (size_t i = 0; i < cur.buckets.size(); ++i) {
+    d.buckets.emplace_back(cur.buckets[i].first,
+                           cur.buckets[i].second - base.buckets[i].second);
+  }
+  return d;
 }
 
 }  // namespace missl::serve

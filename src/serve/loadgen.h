@@ -21,7 +21,9 @@
 #define MISSL_SERVE_LOADGEN_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "serve/protocol.h"
@@ -82,6 +84,52 @@ int64_t PercentileNearestRank(std::vector<int64_t> samples, double p);
 /// recv_timeout_ms; protocol-level error answers do NOT fail the run (they
 /// are counted in out->errors).
 Status RunLoadGen(const LoadGenConfig& config, LoadGenResult* out);
+
+/// One response from HttpGet against the server's admin plane.
+struct HttpResponse {
+  int code = 0;       ///< status-line code (200, 404, ...)
+  std::string body;   ///< everything after the header terminator
+};
+
+/// Minimal HTTP/1.0 GET client for the admin endpoint (serve/tcp_server.h):
+/// connects, sends one request, reads to EOF, splits status code and body.
+/// Returns non-OK on connect/socket failure, a stall past `timeout_ms`, or
+/// an unparseable status line; 4xx/5xx responses come back OK with the code
+/// set — the caller decides what a "bad" status means.
+Status HttpGet(const std::string& host, int port, const std::string& path,
+               HttpResponse* out, int64_t timeout_ms = 10000);
+
+/// One Prometheus histogram family parsed back from exposition text:
+/// cumulative (le, count) pairs in exposition order, +Inf last.
+struct PromHistogram {
+  std::vector<std::pair<double, int64_t>> buckets;
+  int64_t count = 0;
+  int64_t sum = 0;
+};
+
+/// Parses the subset of the Prometheus text format that obs::PrometheusText
+/// emits and validates it while doing so: every sample must be preceded by
+/// its "# TYPE" line, histogram buckets must be cumulative-monotone with a
+/// final le="+Inf" equal to _count. Counters and gauges land in *scalars,
+/// histograms in *histograms (either may be null to skip). Returns false on
+/// the first malformed or inconsistent line — the scrape-smoke failure
+/// signal for bench_m1_serve and CI.
+bool ParsePrometheusText(const std::string& text,
+                         std::map<std::string, double>* scalars,
+                         std::map<std::string, PromHistogram>* histograms);
+
+/// Nearest-rank percentile over a parsed histogram's cumulative buckets:
+/// the `le` bound of the bucket containing the p-quantile (p in [0, 1]),
+/// 0 when empty. When the quantile lands in the +Inf bucket the largest
+/// finite bound is returned.
+int64_t PromHistogramPercentile(const PromHistogram& h, double p);
+
+/// Element-wise delta `cur - base` of two scrapes of the same histogram
+/// family (bucket lists must have identical bounds; returns an empty
+/// histogram on mismatch). Turns two /metrics scrapes into a per-window
+/// distribution.
+PromHistogram PromHistogramDelta(const PromHistogram& cur,
+                                 const PromHistogram& base);
 
 }  // namespace missl::serve
 

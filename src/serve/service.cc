@@ -23,6 +23,13 @@ struct ServeMetrics {
   obs::Histogram& batch_size;
   obs::Histogram& queue_wait_ns;
   obs::Histogram& request_ns;
+  // Per-request stage breakdown (docs/OBSERVABILITY.md): batch = wait for
+  // the coalescing window, score = batch build + model forward, rank =
+  // per-row top-K selection. The parse/queue/write stages live in the TCP
+  // front-end (serve/tcp_server.cc).
+  obs::Histogram& stage_batch_ns;
+  obs::Histogram& stage_score_ns;
+  obs::Histogram& stage_rank_ns;
 
   static ServeMetrics& Get() {
     auto& reg = obs::MetricsRegistry::Global();
@@ -30,7 +37,10 @@ struct ServeMetrics {
                           reg.GetCounter("serve.batches"),
                           reg.GetHistogram("serve.batch_size"),
                           reg.GetHistogram("serve.queue_wait_ns"),
-                          reg.GetHistogram("serve.request_ns")};
+                          reg.GetHistogram("serve.request_ns"),
+                          reg.GetHistogram("serve.stage.batch_ns"),
+                          reg.GetHistogram("serve.stage.score_ns"),
+                          reg.GetHistogram("serve.stage.rank_ns")};
     return m;
   }
 };
@@ -287,6 +297,7 @@ void RecoService::ProcessBatch(std::vector<Pending>* work) {
   int64_t start_ns = obs::NowNanos();
   for (const Pending& p : *work) {
     metrics.queue_wait_ns.Observe(start_ns - p.enqueue_ns);
+    metrics.stage_batch_ns.Observe(start_ns - p.enqueue_ns);
   }
   obs::TraceSpan span(
       "serve.batch", "serve",
@@ -302,7 +313,9 @@ void RecoService::ProcessBatch(std::vector<Pending>* work) {
   data::Batch batch =
       BuildQueryBatch(queries, config_.max_len, num_behaviors_);
   Tensor scores = model_->ScoreAllItems(batch, num_items_, catalog_);
+  int64_t scored_ns = obs::NowNanos();
 
+  std::vector<TopKResult> results(work->size());
   std::vector<int32_t> sorted_excl;
   for (size_t row = 0; row < work->size(); ++row) {
     const Pending& p = (*work)[row];
@@ -313,10 +326,18 @@ void RecoService::ProcessBatch(std::vector<Pending>* work) {
       std::sort(sorted_excl.begin(), sorted_excl.end());
       excl = &sorted_excl;
     }
-    TopKResult result;
-    core::TopKRow(rs, num_items_, excl, p.query->k, &result.items,
-                  &result.scores);
-    (*work)[row].promise.set_value(std::move(result));
+    core::TopKRow(rs, num_items_, excl, p.query->k, &results[row].items,
+                  &results[row].scores);
+  }
+  int64_t ranked_ns = obs::NowNanos();
+  // Observe the stage samples before resolving any future, so a client that
+  // returns from TopK (and immediately scrapes /metrics) sees its own batch.
+  for (size_t row = 0; row < work->size(); ++row) {
+    metrics.stage_score_ns.Observe(scored_ns - start_ns);
+    metrics.stage_rank_ns.Observe(ranked_ns - scored_ns);
+  }
+  for (size_t row = 0; row < work->size(); ++row) {
+    (*work)[row].promise.set_value(std::move(results[row]));
   }
 }
 

@@ -87,6 +87,11 @@ class RecoService {
 
   const core::SeqRecModel& model() const { return *model_; }
   int32_t num_items() const { return num_items_; }
+  int32_t num_behaviors() const { return num_behaviors_; }
+  /// Embedding dimension of the precomputed catalog matrix ([d, num_items]).
+  int64_t catalog_dim() const {
+    return catalog_.shape().empty() ? 0 : catalog_.shape()[0];
+  }
   const ServeConfig& config() const { return config_; }
   /// Model forwards run so far (each serves one coalesced batch).
   int64_t batches_run() const;

@@ -10,9 +10,16 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <sstream>
 #include <utility>
 
+#include "obs/exposition.h"
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tensor/alloc.h"
 #include "utils/check.h"
 
 namespace missl::serve {
@@ -43,8 +50,71 @@ struct TcpMetrics {
   }
 };
 
+// Front-end stages of the per-request breakdown; the batcher-side stages
+// (batch/score/rank) live in serve/service.cc.
+struct StageMetrics {
+  obs::Histogram& parse_ns;
+  obs::Histogram& queue_ns;
+  obs::Histogram& write_ns;
+
+  static StageMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static StageMetrics m{reg.GetHistogram("serve.stage.parse_ns"),
+                          reg.GetHistogram("serve.stage.queue_ns"),
+                          reg.GetHistogram("serve.stage.write_ns")};
+    return m;
+  }
+};
+
+struct AdminMetrics {
+  obs::Counter& requests;
+  obs::Counter& bad_requests;
+
+  static AdminMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static AdminMetrics m{reg.GetCounter("serve.admin.requests"),
+                          reg.GetCounter("serve.admin.bad_requests")};
+    return m;
+  }
+};
+
 // Compact a partially-sent write buffer once this many bytes are dead prefix.
 constexpr size_t kCompactThreshold = 64 * 1024;
+
+// Admin plane bounds: a request head larger than this is rejected, and at
+// most this many admin connections are served at once (the query plane's
+// max_connections does not apply — a saturated query plane must still be
+// scrapeable, but a scraper cannot balloon the server either).
+constexpr size_t kMaxAdminRequestBytes = 8 * 1024;
+constexpr size_t kMaxAdminConns = 16;
+
+// Splits "GET /path HTTP/1.0" into method and target; false when the line
+// is not three space-separated tokens with an HTTP/1.x version.
+bool ParseHttpRequestLine(const std::string& head, std::string* method,
+                          std::string* target) {
+  size_t eol = head.find_first_of("\r\n");
+  std::string line = head.substr(0, eol);
+  size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos || sp1 == 0) return false;
+  size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos || sp2 == sp1 + 1) return false;
+  std::string version = line.substr(sp2 + 1);
+  if (version.rfind("HTTP/1.", 0) != 0) return false;
+  *method = line.substr(0, sp1);
+  *target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  return true;
+}
+
+const char* HttpReason(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
 
 }  // namespace
 
@@ -58,6 +128,12 @@ std::unique_ptr<TcpServer> TcpServer::Start(RecoService* service,
   if (config.port < 0 || config.port > 65535) {
     *status = Status::InvalidArgument("TcpServerConfig.port out of range: " +
                                       std::to_string(config.port));
+    return nullptr;
+  }
+  if (config.admin_port < -1 || config.admin_port > 65535) {
+    *status = Status::InvalidArgument(
+        "TcpServerConfig.admin_port out of range: " +
+        std::to_string(config.admin_port));
     return nullptr;
   }
   if (config.max_connections < 1) {
@@ -109,6 +185,39 @@ std::unique_ptr<TcpServer> TcpServer::Start(RecoService* service,
   }
   srv->port_ = static_cast<int>(ntohs(addr.sin_port));
 
+  if (config.admin_port >= 0) {
+    srv->admin_listen_fd_ =
+        ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (srv->admin_listen_fd_ < 0) {
+      *status =
+          Status::IOError(std::string("socket(admin): ") +
+                          std::strerror(errno));
+      return nullptr;
+    }
+    ::setsockopt(srv->admin_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in aaddr{};
+    aaddr.sin_family = AF_INET;
+    aaddr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    aaddr.sin_port = htons(static_cast<uint16_t>(config.admin_port));
+    if (::bind(srv->admin_listen_fd_, reinterpret_cast<sockaddr*>(&aaddr),
+               sizeof(aaddr)) != 0 ||
+        ::listen(srv->admin_listen_fd_, config.backlog) != 0) {
+      *status = Status::IOError(std::string("bind/listen admin 127.0.0.1:") +
+                                std::to_string(config.admin_port) + ": " +
+                                std::strerror(errno));
+      return nullptr;
+    }
+    socklen_t alen = sizeof(aaddr);
+    if (::getsockname(srv->admin_listen_fd_,
+                      reinterpret_cast<sockaddr*>(&aaddr), &alen) != 0) {
+      *status = Status::IOError(std::string("getsockname(admin): ") +
+                                std::strerror(errno));
+      return nullptr;
+    }
+    srv->admin_port_ = static_cast<int>(ntohs(aaddr.sin_port));
+  }
+
   srv->epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   srv->wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
   if (srv->epoll_fd_ < 0 || srv->wake_fd_ < 0) {
@@ -131,7 +240,18 @@ std::unique_ptr<TcpServer> TcpServer::Start(RecoService* service,
                               std::strerror(errno));
     return nullptr;
   }
+  if (srv->admin_listen_fd_ >= 0) {
+    ev.events = EPOLLIN;
+    ev.data.fd = srv->admin_listen_fd_;
+    if (::epoll_ctl(srv->epoll_fd_, EPOLL_CTL_ADD, srv->admin_listen_fd_,
+                    &ev) != 0) {
+      *status = Status::IOError(std::string("epoll_ctl(admin): ") +
+                                std::strerror(errno));
+      return nullptr;
+    }
+  }
 
+  srv->start_ns_ = obs::NowNanos();
   srv->epoll_thread_ = std::thread([s = srv.get()] { s->EpollLoop(); });
   srv->workers_.reserve(static_cast<size_t>(config.num_workers));
   for (int i = 0; i < config.num_workers; ++i) {
@@ -144,6 +264,7 @@ std::unique_ptr<TcpServer> TcpServer::Start(RecoService* service,
 TcpServer::~TcpServer() {
   Shutdown();
   if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (admin_listen_fd_ >= 0) ::close(admin_listen_fd_);
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
   if (wake_fd_ >= 0) ::close(wake_fd_);
 }
@@ -158,17 +279,43 @@ void TcpServer::Shutdown() {
   BeginShutdown();
   {
     std::unique_lock<std::mutex> l(mu_);
-    drained_cv_.wait(l, [&] { return conns_.empty(); });
+    drained_cv_.wait(l, [&] { return query_conns_ == 0; });
   }
   stop_.store(true, std::memory_order_release);
   WakeEpoll();
   epoll_thread_.join();
-  // No accept loop remains; close the listener so post-shutdown connects are
-  // refused by the kernel instead of parking in the backlog forever.
+  // No accept loop remains; close the listeners so post-shutdown connects
+  // are refused by the kernel instead of parking in the backlog forever.
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  if (admin_listen_fd_ >= 0) {
+    ::close(admin_listen_fd_);
+    admin_listen_fd_ = -1;
+  }
+  // Admin connections are exempt from the drain; with the epoll thread gone,
+  // flush whatever response bytes fit and close them.
+  std::vector<std::shared_ptr<Conn>> leftover;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    for (const auto& [fd, c] : conns_) leftover.push_back(c);
+    conns_.clear();
+  }
+  for (const auto& conn : leftover) {
+    std::lock_guard<std::mutex> l(conn->mu);
+    if (conn->closed) continue;
+    if (conn->woff < conn->wbuf.size()) {
+      ssize_t ignored =
+          ::send(conn->fd, conn->wbuf.data() + conn->woff,
+                 conn->wbuf.size() - conn->woff, MSG_NOSIGNAL | MSG_DONTWAIT);
+      (void)ignored;
+    }
+    conn->closed = true;
+    ::close(conn->fd);
+    TcpMetrics::Get().closed.Add(1);
+  }
+  TcpMetrics::Get().active.Set(0);
   {
     std::lock_guard<std::mutex> l(jobs_mu_);
     jobs_stop_ = true;
@@ -223,6 +370,10 @@ void TcpServer::EpollLoop() {
         AcceptPending();
         continue;
       }
+      if (fd == admin_listen_fd_) {
+        AcceptAdminPending();
+        continue;
+      }
       std::shared_ptr<Conn> conn;
       {
         std::lock_guard<std::mutex> l(mu_);
@@ -249,13 +400,17 @@ void TcpServer::EpollLoop() {
     for (const auto& conn : to_flush) FlushConn(conn);
 
     if (draining_.load(std::memory_order_acquire)) {
-      // Drain pass: stop reading everywhere, forget partial lines, and close
-      // every connection that has nothing left in flight or buffered.
+      // Drain pass: stop reading query connections, forget partial lines,
+      // and close each one once nothing is left in flight or buffered.
+      // Admin connections keep being served — a draining server must stay
+      // observable.
       std::vector<std::shared_ptr<Conn>> snapshot;
       {
         std::lock_guard<std::mutex> l(mu_);
         snapshot.reserve(conns_.size());
-        for (const auto& [cfd, c] : conns_) snapshot.push_back(c);
+        for (const auto& [cfd, c] : conns_) {
+          if (!c->admin) snapshot.push_back(c);
+        }
       }
       for (const auto& conn : snapshot) {
         SetReading(conn, false);
@@ -264,7 +419,7 @@ void TcpServer::EpollLoop() {
         FlushConn(conn);
       }
       std::lock_guard<std::mutex> l(mu_);
-      if (conns_.empty()) drained_cv_.notify_all();
+      if (query_conns_ == 0) drained_cv_.notify_all();
     }
   }
 }
@@ -306,10 +461,54 @@ void TcpServer::AcceptPending() {
       std::lock_guard<std::mutex> l(mu_);
       conns_.emplace(fd, std::move(conn));
       ++accepted_;
+      ++query_conns_;
       now_active = conns_.size();
     }
     TcpMetrics::Get().accepted.Add(1);
     TcpMetrics::Get().active.Set(static_cast<int64_t>(now_active));
+  }
+}
+
+void TcpServer::AcceptAdminPending() {
+  for (;;) {
+    int fd = ::accept4(admin_listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (no more pending) or transient accept failure
+    }
+    // Admin connects are accepted even while draining — observability during
+    // a drain is the point — but are capped independently of the query plane.
+    size_t admin_active = 0;
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      admin_active = conns_.size() - static_cast<size_t>(query_conns_);
+    }
+    if (admin_active >= kMaxAdminConns) {
+      static const char kBusy[] =
+          "HTTP/1.0 503 Service Unavailable\r\n"
+          "Content-Type: text/plain\r\nContent-Length: 5\r\n"
+          "Connection: close\r\n\r\nbusy\n";
+      ssize_t ignored = ::send(fd, kBusy, sizeof(kBusy) - 1, MSG_NOSIGNAL);
+      (void)ignored;
+      ::close(fd);
+      AdminMetrics::Get().bad_requests.Add(1);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    conn->admin = true;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    std::lock_guard<std::mutex> l(mu_);
+    conns_.emplace(fd, std::move(conn));
   }
 }
 
@@ -335,8 +534,17 @@ void TcpServer::HandleReadable(const std::shared_ptr<Conn>& conn) {
     ssize_t r = ::recv(conn->fd, buf, sizeof(buf), 0);
     if (r > 0) {
       conn->rbuf.append(buf, static_cast<size_t>(r));
-      TcpMetrics::Get().bytes_in.Add(r);
-      ProcessReadBuffer(conn);
+      if (conn->admin) {
+        ProcessAdminBuffer(conn);
+      } else {
+        TcpMetrics::Get().bytes_in.Add(r);
+        ProcessReadBuffer(conn);
+      }
+      {
+        // An admin response can close the connection inline; stop reading.
+        std::lock_guard<std::mutex> l(conn->mu);
+        if (conn->closed) return;
+      }
       continue;
     }
     if (r == 0) {
@@ -390,8 +598,11 @@ void TcpServer::HandleLine(const std::shared_ptr<Conn>& conn,
                            const std::string& line) {
   if (line.empty() || line[0] == '#') return;  // protocol: caller-skippable
   TcpMetrics::Get().lines.Add(1);
+  int64_t parse_start_ns = obs::NowNanos();
   ParsedQuery parsed;
   Status s = ParseQueryLine(line, &parsed);
+  int64_t parsed_ns = obs::NowNanos();
+  StageMetrics::Get().parse_ns.Observe(parsed_ns - parse_start_ns);
   if (!s.ok()) {
     TcpMetrics::Get().malformed.Add(1);
     EnqueueResponse(conn, ErrorToJson(-1, s.message()));
@@ -403,9 +614,155 @@ void TcpServer::HandleLine(const std::shared_ptr<Conn>& conn,
   }
   {
     std::lock_guard<std::mutex> l(jobs_mu_);
-    jobs_.push_back(Job{conn, std::move(parsed)});
+    jobs_.push_back(Job{conn, std::move(parsed), parsed_ns});
   }
   jobs_cv_.notify_one();
+}
+
+void TcpServer::ProcessAdminBuffer(const std::shared_ptr<Conn>& conn) {
+  // One HTTP/1.0 request per connection: wait for the full request head,
+  // answer, flush, close. Anything after the head (a body, a pipelined
+  // second request) is ignored.
+  size_t head_end = conn->rbuf.find("\r\n\r\n");
+  size_t skip = 4;
+  if (head_end == std::string::npos) {
+    head_end = conn->rbuf.find("\n\n");
+    skip = 2;
+  }
+  if (head_end == std::string::npos) {
+    if (conn->rbuf.size() > kMaxAdminRequestBytes) {
+      AdminMetrics::Get().bad_requests.Add(1);
+      SendHttpResponse(conn, 400, "text/plain", "request head too large\n");
+    }
+    return;
+  }
+  (void)skip;
+  std::string head = conn->rbuf.substr(0, head_end);
+  conn->rbuf.clear();
+  SetReading(conn, false);  // one-shot: nothing further will be parsed
+  std::string method, target;
+  if (!ParseHttpRequestLine(head, &method, &target)) {
+    AdminMetrics::Get().bad_requests.Add(1);
+    SendHttpResponse(conn, 400, "text/plain", "malformed request line\n");
+    return;
+  }
+  HandleAdminRequest(conn, method, target);
+}
+
+void TcpServer::HandleAdminRequest(const std::shared_ptr<Conn>& conn,
+                                   const std::string& method,
+                                   const std::string& target) {
+  AdminMetrics::Get().requests.Add(1);
+  if (method != "GET") {
+    AdminMetrics::Get().bad_requests.Add(1);
+    SendHttpResponse(conn, 405, "text/plain", "method not allowed\n");
+    return;
+  }
+  std::string path = target.substr(0, target.find('?'));
+  if (path == "/metrics") {
+    SendHttpResponse(
+        conn, 200, "text/plain; version=0.0.4",
+        obs::PrometheusText(obs::MetricsRegistry::Global().Snapshot()));
+  } else if (path == "/healthz") {
+    if (draining_.load(std::memory_order_acquire)) {
+      SendHttpResponse(conn, 503, "text/plain", "draining\n");
+    } else {
+      SendHttpResponse(conn, 200, "text/plain", "ok\n");
+    }
+  } else if (path == "/statusz") {
+    SendHttpResponse(conn, 200, "application/json", StatuszJson());
+  } else if (path == "/tracez") {
+    SendHttpResponse(conn, 200, "application/json",
+                     obs::FlightRecorderToJson());
+  } else {
+    AdminMetrics::Get().bad_requests.Add(1);
+    SendHttpResponse(conn, 404, "text/plain", "not found\n");
+  }
+}
+
+void TcpServer::SendHttpResponse(const std::shared_ptr<Conn>& conn, int code,
+                                 const char* content_type,
+                                 const std::string& body) {
+  std::string resp;
+  resp.reserve(body.size() + 128);
+  resp += "HTTP/1.0 " + std::to_string(code) + " " + HttpReason(code) + "\r\n";
+  resp += "Content-Type: ";
+  resp += content_type;
+  resp += "\r\nContent-Length: " + std::to_string(body.size()) + "\r\n";
+  resp += "Connection: close\r\n\r\n";
+  resp += body;
+  {
+    std::lock_guard<std::mutex> l(conn->mu);
+    if (conn->closed) return;
+    conn->wbuf += resp;
+    conn->bytes_enqueued += resp.size();
+    conn->close_after_flush = true;
+  }
+  FlushConn(conn);  // epoll thread: flush (and maybe close) inline
+}
+
+std::string TcpServer::StatuszJson() const {
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  alloc::AllocStats astats = alloc::GetAllocStats();
+  obs::MemoryStats mstats = obs::CurrentMemoryStats();
+  const ServeConfig& sc = service_->config();
+  int64_t active = 0, accepted = 0, refused = 0;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    active = static_cast<int64_t>(conns_.size());
+    accepted = accepted_;
+    refused = refused_;
+  }
+  std::ostringstream ss;
+  ss << "{\"build_rev\":\"" << obs::JsonEscape(obs::BuildRev()) << "\""
+     << ",\"uptime_ns\":" << (obs::NowNanos() - start_ns_)
+     << ",\"draining\":"
+     << (draining_.load(std::memory_order_acquire) ? "true" : "false")
+     << ",\"port\":" << port_ << ",\"admin_port\":" << admin_port_
+     << ",\"serve_config\":{\"max_len\":" << sc.max_len
+     << ",\"max_batch\":" << sc.max_batch
+     << ",\"max_wait_us\":" << sc.max_wait_us
+     << ",\"num_threads\":" << sc.num_threads << "}"
+     << ",\"tcp_config\":{\"max_connections\":" << config_.max_connections
+     << ",\"num_workers\":" << config_.num_workers
+     << ",\"max_line_bytes\":" << config_.max_line_bytes
+     << ",\"max_buffered_write_bytes\":" << config_.max_buffered_write_bytes
+     << "}"
+     << ",\"catalog\":{\"num_items\":" << service_->num_items()
+     << ",\"num_behaviors\":" << service_->num_behaviors()
+     << ",\"dim\":" << service_->catalog_dim() << "}"
+     << ",\"requests_served\":" << service_->requests_served()
+     << ",\"batches_run\":" << service_->batches_run()
+     << ",\"connections\":{\"active\":" << active
+     << ",\"accepted\":" << accepted << ",\"refused\":" << refused << "}"
+     << ",\"alloc\":{\"mode\":\"" << alloc::ModeName(alloc::ActiveMode())
+     << "\",\"pool_hits\":" << astats.pool_hits
+     << ",\"pool_misses\":" << astats.pool_misses
+     << ",\"system_allocs\":" << astats.system_allocs
+     << ",\"system_frees\":" << astats.system_frees
+     << ",\"cached_bytes\":" << astats.cached_bytes
+     << ",\"live_bytes\":" << astats.live_bytes << "}"
+     << ",\"memory\":{\"live_bytes\":" << mstats.live_bytes
+     << ",\"peak_bytes\":" << mstats.peak_bytes
+     << ",\"live_tensors\":" << mstats.live_tensors
+     << ",\"live_autograd_nodes\":" << mstats.live_autograd_nodes << "}"
+     << ",\"stages\":{";
+  bool first = true;
+  const std::string prefix = "serve.stage.";
+  for (const auto& [name, h] : snap.histograms) {
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (!first) ss << ",";
+    first = false;
+    ss << "\"" << obs::JsonEscape(name.substr(prefix.size()))
+       << "\":{\"count\":" << h.count << ",\"sum\":" << h.sum
+       << ",\"p50\":" << obs::SnapshotPercentile(h, 0.5)
+       << ",\"p99\":" << obs::SnapshotPercentile(h, 0.99) << "}";
+  }
+  ss << "},\"flight_recorder\":{\"enabled\":"
+     << (obs::FlightRecorderEnabled() ? "true" : "false")
+     << ",\"ring_capacity\":" << obs::FlightRingCapacity()
+     << ",\"recorded\":" << obs::FlightRecorderTotalRecorded() << "}}";
+  return ss.str();
 }
 
 void TcpServer::WorkerLoop() {
@@ -421,6 +778,7 @@ void TcpServer::WorkerLoop() {
       job = std::move(jobs_.front());
       jobs_.pop_front();
     }
+    StageMetrics::Get().queue_ns.Observe(obs::NowNanos() - job.enqueue_ns);
     TopKResult result;
     Status s = service_->TopK(job.parsed.query, &result);
     std::string line = s.ok() ? TopKToJson(job.parsed.id, result)
@@ -434,6 +792,10 @@ void TcpServer::WorkerLoop() {
       if (!job.conn->closed) {
         job.conn->wbuf += line;
         job.conn->wbuf += '\n';
+        job.conn->bytes_enqueued += line.size() + 1;
+        // serve.stage.write_ns: from answer enqueued to its last byte sent.
+        job.conn->write_marks.emplace_back(job.conn->bytes_enqueued,
+                                           obs::NowNanos());
       }
     }
     ScheduleFlush(job.conn);
@@ -447,6 +809,7 @@ void TcpServer::EnqueueResponse(const std::shared_ptr<Conn>& conn,
     if (conn->closed) return;
     conn->wbuf += line;
     conn->wbuf += '\n';
+    conn->bytes_enqueued += line.size() + 1;  // keep write marks aligned
   }
   ScheduleFlush(conn);
 }
@@ -471,6 +834,7 @@ void TcpServer::FlushConn(const std::shared_ptr<Conn>& conn) {
                          conn->wbuf.size() - conn->woff, MSG_NOSIGNAL);
       if (w > 0) {
         conn->woff += static_cast<size_t>(w);
+        conn->bytes_sent += static_cast<uint64_t>(w);
         TcpMetrics::Get().bytes_out.Add(w);
         continue;
       }
@@ -478,6 +842,16 @@ void TcpServer::FlushConn(const std::shared_ptr<Conn>& conn) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       close_now = true;  // EPIPE/ECONNRESET: peer gone
       break;
+    }
+    if (!conn->write_marks.empty() &&
+        conn->bytes_sent >= conn->write_marks.front().first) {
+      int64_t now_ns = obs::NowNanos();
+      do {
+        StageMetrics::Get().write_ns.Observe(
+            now_ns - conn->write_marks.front().second);
+        conn->write_marks.pop_front();
+      } while (!conn->write_marks.empty() &&
+               conn->bytes_sent >= conn->write_marks.front().first);
     }
     if (conn->woff == conn->wbuf.size()) {
       conn->wbuf.clear();
@@ -489,7 +863,8 @@ void TcpServer::FlushConn(const std::shared_ptr<Conn>& conn) {
     pending = conn->wbuf.size() - conn->woff;
     want_write = pending > 0 && !close_now;
     if (!close_now && pending == 0 && conn->in_flight == 0 &&
-        (conn->rd_eof || draining_.load(std::memory_order_acquire))) {
+        (conn->rd_eof || conn->close_after_flush ||
+         (!conn->admin && draining_.load(std::memory_order_acquire)))) {
       close_now = true;  // fully answered and no more input possible
     }
   }
@@ -535,6 +910,7 @@ void TcpServer::CloseConn(const std::shared_ptr<Conn>& conn) {
     conn->closed = true;
     conn->wbuf.clear();
     conn->woff = 0;
+    conn->write_marks.clear();
   }
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
   ::close(conn->fd);
@@ -543,8 +919,9 @@ void TcpServer::CloseConn(const std::shared_ptr<Conn>& conn) {
   {
     std::lock_guard<std::mutex> l(mu_);
     conns_.erase(conn->fd);
+    if (!conn->admin) --query_conns_;
     now_active = conns_.size();
-    drained = draining_.load(std::memory_order_acquire) && conns_.empty();
+    drained = draining_.load(std::memory_order_acquire) && query_conns_ == 0;
   }
   TcpMetrics::Get().closed.Add(1);
   TcpMetrics::Get().active.Set(static_cast<int64_t>(now_active));

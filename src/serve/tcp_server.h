@@ -41,6 +41,16 @@
 //   - Shutdown() drains: queries already handed to workers complete and
 //     their answers are flushed before connections close, while connects
 //     arriving after drain begins get {"id":-1,"error":"shutting down"}.
+//
+// Admin plane: a second loopback listener (TcpServerConfig::admin_port)
+// multiplexed on the same epoll loop answers HTTP/1.0 GETs — /metrics
+// (Prometheus text), /healthz (serving vs draining), /statusz (JSON status),
+// /tracez (flight-recorder Chrome trace). Admin connections are one-shot
+// (Connection: close), exempt from max_connections and from the query-plane
+// drain (scraping a draining server is the point), and are force-closed only
+// when the epoll thread exits. Rendering happens on the epoll thread; admin
+// traffic never touches the worker pool or the micro-batcher, so it cannot
+// perturb query answers.
 #ifndef MISSL_SERVE_TCP_SERVER_H_
 #define MISSL_SERVE_TCP_SERVER_H_
 
@@ -53,6 +63,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "serve/protocol.h"
@@ -65,6 +76,7 @@ namespace missl::serve {
 /// deployment would raise max_connections and num_workers.
 struct TcpServerConfig {
   int port = 0;             ///< 0 = ephemeral; TcpServer::port() reports it
+  int admin_port = 0;       ///< admin HTTP port: 0 = ephemeral, -1 = disabled
   int max_connections = 256;   ///< concurrent clients before refusals
   int num_workers = 4;         ///< threads blocking in RecoService::TopK
   int64_t max_line_bytes = 1 << 20;  ///< longest accepted request line
@@ -90,15 +102,19 @@ class TcpServer {
 
   /// Actual bound port (resolves an ephemeral config.port = 0).
   int port() const { return port_; }
+  /// Actual admin HTTP port (-1 when the admin plane is disabled).
+  int admin_port() const { return admin_port_; }
   const TcpServerConfig& config() const { return config_; }
 
-  /// Starts draining without blocking: new connects are refused, reading
-  /// stops on existing connections, queries already accepted still complete
-  /// and their answers are flushed before each connection closes.
+  /// Starts draining without blocking: new query connects are refused,
+  /// reading stops on existing query connections, queries already accepted
+  /// still complete and their answers are flushed before each connection
+  /// closes. The admin plane keeps answering (/healthz reports draining).
   void BeginShutdown();
 
-  /// BeginShutdown() + blocks until every connection has drained and all
-  /// threads are joined. Idempotent; called by the destructor.
+  /// BeginShutdown() + blocks until every query connection has drained and
+  /// all threads are joined (remaining admin connections are flushed
+  /// best-effort and closed). Idempotent; called by the destructor.
   void Shutdown();
 
   /// Connections currently open (draining ones included).
@@ -112,6 +128,7 @@ class TcpServer {
   /// and workers (response enqueue only, under `mu`).
   struct Conn {
     int fd = -1;
+    bool admin = false;        ///< accepted on the admin listener (HTTP)
     std::string rbuf;          ///< bytes read, not yet forming a full line
     bool discarding = false;   ///< over-long line: drop until next '\n'
     bool rd_eof = false;       ///< peer half-closed; still flush answers
@@ -123,11 +140,19 @@ class TcpServer {
     size_t woff = 0;           ///< bytes of wbuf already sent
     int in_flight = 0;         ///< queries handed to workers, unanswered
     bool closed = false;       ///< fd closed; workers drop late answers
+    bool close_after_flush = false;  ///< one-shot (admin): close when drained
+    // serve.stage.write_ns bookkeeping (query conns only): total bytes ever
+    // appended to / sent from wbuf, plus (enqueued-watermark, enqueue-time)
+    // marks observed when bytes_sent crosses them.
+    uint64_t bytes_enqueued = 0;
+    uint64_t bytes_sent = 0;
+    std::deque<std::pair<uint64_t, int64_t>> write_marks;
   };
 
   struct Job {
     std::shared_ptr<Conn> conn;
     ParsedQuery parsed;
+    int64_t enqueue_ns = 0;  ///< serve.stage.queue_ns start
   };
 
   TcpServer(RecoService* service, const TcpServerConfig& config);
@@ -135,12 +160,25 @@ class TcpServer {
   void EpollLoop();
   void WorkerLoop();
   void AcceptPending();
+  void AcceptAdminPending();
   /// Writes `line` + '\n' to a fresh fd best-effort and closes it.
   void RefuseConnection(int fd, const std::string& reason);
   void HandleReadable(const std::shared_ptr<Conn>& conn);
   /// Splits rbuf into complete lines; parses and dispatches each.
   void ProcessReadBuffer(const std::shared_ptr<Conn>& conn);
   void HandleLine(const std::shared_ptr<Conn>& conn, const std::string& line);
+  /// Admin-plane read path: waits for a full HTTP request head, answers it,
+  /// and schedules the connection to close once the response is flushed.
+  void ProcessAdminBuffer(const std::shared_ptr<Conn>& conn);
+  void HandleAdminRequest(const std::shared_ptr<Conn>& conn,
+                          const std::string& method, const std::string& target);
+  /// Appends a full HTTP/1.0 response to the connection's write buffer and
+  /// flushes (epoll thread only).
+  void SendHttpResponse(const std::shared_ptr<Conn>& conn, int code,
+                        const char* content_type, const std::string& body);
+  /// /statusz body: build rev, uptime, configs, catalog dims, counters,
+  /// alloc/memory stats, serve.stage.* summaries.
+  std::string StatuszJson() const;
   /// Appends one response line and schedules a flush (any thread).
   void EnqueueResponse(const std::shared_ptr<Conn>& conn,
                        const std::string& line);
@@ -161,9 +199,12 @@ class TcpServer {
   RecoService* service_;
   TcpServerConfig config_;
   int port_ = 0;
+  int admin_port_ = -1;
   int listen_fd_ = -1;
+  int admin_listen_fd_ = -1;
   int epoll_fd_ = -1;
   int wake_fd_ = -1;  ///< eventfd: workers → epoll thread
+  int64_t start_ns_ = 0;  ///< obs::NowNanos() at Start, for /statusz uptime
 
   mutable std::mutex mu_;
   std::condition_variable drained_cv_;
@@ -173,6 +214,7 @@ class TcpServer {
   std::atomic<bool> stop_{false};
   int64_t accepted_ = 0;
   int64_t refused_ = 0;
+  int64_t query_conns_ = 0;  ///< open non-admin conns; drain waits on 0
 
   std::mutex jobs_mu_;
   std::condition_variable jobs_cv_;

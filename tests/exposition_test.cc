@@ -1,0 +1,362 @@
+// Tests for the exposition layer (obs/exposition.h) and the flight recorder
+// (obs/flight_recorder.h): Prometheus text validity (validated end-to-end
+// through serve::ParsePrometheusText, the same strict parser the bench and
+// CI scrape checks use), name/label sanitization, snapshot JSON/delta/
+// percentile semantics, flight-recorder ring behavior (overwrite-oldest,
+// fixed capacity, clear, disabled no-op), and a concurrent
+// scrape-while-updating run that the TSan CI leg exercises for data races.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/exposition.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/loadgen.h"
+#include "utils/rng.h"
+
+#include "json_test_util.h"
+
+namespace missl {
+namespace {
+
+using testutil::JVal;
+using testutil::ParseJsonOrFail;
+
+// Metrics are opt-in; the flight recorder's startup default depends on the
+// environment. Every test here pins both and restores the defaults so
+// cross-test state stays predictable.
+class ExpositionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::SetMetricsEnabled(true);
+    obs::SetFlightRecorderEnabled(true);
+    obs::ClearFlightRecorder();
+  }
+  void TearDown() override {
+    obs::StopTracing();
+    obs::ClearFlightRecorder();
+    obs::SetFlightRecorderEnabled(true);
+    obs::SetMetricsEnabled(false);
+  }
+};
+
+TEST_F(ExpositionTest, PrometheusNameSanitization) {
+  EXPECT_EQ(obs::PrometheusName("serve.tcp.bytes_in"), "serve_tcp_bytes_in");
+  EXPECT_EQ(obs::PrometheusName("already_fine:name"), "already_fine:name");
+  EXPECT_EQ(obs::PrometheusName("weird-chars/and spaces"),
+            "weird_chars_and_spaces");
+  // A leading digit is prefixed, not replaced, so distinct names stay
+  // distinct after sanitization.
+  EXPECT_EQ(obs::PrometheusName("9lives"), "_9lives");
+  EXPECT_EQ(obs::PrometheusName(""), "_");
+}
+
+TEST_F(ExpositionTest, PrometheusLabelEscape) {
+  EXPECT_EQ(obs::PrometheusLabelEscape("plain"), "plain");
+  EXPECT_EQ(obs::PrometheusLabelEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::PrometheusLabelEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(obs::PrometheusLabelEscape("line\nbreak"), "line\\nbreak");
+}
+
+TEST_F(ExpositionTest, PrometheusTextParsesAndRoundTripsValues) {
+  auto& reg = obs::MetricsRegistry::Global();
+  obs::Counter& c = reg.GetCounter("expo.test.requests");
+  obs::Gauge& g = reg.GetGauge("expo.test.depth");
+  obs::Histogram& h = reg.GetHistogram("expo.test.latency_ns");
+  c.Reset();
+  h.Reset();
+  c.Add(42);
+  g.Set(-7);
+  for (int i = 0; i < 100; ++i) h.Observe(i * 37);
+
+  std::string text = obs::PrometheusText(reg.Snapshot());
+
+  std::map<std::string, double> scalars;
+  std::map<std::string, serve::PromHistogram> histograms;
+  ASSERT_TRUE(serve::ParsePrometheusText(text, &scalars, &histograms))
+      << "PrometheusText output rejected by the scrape parser:\n"
+      << text;
+
+  ASSERT_TRUE(scalars.count("expo_test_requests"));
+  EXPECT_EQ(scalars["expo_test_requests"], 42);
+  ASSERT_TRUE(scalars.count("expo_test_depth"));
+  EXPECT_EQ(scalars["expo_test_depth"], -7);
+
+  ASSERT_TRUE(histograms.count("expo_test_latency_ns"));
+  const serve::PromHistogram& ph = histograms["expo_test_latency_ns"];
+  EXPECT_EQ(ph.count, h.count());
+  EXPECT_EQ(ph.sum, h.sum());
+  // Cumulative-monotone with a final +Inf equal to _count is enforced by
+  // the parser; pin the shape on top: one le per finite pow2 bound + +Inf.
+  ASSERT_EQ(static_cast<int>(ph.buckets.size()), obs::Histogram::kNumBuckets);
+  int64_t cum = 0;
+  for (int i = 0; i < obs::Histogram::kNumBuckets - 1; ++i) {
+    cum += h.bucket(i);
+    EXPECT_EQ(ph.buckets[i].first,
+              static_cast<double>(obs::Histogram::BucketUpperBound(i)));
+    EXPECT_EQ(ph.buckets[i].second, cum);
+  }
+  EXPECT_EQ(ph.buckets.back().second, h.count());
+}
+
+TEST_F(ExpositionTest, PrometheusTextStableOrderingAndByteStable) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("expo.order.b");
+  reg.GetCounter("expo.order.a");
+  reg.GetGauge("expo.order.c");
+
+  obs::MetricsSnapshot snap = reg.Snapshot();
+  std::string text = obs::PrometheusText(snap);
+  EXPECT_EQ(text, obs::PrometheusText(snap))
+      << "same snapshot must render byte-identically";
+
+  // "# TYPE" families must appear in sorted name order within each section
+  // (counters, then gauges, then histograms) so diffs between scrapes are
+  // positionally stable.
+  std::vector<std::string> counter_families;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::istringstream ls(line);
+    std::string hash, type, fam, kind;
+    if ((ls >> hash >> type >> fam >> kind) && hash == "#" &&
+        type == "TYPE" && kind == "counter") {
+      counter_families.push_back(fam);
+    }
+  }
+  ASSERT_GE(counter_families.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(counter_families.begin(), counter_families.end()))
+      << "counter families not in sorted order";
+}
+
+TEST_F(ExpositionTest, SnapshotToJsonIsValidJson) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("expo.json.counter").Add(3);
+  reg.GetHistogram("expo.json.hist").Observe(1000);
+
+  JVal root = ParseJsonOrFail(obs::SnapshotToJson(reg.Snapshot()),
+                              "SnapshotToJson()");
+  ASSERT_EQ(root.type, JVal::kObj);
+  const JVal* counters = root.Get("counters");
+  const JVal* gauges = root.Get("gauges");
+  const JVal* histograms = root.Get("histograms");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(histograms, nullptr);
+  ASSERT_EQ(histograms->type, JVal::kObj);
+  const JVal* h = histograms->Get("expo.json.hist");
+  ASSERT_NE(h, nullptr);
+  const JVal* count = h->Get("count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_GE(count->num, 1);
+  ASSERT_NE(h->Get("buckets"), nullptr);
+  EXPECT_EQ(h->Get("buckets")->type, JVal::kArr);
+}
+
+TEST_F(ExpositionTest, SnapshotDeltaSemantics) {
+  obs::MetricsSnapshot base;
+  base.counters["c.common"] = 10;
+  base.gauges["g"] = 5;
+  obs::HistogramSnapshot hb;
+  hb.count = 4;
+  hb.sum = 40;
+  hb.buckets[3] = 4;
+  base.histograms["h"] = hb;
+
+  obs::MetricsSnapshot cur;
+  cur.counters["c.common"] = 25;
+  cur.counters["c.new"] = 7;  // absent in base: passes through
+  cur.gauges["g"] = 2;
+  obs::HistogramSnapshot hc;
+  hc.count = 9;
+  hc.sum = 100;
+  hc.buckets[3] = 6;
+  hc.buckets[5] = 3;
+  cur.histograms["h"] = hc;
+
+  obs::MetricsSnapshot d = obs::SnapshotDelta(cur, base);
+  EXPECT_EQ(d.counters["c.common"], 15);
+  EXPECT_EQ(d.counters["c.new"], 7);
+  // Gauges are point-in-time: delta keeps the current value.
+  EXPECT_EQ(d.gauges["g"], 2);
+  EXPECT_EQ(d.histograms["h"].count, 5);
+  EXPECT_EQ(d.histograms["h"].sum, 60);
+  EXPECT_EQ(d.histograms["h"].buckets[3], 2);
+  EXPECT_EQ(d.histograms["h"].buckets[5], 3);
+}
+
+TEST_F(ExpositionTest, SnapshotPercentileMatchesApproxPercentile) {
+  auto& reg = obs::MetricsRegistry::Global();
+  obs::Histogram& h = reg.GetHistogram("expo.pct.hist");
+  h.Reset();
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    h.Observe(static_cast<int64_t>(rng.UniformInt(1000000)));
+  }
+  obs::HistogramSnapshot snap = reg.Snapshot().histograms["expo.pct.hist"];
+  for (double p : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(obs::SnapshotPercentile(snap, p), h.ApproxPercentile(p))
+        << "p=" << p;
+  }
+  obs::HistogramSnapshot empty;
+  EXPECT_EQ(obs::SnapshotPercentile(empty, 0.5), 0);
+}
+
+TEST_F(ExpositionTest, BuildRevNonEmpty) {
+  ASSERT_NE(obs::BuildRev(), nullptr);
+  EXPECT_NE(std::string(obs::BuildRev()), "");
+}
+
+// ---- Flight recorder ------------------------------------------------------
+
+// Counts "ph":"X" events in a Chrome trace document and checks the fields
+// every event must carry.
+int CountTraceEvents(const std::string& json, const std::string& what) {
+  JVal root = ParseJsonOrFail(json, what);
+  if (root.type != JVal::kObj) return -1;
+  const JVal* events = root.Get("traceEvents");
+  if (events == nullptr || events->type != JVal::kArr) return -1;
+  for (const JVal& e : events->arr) {
+    EXPECT_EQ(e.type, JVal::kObj);
+    EXPECT_NE(e.Get("name"), nullptr);
+    EXPECT_NE(e.Get("ts"), nullptr);
+    EXPECT_NE(e.Get("dur"), nullptr);
+    const JVal* ph = e.Get("ph");
+    EXPECT_NE(ph, nullptr);
+    if (ph != nullptr) EXPECT_EQ(ph->str, "X");
+  }
+  return static_cast<int>(events->arr.size());
+}
+
+TEST_F(ExpositionTest, FlightRecorderCapacityClamp) {
+  // Capacity is fixed at first use; whatever the environment says, the
+  // clamp contract bounds it.
+  EXPECT_GE(obs::FlightRingCapacity(), 64u);
+  EXPECT_LE(obs::FlightRingCapacity(), size_t{1} << 20);
+}
+
+TEST_F(ExpositionTest, FlightRecorderRecordsAndDumps) {
+  const char* name = obs::InternedName("expo.flight.span");
+  EXPECT_EQ(name, obs::InternedName("expo.flight.span"))
+      << "interning must return stable pointers";
+  for (int i = 0; i < 10; ++i) {
+    obs::FlightRecord(name, "test", 1000 + i * 10, 5);
+  }
+  EXPECT_EQ(obs::FlightRecorderTotalRecorded(), 10);
+  EXPECT_EQ(CountTraceEvents(obs::FlightRecorderToJson(), "flight dump"), 10);
+}
+
+TEST_F(ExpositionTest, FlightRecorderOverwritesOldestAtFixedCapacity) {
+  const char* name = obs::InternedName("expo.flight.wrap");
+  const int64_t cap = static_cast<int64_t>(obs::FlightRingCapacity());
+  const int64_t total = cap + 100;
+  for (int64_t i = 0; i < total; ++i) {
+    obs::FlightRecord(name, "test", i, 1);
+  }
+  // Everything was counted, but only the newest `cap` records survive.
+  EXPECT_EQ(obs::FlightRecorderTotalRecorded(), total);
+  int dumped = CountTraceEvents(obs::FlightRecorderToJson(), "wrapped dump");
+  EXPECT_LE(dumped, cap);
+  EXPECT_GE(dumped, cap - 1);  // at most one slot lost to a dump mid-write
+}
+
+TEST_F(ExpositionTest, FlightRecorderClearEmptiesDump) {
+  obs::FlightRecord(obs::InternedName("expo.flight.gone"), "test", 1, 1);
+  EXPECT_GT(obs::FlightRecorderTotalRecorded(), 0);
+  obs::ClearFlightRecorder();
+  EXPECT_EQ(obs::FlightRecorderTotalRecorded(), 0);
+  EXPECT_EQ(CountTraceEvents(obs::FlightRecorderToJson(), "cleared dump"), 0);
+}
+
+TEST_F(ExpositionTest, FlightRecorderDisabledIsNoOp) {
+  obs::SetFlightRecorderEnabled(false);
+  obs::FlightRecord(obs::InternedName("expo.flight.off"), "test", 1, 1);
+  EXPECT_EQ(obs::FlightRecorderTotalRecorded(), 0);
+}
+
+TEST_F(ExpositionTest, TraceSpanLandsInRecorderWithoutStartTracing) {
+  ASSERT_FALSE(obs::TracingEnabled());
+  { obs::TraceSpan span("expo.flight.auto", "test"); }
+  EXPECT_EQ(obs::FlightRecorderTotalRecorded(), 1);
+  std::string json = obs::FlightRecorderToJson();
+  EXPECT_EQ(CountTraceEvents(json, "span dump"), 1);
+  EXPECT_NE(json.find("expo.flight.auto"), std::string::npos);
+}
+
+TEST_F(ExpositionTest, WriteFlightRecorderProducesValidFile) {
+  obs::FlightRecord(obs::InternedName("expo.flight.file"), "test", 1, 2);
+  std::string path = ::testing::TempDir() + "missl_flight_test.json";
+  ASSERT_TRUE(obs::WriteFlightRecorder(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(CountTraceEvents(buf.str(), "flight file"), 1);
+  std::remove(path.c_str());
+}
+
+// ---- Concurrency ----------------------------------------------------------
+
+// Scrape-while-updating: worker threads hammer a counter, a histogram, and
+// the flight recorder while a scraper loops snapshot -> render -> parse and
+// dumps the recorder. The TSan CI leg runs this binary; any unsynchronized
+// access in the exposition path or the seqlock rings shows up here. Final
+// counts must be exact — scrapes never lose updates.
+TEST_F(ExpositionTest, ConcurrentScrapeWhileUpdating) {
+  auto& reg = obs::MetricsRegistry::Global();
+  obs::Counter& c = reg.GetCounter("expo.conc.counter");
+  obs::Histogram& h = reg.GetHistogram("expo.conc.hist");
+  c.Reset();
+  h.Reset();
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::atomic<int> done{0};
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      const char* name = obs::InternedName("expo.conc.span");
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Add();
+        h.Observe(t * 1000 + i);
+        obs::FlightRecord(name, "test", i, 1);
+      }
+      done.fetch_add(1);
+    });
+  }
+
+  int scrapes = 0;
+  while (done.load() < kThreads) {
+    std::string text = obs::PrometheusText(reg.Snapshot());
+    std::map<std::string, double> scalars;
+    std::map<std::string, serve::PromHistogram> histograms;
+    ASSERT_TRUE(serve::ParsePrometheusText(text, &scalars, &histograms))
+        << "mid-update scrape must still be well-formed";
+    ASSERT_GE(CountTraceEvents(obs::FlightRecorderToJson(), "live dump"), 0);
+    ++scrapes;
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_GT(scrapes, 0);
+
+  obs::MetricsSnapshot final_snap = reg.Snapshot();
+  EXPECT_EQ(final_snap.counters["expo.conc.counter"], kThreads * kPerThread);
+  EXPECT_EQ(final_snap.histograms["expo.conc.hist"].count,
+            kThreads * kPerThread);
+  EXPECT_EQ(obs::FlightRecorderTotalRecorded(),
+            static_cast<int64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace missl

@@ -1,0 +1,195 @@
+// Minimal strict JSON parser shared by the observability tests
+// (tests/obs_test.cc, tests/exposition_test.cc). Validates the exporters'
+// output without external dependencies; supports the full JSON grammar the
+// exporters can emit. Parse failure fails the test via ParseJsonOrFail.
+#ifndef MISSL_TESTS_JSON_TEST_UTIL_H_
+#define MISSL_TESTS_JSON_TEST_UTIL_H_
+
+#include <cctype>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace missl::testutil {
+
+struct JVal {
+  enum Type { kNull, kBool, kNum, kStr, kArr, kObj };
+  Type type = kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JVal> arr;
+  std::vector<std::pair<std::string, JVal>> obj;
+
+  const JVal* Get(const std::string& key) const {
+    for (const auto& kv : obj) {
+      if (kv.first == key) return &kv.second;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& s) : s_(s) {}
+
+  bool Parse(JVal* out) {
+    bool ok = Value(out);
+    Ws();
+    return ok && pos_ == s_.size();
+  }
+
+ private:
+  void Ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  bool Literal(const char* lit) {
+    size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool String(std::string* out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return false;
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + i])))
+                return false;
+            }
+            pos_ += 4;
+            out->push_back('?');  // code point value irrelevant for the tests
+            break;
+          }
+          default: return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control characters are invalid JSON
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;
+  }
+  bool Value(JVal* out) {
+    Ws();
+    if (pos_ >= s_.size()) return false;
+    char c = s_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->type = JVal::kObj;
+      Ws();
+      if (pos_ < s_.size() && s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      for (;;) {
+        Ws();
+        std::string key;
+        if (!String(&key)) return false;
+        Ws();
+        if (pos_ >= s_.size() || s_[pos_++] != ':') return false;
+        JVal v;
+        if (!Value(&v)) return false;
+        out->obj.emplace_back(std::move(key), std::move(v));
+        Ws();
+        if (pos_ >= s_.size()) return false;
+        if (s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (s_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->type = JVal::kArr;
+      Ws();
+      if (pos_ < s_.size() && s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      for (;;) {
+        JVal v;
+        if (!Value(&v)) return false;
+        out->arr.push_back(std::move(v));
+        Ws();
+        if (pos_ >= s_.size()) return false;
+        if (s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (s_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '"') {
+      out->type = JVal::kStr;
+      return String(&out->str);
+    }
+    if (c == 't') {
+      out->type = JVal::kBool;
+      out->b = true;
+      return Literal("true");
+    }
+    if (c == 'f') {
+      out->type = JVal::kBool;
+      out->b = false;
+      return Literal("false");
+    }
+    if (c == 'n') return Literal("null");
+    // number
+    size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return false;
+    out->type = JVal::kNum;
+    out->num = std::stod(s_.substr(start, pos_ - start));
+    return true;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+inline JVal ParseJsonOrFail(const std::string& s, const std::string& what) {
+  JVal v;
+  EXPECT_TRUE(JsonParser(s).Parse(&v)) << what << " is not valid JSON:\n" << s;
+  return v;
+}
+
+}  // namespace missl::testutil
+
+#endif  // MISSL_TESTS_JSON_TEST_UTIL_H_

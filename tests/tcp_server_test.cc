@@ -7,7 +7,11 @@
 //     connects are refused with a clean error line;
 //   - the connection limit refuses extras and recovers when slots free up;
 //   - malformed lines are answered in-band and the connection stays usable;
-//   - a half-closed peer (shutdown(SHUT_WR)) still receives its answers.
+//   - a half-closed peer (shutdown(SHUT_WR)) still receives its answers;
+//   - the admin plane (/metrics /healthz /statusz /tracez) answers during
+//     query load without perturbing answers, flips /healthz to 503 while
+//     draining, and turns malformed/oversized HTTP into 4xx without
+//     disturbing the query plane.
 // tcp_server_test runs in the TSan CI job, so every cross-thread handoff in
 // the server is exercised under the race detector here.
 #include "serve/tcp_server.h"
@@ -18,6 +22,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -30,12 +35,18 @@
 #include "core/missl.h"
 #include "core/recommend.h"
 #include "nn/serialize.h"
+#include "serve/loadgen.h"
 #include "serve/protocol.h"
 #include "serve/service.h"
 #include "utils/rng.h"
 
+#include "json_test_util.h"
+
 namespace missl {
 namespace {
+
+using testutil::JVal;
+using testutil::ParseJsonOrFail;
 
 constexpr int32_t kItems = 60;
 constexpr int32_t kBehaviors = 3;
@@ -466,6 +477,262 @@ TEST(TcpServerTest, HalfClosedPeerStillReceivesItsAnswers) {
   server->Shutdown();
 }
 
+// Reads whatever the peer sends until EOF (admin responses are one-shot:
+// the server closes after the flush).
+std::string RecvAll(int fd) {
+  std::string out;
+  char tmp[4096];
+  for (;;) {
+    ssize_t r = ::recv(fd, tmp, sizeof(tmp), 0);
+    if (r <= 0) return out;
+    out.append(tmp, static_cast<size_t>(r));
+  }
+}
+
+TEST(TcpServerTest, AdminEndpointsServeDuringLoadWithoutPerturbingAnswers) {
+  // Same bitwise-vs-offline workload as the eight-thread test, with a
+  // scraper hammering every admin endpoint the whole time. The query
+  // answers must not change by a byte, and every scrape must come back
+  // well-formed — introspection is read-only.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 8;
+  std::vector<std::vector<serve::ParsedQuery>> per_thread(kThreads);
+  std::vector<serve::ParsedQuery> all;
+  for (int t = 0; t < kThreads; ++t) {
+    Rng rng(600 + static_cast<uint64_t>(t));
+    for (int j = 0; j < kPerThread; ++j) {
+      serve::ParsedQuery p;
+      p.id = t * 1000 + j;
+      p.query = RandomWireQuery(&rng);
+      per_thread[static_cast<size_t>(t)].push_back(p);
+      all.push_back(p);
+    }
+  }
+  auto offline_model = MakeModel(61);
+  std::map<int64_t, std::string> expected =
+      OfflineExpected(offline_model.get(), all);
+
+  std::string path = CkptPath("tcp_admin_load.bin");
+  ASSERT_TRUE(nn::SaveParameters(*offline_model, path).ok());
+  serve::ServeConfig scfg;
+  scfg.max_len = kMaxLen;
+  scfg.max_batch = 8;
+  scfg.max_wait_us = 2000;
+  Status status;
+  auto service = serve::RecoService::Load(MakeModel(919), kItems, kBehaviors,
+                                          path, scfg, &status);
+  std::remove(path.c_str());
+  ASSERT_NE(service, nullptr) << status.ToString();
+
+  serve::TcpServerConfig tcfg;
+  tcfg.num_workers = 8;
+  auto server = serve::TcpServer::Start(service.get(), tcfg, &status);
+  ASSERT_NE(server, nullptr) << status.ToString();
+  ASSERT_GT(server->admin_port(), 0);
+
+  std::atomic<bool> load_done{false};
+  std::atomic<int> scrapes{0};
+  std::thread scraper([&] {
+    bool final_pass = false;
+    for (;;) {
+      serve::HttpResponse r;
+      ASSERT_TRUE(
+          serve::HttpGet("127.0.0.1", server->admin_port(), "/healthz", &r)
+              .ok());
+      EXPECT_EQ(r.code, 200);
+      EXPECT_EQ(r.body, "ok\n");
+      ASSERT_TRUE(
+          serve::HttpGet("127.0.0.1", server->admin_port(), "/metrics", &r)
+              .ok());
+      EXPECT_EQ(r.code, 200);
+      std::map<std::string, serve::PromHistogram> hists;
+      EXPECT_TRUE(serve::ParsePrometheusText(r.body, nullptr, &hists))
+          << "malformed /metrics under load";
+      ASSERT_TRUE(
+          serve::HttpGet("127.0.0.1", server->admin_port(), "/statusz", &r)
+              .ok());
+      EXPECT_EQ(r.code, 200);
+      JVal statusz = ParseJsonOrFail(r.body, "/statusz");
+      EXPECT_NE(statusz.Get("stages"), nullptr);
+      ASSERT_TRUE(
+          serve::HttpGet("127.0.0.1", server->admin_port(), "/tracez", &r)
+              .ok());
+      EXPECT_EQ(r.code, 200);
+      JVal tracez = ParseJsonOrFail(r.body, "/tracez");
+      EXPECT_NE(tracez.Get("traceEvents"), nullptr);
+      scrapes.fetch_add(1);
+      // One full sweep after the load finishes so at least one scrape
+      // observes the final counts.
+      if (final_pass) break;
+      if (load_done.load()) final_pass = true;
+    }
+  });
+
+  std::vector<std::map<int64_t, std::string>> received(kThreads);
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      int fd = ConnectLoopback(server->port());
+      ASSERT_GE(fd, 0);
+      std::string batch;
+      for (const auto& p : per_thread[static_cast<size_t>(t)]) {
+        batch += serve::QueryToLine(p.id, p.query);
+        batch += '\n';
+      }
+      SendAllBytes(fd, batch);
+      std::string acc, line;
+      for (int j = 0; j < kPerThread; ++j) {
+        ASSERT_TRUE(RecvLine(fd, &acc, &line)) << "thread " << t;
+        received[static_cast<size_t>(t)][ExtractId(line)] = line;
+      }
+      ::close(fd);
+    });
+  }
+  for (auto& c : clients) c.join();
+  load_done.store(true);
+  scraper.join();
+  EXPECT_GT(scrapes.load(), 0);
+
+  for (int t = 0; t < kThreads; ++t) {
+    for (const auto& p : per_thread[static_cast<size_t>(t)]) {
+      auto it = received[static_cast<size_t>(t)].find(p.id);
+      ASSERT_NE(it, received[static_cast<size_t>(t)].end())
+          << "no response for id " << p.id;
+      EXPECT_EQ(it->second, expected[p.id]) << "id " << p.id;
+    }
+  }
+  // Scrapes ride the admin plane: the query-side accept counter only saw
+  // the client connections.
+  EXPECT_EQ(server->connections_accepted(), kThreads);
+  server->Shutdown();
+}
+
+TEST(TcpServerTest, HealthzFlipsDrainingDuringShutdown) {
+  Rng rng(83);
+  serve::ParsedQuery parked;
+  parked.id = 700;
+  parked.query = RandomWireQuery(&rng);
+  auto offline = MakeModel(67);
+  std::map<int64_t, std::string> expected =
+      OfflineExpected(offline.get(), {parked});
+
+  std::string path = CkptPath("tcp_admin_drain.bin");
+  ASSERT_TRUE(nn::SaveParameters(*offline, path).ok());
+  serve::ServeConfig scfg;
+  scfg.max_len = kMaxLen;
+  // Wide batch window: the query sits in the micro-batcher while healthz
+  // flips, so the drain observation is made with work genuinely in flight.
+  scfg.max_batch = 64;
+  scfg.max_wait_us = 200000;
+  Status status;
+  auto service = serve::RecoService::Load(MakeModel(929), kItems, kBehaviors,
+                                          path, scfg, &status);
+  std::remove(path.c_str());
+  ASSERT_NE(service, nullptr) << status.ToString();
+
+  serve::TcpServerConfig tcfg;
+  auto server = serve::TcpServer::Start(service.get(), tcfg, &status);
+  ASSERT_NE(server, nullptr) << status.ToString();
+  ASSERT_GT(server->admin_port(), 0);
+
+  serve::HttpResponse r;
+  ASSERT_TRUE(
+      serve::HttpGet("127.0.0.1", server->admin_port(), "/healthz", &r).ok());
+  EXPECT_EQ(r.code, 200);
+  EXPECT_EQ(r.body, "ok\n");
+
+  int fd = ConnectLoopback(server->port());
+  ASSERT_GE(fd, 0);
+  SendAllBytes(fd, serve::QueryToLine(parked.id, parked.query) + "\n");
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+  server->BeginShutdown();
+
+  // The admin plane stays reachable while the query plane drains, and
+  // reports the drain.
+  ASSERT_TRUE(
+      serve::HttpGet("127.0.0.1", server->admin_port(), "/healthz", &r).ok());
+  EXPECT_EQ(r.code, 503);
+  EXPECT_EQ(r.body, "draining\n");
+  ASSERT_TRUE(
+      serve::HttpGet("127.0.0.1", server->admin_port(), "/statusz", &r).ok());
+  EXPECT_EQ(r.code, 200);
+  JVal statusz = ParseJsonOrFail(r.body, "/statusz");
+  const JVal* draining = statusz.Get("draining");
+  ASSERT_NE(draining, nullptr);
+  EXPECT_TRUE(draining->b);
+
+  // The parked query still drains to its bitwise-correct answer.
+  std::string acc, line;
+  ASSERT_TRUE(RecvLine(fd, &acc, &line));
+  EXPECT_EQ(line, expected[parked.id]);
+  EXPECT_TRUE(RecvEof(fd));
+  ::close(fd);
+
+  server->Shutdown();
+  // Full shutdown closes the admin listener too.
+  EXPECT_FALSE(
+      serve::HttpGet("127.0.0.1", server->admin_port(), "/healthz", &r).ok());
+}
+
+TEST(TcpServerTest, AdminMalformedRequestsGet4xxQueryPlaneUndisturbed) {
+  Status status;
+  auto service = MakeService("tcp_admin_bad.bin", 71, /*max_batch=*/4,
+                             /*max_wait_us=*/500, &status);
+  ASSERT_NE(service, nullptr) << status.ToString();
+  serve::TcpServerConfig tcfg;
+  auto server = serve::TcpServer::Start(service.get(), tcfg, &status);
+  ASSERT_NE(server, nullptr) << status.ToString();
+  ASSERT_GT(server->admin_port(), 0);
+
+  // A query connection opened before the abuse, checked after it: the admin
+  // plane's failures must not leak into the query plane.
+  int qfd = ConnectLoopback(server->port());
+  ASSERT_GE(qfd, 0);
+
+  // Garbage request line -> 400.
+  int fd = ConnectLoopback(server->admin_port());
+  ASSERT_GE(fd, 0);
+  SendAllBytes(fd, "definitely not http\r\n\r\n");
+  EXPECT_EQ(RecvAll(fd).substr(0, 12), "HTTP/1.0 400");
+  ::close(fd);
+
+  // Wrong method -> 405.
+  fd = ConnectLoopback(server->admin_port());
+  ASSERT_GE(fd, 0);
+  SendAllBytes(fd, "POST /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(RecvAll(fd).substr(0, 12), "HTTP/1.0 405");
+  ::close(fd);
+
+  // Unknown path -> 404.
+  serve::HttpResponse r;
+  ASSERT_TRUE(
+      serve::HttpGet("127.0.0.1", server->admin_port(), "/nope", &r).ok());
+  EXPECT_EQ(r.code, 404);
+
+  // Oversized head without a terminator -> 400 before buffering forever.
+  fd = ConnectLoopback(server->admin_port());
+  ASSERT_GE(fd, 0);
+  SendAllBytes(fd, std::string(9 * 1024, 'a'));
+  EXPECT_EQ(RecvAll(fd).substr(0, 12), "HTTP/1.0 400");
+  ::close(fd);
+
+  // The well-formed endpoints still answer...
+  ASSERT_TRUE(
+      serve::HttpGet("127.0.0.1", server->admin_port(), "/healthz", &r).ok());
+  EXPECT_EQ(r.code, 200);
+
+  // ...and so does the query connection that sat through all of it.
+  Rng rng(89);
+  SendAllBytes(qfd, serve::QueryToLine(9, RandomWireQuery(&rng)) + "\n");
+  std::string acc, line;
+  ASSERT_TRUE(RecvLine(qfd, &acc, &line));
+  EXPECT_EQ(ExtractId(line), 9);
+  EXPECT_EQ(line.find("\"error\""), std::string::npos);
+  ::close(qfd);
+  server->Shutdown();
+}
+
 TEST(TcpServerTest, StartRejectsBadConfig) {
   Status status;
   auto service = MakeService("tcp_badcfg.bin", 53, 4, 500, &status);
@@ -480,6 +747,10 @@ TEST(TcpServerTest, StartRejectsBadConfig) {
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
   bad = serve::TcpServerConfig();
   bad.port = -5;
+  EXPECT_EQ(serve::TcpServer::Start(service.get(), bad, &status), nullptr);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  bad = serve::TcpServerConfig();
+  bad.admin_port = 70000;
   EXPECT_EQ(serve::TcpServer::Start(service.get(), bad, &status), nullptr);
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
 }
