@@ -6,7 +6,12 @@
 //   train-step — the trainer inner loop (build batch, forward, backward,
 //                clip-free Adam step) on the paper model;
 //   serve-batch — the serving forward (BuildQueryBatch + ScoreAllItems
-//                 against a precomputed catalog) under NoGradGuard.
+//                 against a precomputed catalog) under NoGradGuard;
+//   serve-planned — the same batches through the planned inference executor
+//                 (src/infer/), whose contract is exactly 0 Storage
+//                 allocations per steady-state run in EITHER alloc mode
+//                 (the op plan owns all scratch), enforced by a stricter
+//                 zero budget below.
 // In --smoke mode the pool rows double as the CI allocator-churn regression
 // gate: the binary exits non-zero if steady-state mallocs-per-step exceeds
 // a small budget.
@@ -18,10 +23,13 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "core/missl.h"
 #include "data/batch.h"
+#include "infer/plan.h"
 #include "optim/optimizer.h"
 #include "serve/service.h"
 #include "tensor/alloc.h"
+#include "utils/status.h"
 
 namespace {
 
@@ -125,6 +133,45 @@ int main(int argc, char** argv) {
     return r;
   };
 
+  auto serve_planned_workload = [&](alloc::Mode mode) {
+    alloc::ScopedMode sm(mode);
+    NoGradGuard ng;
+    auto model = baselines::CreateModel("MISSL", wb.ds, zc);
+    model->SetTraining(false);
+    Tensor catalog = model->PrecomputeCatalog();
+    auto* missl = dynamic_cast<core::MisslModel*>(model.get());
+    Status status;
+    // Compiled before measure(): the plan's one-time arena allocation is
+    // load-time work, not steady-state churn.
+    auto plan = missl == nullptr
+                    ? nullptr
+                    : infer::PlannedExecutor::Compile(*missl, catalog, kBatch,
+                                                      &status);
+    if (plan == nullptr) {
+      std::fprintf(stderr, "FAIL: planned-executor compile: %s\n",
+                   status.ToString().c_str());
+      std::exit(1);
+    }
+    Rng rng(97);
+    std::vector<serve::Query> queries(static_cast<size_t>(kBatch));
+    for (auto& q : queries) {
+      for (int i = 0; i < 12; ++i) {
+        q.items.push_back(
+            static_cast<int32_t>(rng.UniformInt(wb.ds.num_items())));
+        q.behaviors.push_back(
+            static_cast<int32_t>(rng.UniformInt(wb.ds.num_behaviors())));
+      }
+    }
+    ChurnResult r = measure([&] {
+      data::Batch batch =
+          serve::BuildQueryBatch(queries, wb.max_len, wb.ds.num_behaviors());
+      const float* scores = plan->Run(batch);
+      (void)scores;
+    });
+    alloc::Trim();
+    return r;
+  };
+
   struct RowSpec {
     const char* workload;
     alloc::Mode mode;
@@ -135,11 +182,14 @@ int main(int argc, char** argv) {
       {"train-step", alloc::Mode::kSystem, {}},
       {"serve-batch", alloc::Mode::kPool, {}},
       {"serve-batch", alloc::Mode::kSystem, {}},
+      {"serve-planned", alloc::Mode::kPool, {}},
+      {"serve-planned", alloc::Mode::kSystem, {}},
   };
   for (auto& row : rows) {
-    row.result = std::string(row.workload) == "train-step"
-                     ? train_workload(row.mode)
-                     : serve_workload(row.mode);
+    std::string workload = row.workload;
+    row.result = workload == "train-step"      ? train_workload(row.mode)
+                 : workload == "serve-batch"   ? serve_workload(row.mode)
+                                               : serve_planned_workload(row.mode);
   }
 
   Table table({"Workload", "Alloc", "Steps", "Mallocs/step", "PoolHits/step",
@@ -171,6 +221,24 @@ int main(int argc, char** argv) {
                      row.workload, row.result.mallocs_per_step, kSmokeBudget);
         return 1;
       }
+    }
+  }
+  // The planned executor's contract is stricter than the pooled budget:
+  // ZERO Storage traffic per steady-state run — no pool hits either, in
+  // both alloc modes (the arena is allocated once at compile time). Gated
+  // unconditionally: it must hold even where the pool degrades to system
+  // mode (ASan builds).
+  for (const auto& row : rows) {
+    if (std::string(row.workload) != "serve-planned") continue;
+    if (row.result.mallocs_per_step > 0.0 ||
+        row.result.pool_hits_per_step > 0.0) {
+      std::fprintf(stderr,
+                   "FAIL: serve-planned (%s) performed Storage allocations "
+                   "at steady state: %.2f mallocs/step, %.2f pool hits/step "
+                   "(contract: 0)\n",
+                   alloc::ModeName(row.mode), row.result.mallocs_per_step,
+                   row.result.pool_hits_per_step);
+      return 1;
     }
   }
   return 0;

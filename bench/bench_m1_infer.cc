@@ -1,0 +1,133 @@
+// M1-infer — graph vs planned inference executor. Headline metric: wall
+// clock per coalesced serve batch (BuildQueryBatch + full-catalog forward)
+// for the training-mode tensor forward ("graph", the serving default and
+// bitwise oracle) against the planned executor ("planned", src/infer/ —
+// static op plan, fused kernels, pooled scratch). Before timing anything
+// the two paths are checked bitwise-equal on the measured batch; a mismatch
+// is an executor bug and fails the binary, in --smoke CI runs too. The
+// speedup column is the PR-over-PR latency record in BENCH json.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/missl.h"
+#include "data/batch.h"
+#include "infer/plan.h"
+#include "serve/service.h"
+#include "tensor/simd.h"
+#include "utils/status.h"
+
+int main(int argc, char** argv) {
+  using namespace missl;
+  bench::InitBench(&argc, argv);
+  bench::PrintHeader("M1-infer",
+                     "serve-batch forward latency: graph vs planned executor");
+
+  const int kWarmup = bench::SmokeMode() ? 3 : 10;
+  const int kSteps = bench::SmokeMode() ? 10 : 200;
+  const int64_t kBatch = 32;
+
+  data::SyntheticConfig cfg = bench::SweepData();
+  baselines::ZooConfig zc = bench::DefaultZoo();
+  bench::Workbench wb(cfg, zc.max_len);
+
+  NoGradGuard ng;
+  auto model = baselines::CreateModel("MISSL", wb.ds, zc);
+  model->SetTraining(false);
+  auto* missl = dynamic_cast<core::MisslModel*>(model.get());
+  if (missl == nullptr) {
+    std::fprintf(stderr, "FAIL: zoo MISSL model is not a MisslModel\n");
+    return 1;
+  }
+  Tensor catalog = model->PrecomputeCatalog();
+
+  Status status;
+  auto plan =
+      infer::PlannedExecutor::Compile(*missl, catalog, kBatch, &status);
+  if (plan == nullptr) {
+    std::fprintf(stderr, "FAIL: plan compilation: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+
+  Rng rng(97);
+  std::vector<serve::Query> queries(static_cast<size_t>(kBatch));
+  for (auto& q : queries) {
+    for (int i = 0; i < 12; ++i) {
+      q.items.push_back(
+          static_cast<int32_t>(rng.UniformInt(wb.ds.num_items())));
+      q.behaviors.push_back(
+          static_cast<int32_t>(rng.UniformInt(wb.ds.num_behaviors())));
+    }
+  }
+  data::Batch parity_batch =
+      serve::BuildQueryBatch(queries, wb.max_len, wb.ds.num_behaviors());
+
+  // Bitwise gate before any timing: both executors must score the same bits
+  // (docs/INFERENCE.md). A perf win on wrong numbers is not a win.
+  {
+    Tensor oracle =
+        model->ScoreAllItems(parity_batch, wb.ds.num_items(), catalog);
+    const float* got = plan->Run(parity_batch);
+    for (int64_t i = 0; i < oracle.numel(); ++i) {
+      if (oracle.data()[i] != got[i]) {
+        std::fprintf(stderr,
+                     "FAIL: planned executor diverges from the graph forward "
+                     "at flat index %lld (tier=%s)\n",
+                     static_cast<long long>(i),
+                     simd::TierName(simd::ActiveTier()));
+        return 1;
+      }
+    }
+  }
+
+  auto measure = [&](const std::function<void()>& step) {
+    for (int i = 0; i < kWarmup; ++i) step();
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kSteps; ++i) step();
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(t1 - t0).count() / kSteps;
+  };
+
+  // Both loops include BuildQueryBatch, mirroring what ProcessBatch does
+  // per coalesced batch.
+  double graph_us = measure([&] {
+    data::Batch batch =
+        serve::BuildQueryBatch(queries, wb.max_len, wb.ds.num_behaviors());
+    Tensor scores = model->ScoreAllItems(batch, wb.ds.num_items(), catalog);
+    (void)scores;
+  });
+  double planned_us = measure([&] {
+    data::Batch batch =
+        serve::BuildQueryBatch(queries, wb.max_len, wb.ds.num_behaviors());
+    const float* scores = plan->Run(batch);
+    (void)scores;
+  });
+
+  Table table({"Executor", "Batch", "Items", "PlanOps", "us/batch",
+               "batches/s", "speedup"});
+  table.Row()
+      .Cell("graph")
+      .Int(kBatch)
+      .Int(wb.ds.num_items())
+      .Int(0)
+      .Num(graph_us, 1)
+      .Num(1e6 / graph_us, 1)
+      .Num(1.0, 2);
+  table.Row()
+      .Cell("planned")
+      .Int(kBatch)
+      .Int(wb.ds.num_items())
+      .Int(plan->num_ops())
+      .Num(planned_us, 1)
+      .Num(1e6 / planned_us, 1)
+      .Num(graph_us / planned_us, 2);
+  table.Print();
+  std::printf("Expected shape: planned beats graph (no autograd nodes, no "
+              "per-op tensor materialization, pooled scratch); bitwise "
+              "equality is checked before timing.\n");
+  return 0;
+}

@@ -43,6 +43,10 @@
 //   --clients N              concurrent client threads (default 4)
 //   --batch N                micro-batcher max batch size (default 8)
 //   --wait-us N              micro-batcher max wait in us (default 2000)
+//   --executor KIND          forward implementation: "graph" (training-mode
+//                            tensor forward, the default and bitwise oracle)
+//                            or "planned" (src/infer/ static op plan, bitwise
+//                            identical by contract — docs/INFERENCE.md)
 //   --selftest               compare every answer with the offline
 //                            core::RecommendTopN path (exit 1 on mismatch)
 //   --smoke                  --selftest + temp checkpoint + metric checks
@@ -51,6 +55,7 @@
 //   --items/--behaviors/--dim/--interests/--max-len/--seed
 //                            model shape (must match between --init-checkpoint
 //                            and serving; defaults: 120/3/32/3/20/17)
+//   --help                   print this flag reference and exit 0
 #include <signal.h>
 #include <time.h>
 #include <unistd.h>
@@ -79,6 +84,64 @@
 
 namespace {
 
+// Printed by --help (exit 0) and pointed at by the unknown-flag error. Keep
+// in sync with the file header comment and docs/SERVING.md.
+constexpr const char kUsage[] =
+    R"(usage: missl_serve [flags]
+
+Loads a frozen MISSL checkpoint into a serve::RecoService and answers
+line-protocol queries, either from a file/stdin through in-process client
+threads or over TCP (--listen). See docs/SERVING.md for the protocol.
+
+Checkpoint:
+  --checkpoint PATH        checkpoint to serve from
+  --init-checkpoint PATH   write a seeded, untrained checkpoint and exit
+
+Query input (file mode, the default):
+  --queries PATH           query file (default: stdin)
+  --clients N              concurrent client threads (default 4)
+
+TCP mode:
+  --listen PORT            serve the line protocol over TCP on
+                           127.0.0.1:PORT ("--listen=PORT" also accepted;
+                           port 0 picks an ephemeral one, logged to stderr).
+                           Runs until SIGINT/SIGTERM, then drains
+                           gracefully. SIGUSR1 dumps the always-on flight
+                           recorder to a timestamped Chrome trace file
+                           (missl_flight_<unix-time>.json) and keeps
+                           serving.
+  --admin PORT             admin HTTP port for /metrics (Prometheus),
+                           /healthz, /statusz, /tracez (default 0 =
+                           ephemeral; -1 disables the admin plane)
+  --port-file PATH         write "port=P\nadmin_port=Q\n" once both
+                           listeners are bound (for scripts driving
+                           ephemeral ports)
+  --workers N              worker threads blocking in the micro-batcher
+                           (default 4)
+  --max-conns N            connection limit (default 256)
+
+Scoring:
+  --batch N                micro-batcher max batch size (default 8)
+  --wait-us N              micro-batcher max wait in us (default 2000)
+  --executor KIND          forward implementation: "graph" (training-mode
+                           tensor forward; default, bitwise oracle) or
+                           "planned" (src/infer/ static op plan with pooled
+                           scratch, bitwise identical by contract; see
+                           docs/INFERENCE.md)
+
+Model shape (must match between --init-checkpoint and serving):
+  --items N / --behaviors N / --dim N / --interests N / --max-len N /
+  --seed N                 defaults: 120 / 3 / 32 / 3 / 20 / 17
+
+Diagnostics:
+  --selftest               compare every answer with the offline
+                           core::RecommendTopN path (exit 1 on mismatch)
+  --smoke                  --selftest + temp checkpoint + metric checks
+  --metrics                print the metrics registry at exit
+  --trace PATH             write a Chrome trace of the run
+  --help                   print this reference and exit 0
+)";
+
 struct Options {
   std::string checkpoint;
   std::string init_checkpoint;
@@ -92,6 +155,7 @@ struct Options {
   int clients = 4;
   int32_t batch = 8;
   int64_t wait_us = 2000;
+  missl::serve::ExecutorKind executor = missl::serve::ExecutorKind::kGraph;
   bool selftest = false;
   bool smoke = false;
   bool metrics = false;
@@ -149,6 +213,21 @@ int main(int argc, char** argv) {
     else if (a == "--clients") opt.clients = std::atoi(next("--clients").c_str());
     else if (a == "--batch") opt.batch = std::atoi(next("--batch").c_str());
     else if (a == "--wait-us") opt.wait_us = std::atoll(next("--wait-us").c_str());
+    else if (a == "--executor") {
+      std::string kind = next("--executor");
+      if (kind == "graph") opt.executor = serve::ExecutorKind::kGraph;
+      else if (kind == "planned") opt.executor = serve::ExecutorKind::kPlanned;
+      else {
+        std::fprintf(stderr,
+                     "--executor must be 'graph' or 'planned', got '%s'\n",
+                     kind.c_str());
+        return 2;
+      }
+    }
+    else if (a == "--help" || a == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
     else if (a == "--selftest") opt.selftest = true;
     else if (a == "--smoke") opt.smoke = true;
     else if (a == "--metrics") opt.metrics = true;
@@ -159,7 +238,7 @@ int main(int argc, char** argv) {
     else if (a == "--max-len") opt.max_len = std::atoll(next("--max-len").c_str());
     else if (a == "--seed") opt.seed = std::strtoull(next("--seed").c_str(), nullptr, 10);
     else {
-      std::fprintf(stderr, "unknown flag '%s' (see file header for usage)\n",
+      std::fprintf(stderr, "unknown flag '%s' (--help for usage)\n",
                    a.c_str());
       return 2;
     }
@@ -215,6 +294,7 @@ int main(int argc, char** argv) {
     scfg.max_len = opt.max_len;
     scfg.max_batch = opt.batch;
     scfg.max_wait_us = opt.wait_us;
+    scfg.executor = opt.executor;
     Status status;
     auto service = serve::RecoService::Load(MakeModel(opt), opt.items,
                                             opt.behaviors, opt.checkpoint,
@@ -311,6 +391,7 @@ int main(int argc, char** argv) {
   scfg.max_len = opt.max_len;
   scfg.max_batch = opt.batch;
   scfg.max_wait_us = opt.wait_us;
+  scfg.executor = opt.executor;
   Status load_status;
   auto service = serve::RecoService::Load(MakeModel(opt), opt.items,
                                           opt.behaviors, opt.checkpoint, scfg,
@@ -318,10 +399,12 @@ int main(int argc, char** argv) {
   if (service == nullptr) return Fail("load failed: " + load_status.ToString());
   std::fprintf(stderr,
                "serving %s: %d items, %d behaviors, batch<=%d, wait %lldus, "
-               "%d client threads, %zu queries\n",
+               "%d client threads, %zu queries, %s executor\n",
                opt.checkpoint.c_str(), opt.items, opt.behaviors, opt.batch,
                static_cast<long long>(opt.wait_us), opt.clients,
-               queries.size());
+               queries.size(),
+               opt.executor == serve::ExecutorKind::kPlanned ? "planned"
+                                                             : "graph");
 
   // Fan the queries out over the client threads (query i -> thread i mod C)
   // and collect answers by index so output order matches input order.

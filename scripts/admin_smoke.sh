@@ -18,6 +18,16 @@ BUILD="${1:-build}"
 SERVE="$PWD/$BUILD/examples/missl_serve"
 [[ -x "$SERVE" ]] || { echo "admin_smoke: missing $SERVE (build first)"; exit 1; }
 
+# The usage text must exist (exit 0) and document the admin plane: the admin
+# HTTP port, the port file handshake this script relies on, the SIGUSR1
+# flight-recorder dump, and the executor selector.
+echo "admin_smoke: --help documents the admin plane"
+help_out="$("$SERVE" --help)"
+for needle in "--admin" "--port-file" "--executor" "SIGUSR1" "/metrics"; do
+  grep -q -- "$needle" <<< "$help_out" \
+    || { echo "admin_smoke: --help output missing '$needle'"; exit 1; }
+done
+
 work="$(mktemp -d)"
 pid=""
 cleanup() {

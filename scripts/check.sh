@@ -40,6 +40,8 @@ run_release() {
   MISSL_ALLOC=system ctest --test-dir build-check-release --output-on-failure -j"$(nproc)"
   echo "=== [release] allocator-churn regression gate ==="
   ./build-check-release/bench/bench_m1_alloc --smoke
+  echo "=== [release] planned-executor bitwise + latency gate ==="
+  ./build-check-release/bench/bench_m1_infer --smoke
   echo "=== [release] serving-load smoke (TCP front-end under load) ==="
   ./build-check-release/bench/bench_m1_serve --smoke
   echo "=== [release] admin-plane smoke (/metrics /healthz /statusz /tracez) ==="

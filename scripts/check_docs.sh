@@ -5,7 +5,10 @@
 #      resolves to an existing file (http(s)/mailto and pure #anchor links
 #      are skipped; a #fragment on a file link is stripped before checking);
 #   2. every module directory under src/ is mentioned in
-#      docs/ARCHITECTURE.md, so the layer map cannot silently go stale.
+#      docs/ARCHITECTURE.md, so the layer map cannot silently go stale;
+#   3. every MISSL_* identifier the docs mention (runtime env knobs and
+#      macros alike) still exists somewhere in the tree, so renaming or
+#      removing a knob without updating its documentation fails CI.
 #
 # Exits non-zero listing every broken reference.
 set -euo pipefail
@@ -42,6 +45,20 @@ for module in src/*/; do
   name=$(basename "$module")
   if ! grep -q "src/$name" docs/ARCHITECTURE.md; then
     echo "UNDOCUMENTED MODULE: src/$name not mentioned in docs/ARCHITECTURE.md"
+    fail=1
+  fi
+done
+
+# --- 3. documented MISSL_* knobs still exist in the tree ---------------------
+# Docs name runtime env vars and macros; either way a token that no longer
+# appears anywhere outside the docs (and this script) is stale. This file is
+# excluded from the search so the comments above cannot satisfy the check.
+doc_tokens=$(grep -rhoE 'MISSL_[A-Z0-9_]+' README.md ./*.md docs/*.md \
+               2>/dev/null | sort -u)
+for token in $doc_tokens; do
+  if ! grep -rqF --exclude=check_docs.sh "$token" src/ scripts/ bench/ \
+         tests/ examples/ CMakeLists.txt 2>/dev/null; then
+    echo "STALE KNOB: $token is documented but appears nowhere in the source tree"
     fail=1
   fi
 done

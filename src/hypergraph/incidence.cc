@@ -25,6 +25,57 @@ int64_t NumEdges(const HypergraphConfig& cfg, int64_t t, int32_t num_behaviors) 
   return e;
 }
 
+void FillIncidenceRow(const int32_t* it, const int32_t* bh, int64_t t,
+                      int32_t num_behaviors, const HypergraphConfig& cfg,
+                      float* pr) {
+  int64_t e = NumEdges(cfg, t, num_behaviors);
+  int64_t n_windows = NumWindows(cfg, t);
+  int64_t edge = 0;
+
+  if (cfg.behavior_edges) {
+    for (int32_t b = 0; b < num_behaviors; ++b, ++edge) {
+      for (int64_t i = 0; i < t; ++i) {
+        if (it[i] >= 0 && bh[i] == b) pr[edge * t + i] = 1.0f;
+      }
+    }
+  }
+
+  for (int64_t w = 0; w < n_windows; ++w, ++edge) {
+    int64_t start = std::min(w * cfg.window_stride,
+                             std::max<int64_t>(0, t - cfg.window_size));
+    int64_t stop = std::min(t, start + cfg.window_size);
+    for (int64_t i = start; i < stop; ++i) {
+      if (it[i] >= 0) pr[edge * t + i] = 1.0f;
+    }
+  }
+
+  if (cfg.repeat_edges) {
+    // Group valid positions by item id; emit the largest groups (>= 2
+    // occurrences) as hyperedges, deterministically ordered.
+    std::map<int32_t, std::vector<int64_t>> groups;
+    for (int64_t i = 0; i < t; ++i) {
+      if (it[i] >= 0) groups[it[i]].push_back(i);
+    }
+    std::vector<std::pair<int32_t, const std::vector<int64_t>*>> repeated;
+    for (const auto& [item, positions] : groups) {
+      if (positions.size() >= 2) repeated.emplace_back(item, &positions);
+    }
+    std::sort(repeated.begin(), repeated.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second->size() != b.second->size())
+                  return a.second->size() > b.second->size();
+                return a.first < b.first;
+              });
+    for (int64_t r = 0; r < cfg.max_repeat_edges; ++r, ++edge) {
+      if (r >= static_cast<int64_t>(repeated.size())) continue;
+      for (int64_t i : *repeated[static_cast<size_t>(r)].second) {
+        pr[edge * t + i] = 1.0f;
+      }
+    }
+  }
+  MISSL_CHECK(edge == e) << "edge layout mismatch: " << edge << " vs " << e;
+}
+
 Tensor BuildIncidence(const std::vector<int32_t>& items,
                       const std::vector<int32_t>& behaviors, int64_t batch,
                       int64_t t, int32_t num_behaviors,
@@ -36,56 +87,10 @@ Tensor BuildIncidence(const std::vector<int32_t>& items,
   MISSL_CHECK(e > 0) << "hypergraph config yields zero edges";
   Tensor inc = Tensor::Zeros({batch, e, t});
   float* p = inc.data();
-  int64_t n_windows = NumWindows(cfg, t);
 
   for (int64_t row = 0; row < batch; ++row) {
-    const int32_t* it = items.data() + row * t;
-    const int32_t* bh = behaviors.data() + row * t;
-    float* pr = p + row * e * t;
-    int64_t edge = 0;
-
-    if (cfg.behavior_edges) {
-      for (int32_t b = 0; b < num_behaviors; ++b, ++edge) {
-        for (int64_t i = 0; i < t; ++i) {
-          if (it[i] >= 0 && bh[i] == b) pr[edge * t + i] = 1.0f;
-        }
-      }
-    }
-
-    for (int64_t w = 0; w < n_windows; ++w, ++edge) {
-      int64_t start = std::min(w * cfg.window_stride,
-                               std::max<int64_t>(0, t - cfg.window_size));
-      int64_t stop = std::min(t, start + cfg.window_size);
-      for (int64_t i = start; i < stop; ++i) {
-        if (it[i] >= 0) pr[edge * t + i] = 1.0f;
-      }
-    }
-
-    if (cfg.repeat_edges) {
-      // Group valid positions by item id; emit the largest groups (>= 2
-      // occurrences) as hyperedges, deterministically ordered.
-      std::map<int32_t, std::vector<int64_t>> groups;
-      for (int64_t i = 0; i < t; ++i) {
-        if (it[i] >= 0) groups[it[i]].push_back(i);
-      }
-      std::vector<std::pair<int32_t, const std::vector<int64_t>*>> repeated;
-      for (const auto& [item, positions] : groups) {
-        if (positions.size() >= 2) repeated.emplace_back(item, &positions);
-      }
-      std::sort(repeated.begin(), repeated.end(),
-                [](const auto& a, const auto& b) {
-                  if (a.second->size() != b.second->size())
-                    return a.second->size() > b.second->size();
-                  return a.first < b.first;
-                });
-      for (int64_t r = 0; r < cfg.max_repeat_edges; ++r, ++edge) {
-        if (r >= static_cast<int64_t>(repeated.size())) continue;
-        for (int64_t i : *repeated[static_cast<size_t>(r)].second) {
-          pr[edge * t + i] = 1.0f;
-        }
-      }
-    }
-    MISSL_CHECK(edge == e) << "edge layout mismatch: " << edge << " vs " << e;
+    FillIncidenceRow(items.data() + row * t, behaviors.data() + row * t, t,
+                     num_behaviors, cfg, p + row * e * t);
   }
   return inc;
 }

@@ -30,6 +30,16 @@ struct HypergraphConfig {
 /// length `t` with `num_behaviors` channels.
 int64_t NumEdges(const HypergraphConfig& config, int64_t t, int32_t num_behaviors);
 
+/// Fills one row's dense incidence block: `row` must point at
+/// NumEdges(config, t, num_behaviors) * t floats, already zeroed; `items` /
+/// `behaviors` are that row's merged-stream ids ([t], -1 pad). This is the
+/// single source of truth for the edge layout, shared by BuildIncidence and
+/// the planned inference executor (src/infer/), so the two paths cannot
+/// drift.
+void FillIncidenceRow(const int32_t* items, const int32_t* behaviors,
+                      int64_t t, int32_t num_behaviors,
+                      const HypergraphConfig& config, float* row);
+
 /// Builds the dense incidence tensor [batch, E, t]. `items`/`behaviors` are
 /// the merged-stream arrays from data::Batch (flattened [batch * t], -1 pad).
 /// Padded positions belong to no hyperedge.

@@ -4,7 +4,9 @@
 #include <chrono>
 #include <utility>
 
+#include "core/missl.h"
 #include "core/recommend.h"
+#include "infer/plan.h"
 #include "nn/serialize.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -192,6 +194,20 @@ std::unique_ptr<RecoService> RecoService::Load(
     NoGradGuard ng;
     svc->catalog_ = svc->model_->PrecomputeCatalog();
   }
+  if (config.executor == ExecutorKind::kPlanned) {
+    // The plan compiler walks the concrete MISSL forward; other SeqRecModel
+    // implementations keep the graph path.
+    auto* missl = dynamic_cast<const core::MisslModel*>(svc->model_.get());
+    if (missl == nullptr) {
+      *status = Status::InvalidArgument(
+          "ExecutorKind::kPlanned requires a MISSL model, got '" +
+          svc->model_->Name() + "'");
+      return nullptr;
+    }
+    svc->planned_ = infer::PlannedExecutor::Compile(
+        *missl, svc->catalog_, config.max_batch, status);
+    if (svc->planned_ == nullptr) return nullptr;
+  }
   int threads = config.num_threads > 0 ? config.num_threads
                                        : runtime::NumThreads();
   runtime::ThreadPool::Global().Prewarm(threads);
@@ -312,14 +328,24 @@ void RecoService::ProcessBatch(std::vector<Pending>* work) {
   for (const Pending& p : *work) queries.push_back(p.query);
   data::Batch batch =
       BuildQueryBatch(queries, config_.max_len, num_behaviors_);
-  Tensor scores = model_->ScoreAllItems(batch, num_items_, catalog_);
+  // Both executors produce bitwise-identical [B, num_items] scores
+  // (docs/INFERENCE.md); the planned path returns a pointer into its own
+  // scratch arena instead of materializing a Tensor.
+  Tensor scores;
+  const float* score_data = nullptr;
+  if (planned_ != nullptr) {
+    score_data = planned_->Run(batch);
+  } else {
+    scores = model_->ScoreAllItems(batch, num_items_, catalog_);
+    score_data = scores.data();
+  }
   int64_t scored_ns = obs::NowNanos();
 
   std::vector<TopKResult> results(work->size());
   std::vector<int32_t> sorted_excl;
   for (size_t row = 0; row < work->size(); ++row) {
     const Pending& p = (*work)[row];
-    const float* rs = scores.data() + static_cast<int64_t>(row) * num_items_;
+    const float* rs = score_data + static_cast<int64_t>(row) * num_items_;
     const std::vector<int32_t>* excl = nullptr;
     if (!p.query->exclude.empty()) {
       sorted_excl = p.query->exclude;

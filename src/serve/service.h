@@ -35,6 +35,10 @@
 #include "data/batch.h"
 #include "utils/status.h"
 
+namespace missl::infer {
+class PlannedExecutor;
+}  // namespace missl::infer
+
 namespace missl::serve {
 
 /// One user query: the recent event history, oldest first.
@@ -53,6 +57,15 @@ struct TopKResult {
   std::vector<float> scores;
 };
 
+/// Which forward implementation scores coalesced batches.
+///   kGraph   — the training-mode tensor forward (autograd-capable ops under
+///              NoGradGuard); the reference path and bitwise oracle.
+///   kPlanned — the inference-only planned executor (src/infer/): the model
+///              is compiled once at Load into a static op plan running on
+///              pooled scratch, bitwise identical to kGraph by contract
+///              (docs/INFERENCE.md). Requires a MISSL model.
+enum class ExecutorKind { kGraph, kPlanned };
+
 /// Serving knobs. `max_len` must equal the history window the model was
 /// constructed with (its position table size).
 struct ServeConfig {
@@ -60,6 +73,7 @@ struct ServeConfig {
   int32_t max_batch = 32;   ///< coalesce at most this many queries per forward
   int64_t max_wait_us = 2000;  ///< how long the batcher waits to fill a batch
   int num_threads = 0;      ///< forward-pass threads; 0 = runtime default
+  ExecutorKind executor = ExecutorKind::kGraph;  ///< see ExecutorKind
 };
 
 /// Thread-safe serving front-end around one frozen model. Construct via
@@ -93,6 +107,11 @@ class RecoService {
     return catalog_.shape().empty() ? 0 : catalog_.shape()[0];
   }
   const ServeConfig& config() const { return config_; }
+  /// The compiled op plan when running with ExecutorKind::kPlanned; nullptr
+  /// on the graph path. Exposed for tests and introspection.
+  const infer::PlannedExecutor* planned_executor() const {
+    return planned_.get();
+  }
   /// Model forwards run so far (each serves one coalesced batch).
   int64_t batches_run() const;
   /// Queries answered so far.
@@ -115,6 +134,8 @@ class RecoService {
   int32_t num_behaviors_;
   ServeConfig config_;
   Tensor catalog_;  ///< PrecomputeCatalog() result, cached at load time
+  /// Static op plan (ExecutorKind::kPlanned only), compiled at Load.
+  std::unique_ptr<infer::PlannedExecutor> planned_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -212,6 +212,90 @@ TEST_F(ExpositionTest, SnapshotPercentileMatchesApproxPercentile) {
   EXPECT_EQ(obs::SnapshotPercentile(empty, 0.5), 0);
 }
 
+TEST_F(ExpositionTest, SnapshotPercentileEmptyHistogram) {
+  // An empty histogram has no data to rank: every percentile is 0, including
+  // the out-of-range p values (clamped, not UB).
+  obs::HistogramSnapshot empty;
+  for (double p : {-1.0, 0.0, 0.5, 0.99, 1.0, 2.0}) {
+    EXPECT_EQ(obs::SnapshotPercentile(empty, p), 0) << "p=" << p;
+  }
+  // A count-zero snapshot with stale bucket entries (e.g. a delta of two
+  // identical snapshots after a reset skew) still reports 0.
+  obs::HistogramSnapshot zeroed;
+  zeroed.buckets[4] = 0;
+  EXPECT_EQ(obs::SnapshotPercentile(zeroed, 0.5), 0);
+}
+
+TEST_F(ExpositionTest, SnapshotPercentileSingleBucket) {
+  // With every observation in one bucket, every percentile (and every
+  // clamped out-of-range p) is that bucket's upper bound.
+  obs::HistogramSnapshot h;
+  h.count = 7;
+  h.sum = 7 * 5;
+  h.buckets[3] = 7;
+  const int64_t bound = obs::Histogram::BucketUpperBound(3);
+  for (double p : {-0.5, 0.0, 0.25, 0.5, 0.99, 1.0, 1.5}) {
+    EXPECT_EQ(obs::SnapshotPercentile(h, p), bound) << "p=" << p;
+  }
+  // Single observation: same story, count-1 ranking must not underflow.
+  obs::HistogramSnapshot one;
+  one.count = 1;
+  one.sum = 3;
+  one.buckets[2] = 1;
+  for (double p : {0.0, 0.5, 1.0}) {
+    EXPECT_EQ(obs::SnapshotPercentile(one, p),
+              obs::Histogram::BucketUpperBound(2))
+        << "p=" << p;
+  }
+}
+
+TEST_F(ExpositionTest, SnapshotDeltaEmptyAndSingleBucketHistograms) {
+  // Empty-histogram corners of SnapshotDelta: identical snapshots cancel to
+  // a zero histogram; an instrument absent from base passes through; an
+  // instrument absent from cur is dropped (the delta describes cur).
+  obs::HistogramSnapshot single;
+  single.count = 5;
+  single.sum = 50;
+  single.buckets[6] = 5;
+
+  obs::MetricsSnapshot base;
+  base.histograms["h.same"] = single;
+  base.histograms["h.gone"] = single;
+
+  obs::MetricsSnapshot cur;
+  cur.histograms["h.same"] = single;
+  cur.histograms["h.empty"] = obs::HistogramSnapshot{};
+  obs::HistogramSnapshot grown = single;
+  grown.count = 8;
+  grown.sum = 80;
+  grown.buckets[6] = 8;
+  cur.histograms["h.new"] = grown;
+
+  obs::MetricsSnapshot d = obs::SnapshotDelta(cur, base);
+  ASSERT_EQ(d.histograms.count("h.same"), 1u);
+  EXPECT_EQ(d.histograms["h.same"].count, 0);
+  EXPECT_EQ(d.histograms["h.same"].sum, 0);
+  for (int i = 0; i < obs::Histogram::kNumBuckets; ++i) {
+    EXPECT_EQ(d.histograms["h.same"].buckets[i], 0) << "bucket " << i;
+  }
+  // The cancelled histogram ranks as empty, tying the two APIs together.
+  EXPECT_EQ(obs::SnapshotPercentile(d.histograms["h.same"], 0.5), 0);
+
+  // Absent from base: the full cur value passes through, still one bucket.
+  ASSERT_EQ(d.histograms.count("h.new"), 1u);
+  EXPECT_EQ(d.histograms["h.new"].count, 8);
+  EXPECT_EQ(d.histograms["h.new"].buckets[6], 8);
+  EXPECT_EQ(obs::SnapshotPercentile(d.histograms["h.new"], 1.0),
+            obs::Histogram::BucketUpperBound(6));
+
+  // Empty in cur, absent in base: passes through as empty, not dropped.
+  ASSERT_EQ(d.histograms.count("h.empty"), 1u);
+  EXPECT_EQ(d.histograms["h.empty"].count, 0);
+
+  // Absent in cur: not resurrected from base.
+  EXPECT_EQ(d.histograms.count("h.gone"), 0u);
+}
+
 TEST_F(ExpositionTest, BuildRevNonEmpty) {
   ASSERT_NE(obs::BuildRev(), nullptr);
   EXPECT_NE(std::string(obs::BuildRev()), "");
@@ -233,7 +317,9 @@ int CountTraceEvents(const std::string& json, const std::string& what) {
     EXPECT_NE(e.Get("dur"), nullptr);
     const JVal* ph = e.Get("ph");
     EXPECT_NE(ph, nullptr);
-    if (ph != nullptr) EXPECT_EQ(ph->str, "X");
+    if (ph != nullptr) {
+      EXPECT_EQ(ph->str, "X");
+    }
   }
   return static_cast<int>(events->arr.size());
 }
