@@ -11,7 +11,11 @@
 //                 (src/infer/), whose contract is exactly 0 Storage
 //                 allocations per steady-state run in EITHER alloc mode
 //                 (the op plan owns all scratch), enforced by a stricter
-//                 zero budget below.
+//                 zero budget below;
+//   serve-planned-int8 — the planned executor with the int8 catalog tier
+//                 (InferConfig::quantize_catalog): per-batch activation
+//                 quantization must run out of the same plan-owned arena,
+//                 so the zero-Storage contract applies unchanged.
 // In --smoke mode the pool rows double as the CI allocator-churn regression
 // gate: the binary exits non-zero if steady-state mallocs-per-step exceeds
 // a small budget.
@@ -133,20 +137,23 @@ int main(int argc, char** argv) {
     return r;
   };
 
-  auto serve_planned_workload = [&](alloc::Mode mode) {
+  auto serve_planned_workload = [&](alloc::Mode mode, bool quantize) {
     alloc::ScopedMode sm(mode);
     NoGradGuard ng;
     auto model = baselines::CreateModel("MISSL", wb.ds, zc);
     model->SetTraining(false);
     Tensor catalog = model->PrecomputeCatalog();
     auto* missl = dynamic_cast<core::MisslModel*>(model.get());
+    infer::InferConfig options;
+    options.quantize_catalog = quantize;
     Status status;
-    // Compiled before measure(): the plan's one-time arena allocation is
-    // load-time work, not steady-state churn.
+    // Compiled before measure(): the plan's one-time arena allocation (and,
+    // for int8, the one-time catalog quantization) is load-time work, not
+    // steady-state churn.
     auto plan = missl == nullptr
                     ? nullptr
                     : infer::PlannedExecutor::Compile(*missl, catalog, kBatch,
-                                                      &status);
+                                                      options, &status);
     if (plan == nullptr) {
       std::fprintf(stderr, "FAIL: planned-executor compile: %s\n",
                    status.ToString().c_str());
@@ -184,12 +191,15 @@ int main(int argc, char** argv) {
       {"serve-batch", alloc::Mode::kSystem, {}},
       {"serve-planned", alloc::Mode::kPool, {}},
       {"serve-planned", alloc::Mode::kSystem, {}},
+      {"serve-planned-int8", alloc::Mode::kPool, {}},
+      {"serve-planned-int8", alloc::Mode::kSystem, {}},
   };
   for (auto& row : rows) {
     std::string workload = row.workload;
-    row.result = workload == "train-step"      ? train_workload(row.mode)
-                 : workload == "serve-batch"   ? serve_workload(row.mode)
-                                               : serve_planned_workload(row.mode);
+    row.result =
+        workload == "train-step"    ? train_workload(row.mode)
+        : workload == "serve-batch" ? serve_workload(row.mode)
+        : serve_planned_workload(row.mode, workload == "serve-planned-int8");
   }
 
   Table table({"Workload", "Alloc", "Steps", "Mallocs/step", "PoolHits/step",
@@ -229,15 +239,17 @@ int main(int argc, char** argv) {
   // unconditionally: it must hold even where the pool degrades to system
   // mode (ASan builds).
   for (const auto& row : rows) {
-    if (std::string(row.workload) != "serve-planned") continue;
+    // Prefix match: serve-planned AND serve-planned-int8 — the int8 tier's
+    // per-batch quantization must not relax the zero-Storage contract.
+    if (std::string(row.workload).rfind("serve-planned", 0) != 0) continue;
     if (row.result.mallocs_per_step > 0.0 ||
         row.result.pool_hits_per_step > 0.0) {
       std::fprintf(stderr,
-                   "FAIL: serve-planned (%s) performed Storage allocations "
+                   "FAIL: %s (%s) performed Storage allocations "
                    "at steady state: %.2f mallocs/step, %.2f pool hits/step "
                    "(contract: 0)\n",
-                   alloc::ModeName(row.mode), row.result.mallocs_per_step,
-                   row.result.pool_hits_per_step);
+                   row.workload, alloc::ModeName(row.mode),
+                   row.result.mallocs_per_step, row.result.pool_hits_per_step);
       return 1;
     }
   }

@@ -210,6 +210,34 @@ void BM_ElementwiseSimd(benchmark::State& state) {
 }
 BENCHMARK(BM_ElementwiseSimd)->Arg(0)->Arg(1);
 
+// Int8 catalog-dot kernel (docs/KERNELS.md §int8 tier): one activation row
+// against V item-major int8 catalog rows, int32 accumulate. Args = {V,
+// tier}; d fixed at the serving shape (32). Unlike the fp32 rows above the
+// tiers are bitwise identical by integer associativity, not by a fixed
+// accumulation order.
+void BM_Int8DotSimd(benchmark::State& state) {
+  int64_t v = state.range(0);
+  auto tier = static_cast<simd::Tier>(state.range(1));
+  if (SkipIfTierUnavailable(state, tier)) return;
+  simd::ScopedTier st(tier);
+  runtime::ScopedNumThreads nt(1);
+  constexpr int64_t kD = 32;
+  Rng rng(10);
+  std::vector<int8_t> act(kD), cat(v * kD);
+  for (auto& c : act) c = static_cast<int8_t>(rng.UniformInt(255)) % 127;
+  for (auto& c : cat) c = static_cast<int8_t>(rng.UniformInt(255)) % 127;
+  std::vector<int32_t> out(static_cast<size_t>(v));
+  for (auto _ : state) {
+    simd::Int8DotRows(act.data(), cat.data(), out.data(), kD, 0, v);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * v * kD);
+  state.SetLabel(simd::TierName(tier));
+}
+BENCHMARK(BM_Int8DotSimd)
+    ->Args({1000, 0})->Args({1000, 1})
+    ->Args({20000, 0})->Args({20000, 1});
+
 // Thread-scaling variants (Arg = thread count). Results are bitwise
 // identical across Args by construction (see docs/RUNTIME.md); only the
 // wall clock should move. On a single-core host the >1-thread rows just

@@ -47,8 +47,13 @@
 //                            tensor forward, the default and bitwise oracle)
 //                            or "planned" (src/infer/ static op plan, bitwise
 //                            identical by contract — docs/INFERENCE.md)
+//   --precision P            catalog-scoring precision: "fp32" (default) or
+//                            "int8" (quantized catalog tier; requires
+//                            --executor planned — docs/INFERENCE.md)
 //   --selftest               compare every answer with the offline
-//                            core::RecommendTopN path (exit 1 on mismatch)
+//                            core::RecommendTopN path (exit 1 on mismatch);
+//                            under --precision int8 the reference is an
+//                            offline int8 planned executor instead
 //   --smoke                  --selftest + temp checkpoint + metric checks
 //   --metrics                print the metrics registry at exit
 //   --trace PATH             write a Chrome trace of the run
@@ -74,6 +79,7 @@
 
 #include "core/missl.h"
 #include "core/recommend.h"
+#include "infer/plan.h"
 #include "nn/serialize.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
@@ -128,6 +134,11 @@ Scoring:
                            "planned" (src/infer/ static op plan with pooled
                            scratch, bitwise identical by contract; see
                            docs/INFERENCE.md)
+  --precision P            catalog-scoring precision: "fp32" (default) or
+                           "int8" (symmetric per-item quantized catalog with
+                           int32 maddubs scoring; deterministic but not
+                           bitwise fp32 — requires --executor planned; see
+                           docs/INFERENCE.md)
 
 Model shape (must match between --init-checkpoint and serving):
   --items N / --behaviors N / --dim N / --interests N / --max-len N /
@@ -156,6 +167,7 @@ struct Options {
   int32_t batch = 8;
   int64_t wait_us = 2000;
   missl::serve::ExecutorKind executor = missl::serve::ExecutorKind::kGraph;
+  missl::serve::Precision precision = missl::serve::Precision::kFp32;
   bool selftest = false;
   bool smoke = false;
   bool metrics = false;
@@ -221,6 +233,16 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "--executor must be 'graph' or 'planned', got '%s'\n",
                      kind.c_str());
+        return 2;
+      }
+    }
+    else if (a == "--precision") {
+      std::string p = next("--precision");
+      if (p == "fp32") opt.precision = serve::Precision::kFp32;
+      else if (p == "int8") opt.precision = serve::Precision::kInt8;
+      else {
+        std::fprintf(stderr, "--precision must be 'fp32' or 'int8', got '%s'\n",
+                     p.c_str());
         return 2;
       }
     }
@@ -295,6 +317,7 @@ int main(int argc, char** argv) {
     scfg.max_batch = opt.batch;
     scfg.max_wait_us = opt.wait_us;
     scfg.executor = opt.executor;
+    scfg.precision = opt.precision;
     Status status;
     auto service = serve::RecoService::Load(MakeModel(opt), opt.items,
                                             opt.behaviors, opt.checkpoint,
@@ -392,6 +415,7 @@ int main(int argc, char** argv) {
   scfg.max_batch = opt.batch;
   scfg.max_wait_us = opt.wait_us;
   scfg.executor = opt.executor;
+  scfg.precision = opt.precision;
   Status load_status;
   auto service = serve::RecoService::Load(MakeModel(opt), opt.items,
                                           opt.behaviors, opt.checkpoint, scfg,
@@ -399,12 +423,11 @@ int main(int argc, char** argv) {
   if (service == nullptr) return Fail("load failed: " + load_status.ToString());
   std::fprintf(stderr,
                "serving %s: %d items, %d behaviors, batch<=%d, wait %lldus, "
-               "%d client threads, %zu queries, %s executor\n",
+               "%d client threads, %zu queries, %s executor, %s catalog\n",
                opt.checkpoint.c_str(), opt.items, opt.behaviors, opt.batch,
                static_cast<long long>(opt.wait_us), opt.clients,
-               queries.size(),
-               opt.executor == serve::ExecutorKind::kPlanned ? "planned"
-                                                             : "graph");
+               queries.size(), serve::ExecutorKindName(opt.executor),
+               serve::PrecisionName(opt.precision));
 
   // Fan the queries out over the client threads (query i -> thread i mod C)
   // and collect answers by index so output order matches input order.
@@ -433,11 +456,14 @@ int main(int argc, char** argv) {
 
   int exit_code = 0;
   if (opt.selftest) {
-    // Offline reference: the same histories through a plainly-loaded model
-    // and core::RecommendTopN, in one batch. Every list must match bitwise.
+    // Offline reference: the same histories through a plainly-loaded model,
+    // in one batch. Every list must match bitwise. Under --precision int8
+    // the reference is an offline int8 planned executor instead of
+    // RecommendTopN (which scores fp32): row independence makes the
+    // service's coalesced sub-batches bitwise equal to this one-shot full
+    // batch, so the check stays a strict bitwise one. Int8-vs-fp32 accuracy
+    // is tests/quant_test.cc's job, not the smoke's.
     auto offline = MakeModel(opt);
-    Status s = nn::LoadParameters(offline.get(), opt.checkpoint);
-    if (!s.ok()) return Fail("selftest load failed: " + s.ToString());
     std::vector<const serve::Query*> qptrs;
     std::vector<std::vector<int32_t>> seen;
     for (const auto& q : queries) {
@@ -448,8 +474,37 @@ int main(int argc, char** argv) {
         serve::BuildQueryBatch(qptrs, opt.max_len, opt.behaviors);
     int32_t max_k = 1;
     for (const auto& q : queries) max_k = std::max(max_k, q.query.k);
-    auto recs = core::RecommendTopN(offline.get(), batch, seen, max_k,
-                                    opt.items);
+    std::vector<core::Recommendation> recs;
+    const char* ref_name = "offline RecommendTopN";
+    if (opt.precision == serve::Precision::kInt8) {
+      ref_name = "offline int8 planned executor";
+      Status s = nn::LoadParametersForInference(offline.get(), opt.checkpoint);
+      if (!s.ok()) return Fail("selftest load failed: " + s.ToString());
+      Tensor catalog;
+      {
+        NoGradGuard ng;
+        catalog = offline->PrecomputeCatalog();
+      }
+      infer::InferConfig icfg;
+      icfg.quantize_catalog = true;
+      auto plan = infer::PlannedExecutor::Compile(
+          *offline, catalog, static_cast<int64_t>(queries.size()), icfg, &s);
+      if (plan == nullptr) {
+        return Fail("selftest int8 compile failed: " + s.ToString());
+      }
+      const float* scores = plan->Run(batch);
+      recs.resize(queries.size());
+      for (size_t i = 0; i < queries.size(); ++i) {
+        std::vector<int32_t> excl = seen[i];
+        std::sort(excl.begin(), excl.end());
+        core::TopKRow(scores + i * static_cast<size_t>(opt.items), opt.items,
+                      &excl, max_k, &recs[i].items, &recs[i].scores);
+      }
+    } else {
+      Status s = nn::LoadParameters(offline.get(), opt.checkpoint);
+      if (!s.ok()) return Fail("selftest load failed: " + s.ToString());
+      recs = core::RecommendTopN(offline.get(), batch, seen, max_k, opt.items);
+    }
     size_t mismatches = 0;
     for (size_t i = 0; i < queries.size(); ++i) {
       size_t want = std::min<size_t>(
@@ -471,7 +526,7 @@ int main(int argc, char** argv) {
                        " lists differ from the offline path");
     } else {
       std::fprintf(stderr, "selftest OK: %zu/%zu lists bitwise-identical to "
-                   "offline RecommendTopN\n", queries.size(), queries.size());
+                   "%s\n", queries.size(), queries.size(), ref_name);
     }
     // The serving instrumentation must actually have observed the run.
     auto& reg = obs::MetricsRegistry::Global();

@@ -23,7 +23,7 @@ SERVE="$PWD/$BUILD/examples/missl_serve"
 # flight-recorder dump, and the executor selector.
 echo "admin_smoke: --help documents the admin plane"
 help_out="$("$SERVE" --help)"
-for needle in "--admin" "--port-file" "--executor" "SIGUSR1" "/metrics"; do
+for needle in "--admin" "--port-file" "--executor" "--precision" "SIGUSR1" "/metrics"; do
   grep -q -- "$needle" <<< "$help_out" \
     || { echo "admin_smoke: --help output missing '$needle'"; exit 1; }
 done
@@ -54,8 +54,11 @@ except urllib.error.HTTPError as e:
   print(e.code)' "$1"
 }
 
-# Server cwd is the scratch dir so the SIGUSR1 dump lands there.
-(cd "$work" && exec "$SERVE" --smoke --listen 0 --port-file ports) \
+# Server cwd is the scratch dir so the SIGUSR1 dump lands there. The int8
+# planned executor is selected explicitly so /statusz exposes the quantized
+# catalog stats this script asserts on below.
+(cd "$work" && exec "$SERVE" --smoke --listen 0 --port-file ports \
+    --executor planned --precision int8) \
   > "$work/serve.log" 2>&1 &
 pid=$!
 
@@ -97,7 +100,20 @@ grep -q '^serve_stage_' <<< "$metrics" || { echo "admin_smoke: /metrics missing 
 grep -q '_bucket{le="+Inf"}' <<< "$metrics" || { echo "admin_smoke: /metrics missing +Inf buckets"; exit 1; }
 
 echo "admin_smoke: /statusz"
-fetch "$base/statusz" | python3 -m json.tool > /dev/null
+# Valid JSON, and it must report the executor/precision the server was
+# launched with plus the int8 catalog stats (docs/INFERENCE.md): quantization
+# enabled, sane per-row scales, and the ~4x catalog memory saving.
+fetch "$base/statusz" | python3 -c '
+import json, sys
+s = json.load(sys.stdin)
+sc = s["serve_config"]
+assert sc["executor"] == "planned", sc
+assert sc["precision"] == "int8", sc
+q = s["quant"]
+assert q["enabled"] is True, q
+assert 0 < q["min_scale"] <= q["max_scale"], q
+assert q["int8_bytes"] < q["fp32_bytes"], q
+'
 
 echo "admin_smoke: /tracez"
 tracez="$(fetch "$base/tracez")"

@@ -11,8 +11,10 @@
 #      exposition_test, which scrapes the metrics registry and the flight
 #      recorder's seqlock rings while they are being written —
 #      kernel_property_test, which sweeps the SIMD tiers at 1/2/4 threads,
-#      and alloc_test, which stresses the pooled allocator's cross-thread
-#      free path)
+#      alloc_test, which stresses the pooled allocator's cross-thread
+#      free path, infer_test — the planned executor's tier × thread parity
+#      sweeps — and quant_test, the int8 catalog tier's kernel and
+#      executor parity suites)
 #   4. Documentation consistency (scripts/check_docs.sh)
 #
 # Usage:
@@ -44,6 +46,9 @@ run_release() {
   ./build-check-release/bench/bench_m1_infer --smoke
   echo "=== [release] serving-load smoke (TCP front-end under load) ==="
   ./build-check-release/bench/bench_m1_serve --smoke
+  echo "=== [release] int8 serving smoke (accuracy-gated selftest) ==="
+  ./build-check-release/examples/missl_serve --smoke --executor planned \
+    --precision int8 --queries examples/serve_queries.tsv > /dev/null
   echo "=== [release] admin-plane smoke (/metrics /healthz /statusz /tracez) ==="
   scripts/admin_smoke.sh build-check-release
 }
@@ -66,7 +71,8 @@ run_tsan() {
         -DMISSL_SANITIZE=thread
   cmake --build build-check-tsan -j"$(nproc)" \
         --target runtime_test models_test serve_test tcp_server_test \
-                 exposition_test kernel_property_test alloc_test
+                 exposition_test kernel_property_test alloc_test \
+                 infer_test quant_test
   TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/runtime_test
   TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/models_test
   TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/serve_test
@@ -74,6 +80,8 @@ run_tsan() {
   TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/exposition_test
   TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/kernel_property_test
   TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/alloc_test
+  TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/infer_test
+  TSAN_OPTIONS=halt_on_error=1 MISSL_NUM_THREADS=4 ./build-check-tsan/tests/quant_test
 }
 
 run_docs() {

@@ -12,6 +12,7 @@
 #include "infer/plan.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/quant.h"
 #include "utils/check.h"
 
 namespace missl::infer {
@@ -46,6 +47,7 @@ const char* KindName(OpKind k) {
     case OpKind::kCommonPool: return "common_pool";
     case OpKind::kBroadcastAddRow: return "broadcast_add_row";
     case OpKind::kCatalogScore: return "catalog_score";
+    case OpKind::kCatalogScoreQ: return "catalog_score_q";
   }
   return "?";
 }
@@ -68,6 +70,12 @@ const float* PlannedExecutor::AddConstant(std::vector<float> values) {
 std::unique_ptr<PlannedExecutor> PlannedExecutor::Compile(
     const core::MisslModel& model, const Tensor& catalog, int64_t max_batch,
     Status* status) {
+  return Compile(model, catalog, max_batch, InferConfig{}, status);
+}
+
+std::unique_ptr<PlannedExecutor> PlannedExecutor::Compile(
+    const core::MisslModel& model, const Tensor& catalog, int64_t max_batch,
+    const InferConfig& options, Status* status) {
   MISSL_CHECK(status != nullptr);
   *status = Status::OK();
   obs::TraceSpan span("infer.compile", "infer");
@@ -565,11 +573,11 @@ std::unique_ptr<PlannedExecutor> PlannedExecutor::Compile(
   // --- Catalog scoring with interest routing.
   const bool mean_routing = cfg.routing == core::InterestRouting::kMean;
   const int64_t V = ex->num_items_;
-  int32_t score_scratch = mean_routing
-                              ? ex->NewBuffer(d, "interest_mean")
-                              : ex->NewBuffer(K * V, "logits");
-  ex->scores_buf_ = ex->NewBuffer(V, "scores");
-  {
+  if (!options.quantize_catalog) {
+    int32_t score_scratch = mean_routing
+                                ? ex->NewBuffer(d, "interest_mean")
+                                : ex->NewBuffer(K * V, "logits");
+    ex->scores_buf_ = ex->NewBuffer(V, "scores");
     Op op;
     op.kind = OpKind::kCatalogScore;
     op.label = mean_routing ? "catalog_score(mean)" : "catalog_score(max)";
@@ -577,6 +585,55 @@ std::unique_ptr<PlannedExecutor> PlannedExecutor::Compile(
     op.dst = ex->scores_buf_;
     op.scratch = score_scratch;
     op.w = ex->catalog_;
+    op.k = K;
+    op.in = d;
+    op.out = V;
+    op.flag = mean_routing;
+    emit(op);
+  } else {
+    // Int8 tier: quantize the catalog once, per item. PrecomputeCatalog
+    // hands the [d, V] transposed table; repack item-major [V, d] so each
+    // item score is one contiguous int8 row-dot, with one fp32 scale per
+    // item (symmetric, zero-safe — tensor/quant.h).
+    std::vector<float> rows(static_cast<size_t>(V * d));
+    for (int64_t v = 0; v < V; ++v) {
+      for (int64_t j = 0; j < d; ++j) {
+        rows[static_cast<size_t>(v * d + j)] = ex->catalog_[j * V + v];
+      }
+    }
+    ex->catalog_q_.resize(static_cast<size_t>(V * d));
+    ex->catalog_scale_.resize(static_cast<size_t>(V));
+    quant::RowQuantStats st;
+    quant::QuantizeRowsSymmetric(rows.data(), V, d, ex->catalog_q_.data(),
+                                 ex->catalog_scale_.data(), &st);
+    ex->qinfo_.enabled = true;
+    ex->qinfo_.min_scale = st.min_scale;
+    ex->qinfo_.max_scale = st.max_scale;
+    ex->qinfo_.zero_rows = st.zero_rows;
+    ex->qinfo_.saturated = st.saturated;
+    ex->qinfo_.int8_bytes =
+        V * d * static_cast<int64_t>(sizeof(int8_t)) +
+        V * static_cast<int64_t>(sizeof(float));
+    ex->qinfo_.fp32_bytes = V * d * static_cast<int64_t>(sizeof(float));
+    // Activation-side scratch: one quantized row per interest row (max
+    // routing) or per batch row (mean routing), plus the int32 accumulators
+    // the routing pass dequantizes from.
+    const int64_t act_rows = mean_routing ? max_batch : max_batch * K;
+    ex->act_q_.assign(static_cast<size_t>(act_rows * d), 0);
+    ex->act_scale_.assign(static_cast<size_t>(act_rows), 0.0f);
+    ex->acc_q_.assign(static_cast<size_t>(act_rows * V), 0);
+    int32_t score_scratch = mean_routing ? ex->NewBuffer(d, "interest_mean")
+                                         : -1;
+    ex->scores_buf_ = ex->NewBuffer(V, "scores");
+    Op op;
+    op.kind = OpKind::kCatalogScoreQ;
+    op.label =
+        mean_routing ? "catalog_score_q(mean)" : "catalog_score_q(max)";
+    op.src = fused;
+    op.dst = ex->scores_buf_;
+    op.scratch = score_scratch;
+    op.wq = ex->catalog_q_.data();
+    op.wscale = ex->catalog_scale_.data();
     op.k = K;
     op.in = d;
     op.out = V;
@@ -598,6 +655,18 @@ std::unique_ptr<PlannedExecutor> PlannedExecutor::Compile(
     reg.GetHistogram("infer.compile_ns").Observe(obs::NowNanos() - t0);
     reg.GetGauge("infer.plan_ops").Set(ex->num_ops());
     reg.GetGauge("infer.scratch_bytes").Set(ex->scratch_bytes());
+    if (ex->qinfo_.enabled) {
+      // Gauges are integral; scales are published in microunits.
+      reg.GetGauge("infer.quant.scale_min_e6")
+          .Set(static_cast<int64_t>(
+              std::lround(static_cast<double>(ex->qinfo_.min_scale) * 1e6)));
+      reg.GetGauge("infer.quant.scale_max_e6")
+          .Set(static_cast<int64_t>(
+              std::lround(static_cast<double>(ex->qinfo_.max_scale) * 1e6)));
+      reg.GetGauge("infer.quant.zero_rows").Set(ex->qinfo_.zero_rows);
+      reg.GetCounter("infer.quant.saturated").Add(ex->qinfo_.saturated);
+      reg.GetGauge("infer.quant.catalog_bytes").Set(ex->qinfo_.int8_bytes);
+    }
   }
   return ex;
 }

@@ -17,6 +17,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/parallel_for.h"
+#include "tensor/quant.h"
 #include "tensor/simd.h"
 #include "utils/check.h"
 
@@ -27,10 +28,15 @@ namespace {
 struct InferMetrics {
   obs::Counter& runs;
   obs::Histogram& run_ns;
+  /// Activation-side int8 codes clamped to ±127 (rounding edge cases; the
+  /// per-row symmetric scale makes genuine saturation impossible).
+  obs::Counter& quant_act_saturated;
   static InferMetrics& Get() {
     static InferMetrics m{
         obs::MetricsRegistry::Global().GetCounter("infer.runs"),
-        obs::MetricsRegistry::Global().GetHistogram("infer.run_ns")};
+        obs::MetricsRegistry::Global().GetHistogram("infer.run_ns"),
+        obs::MetricsRegistry::Global().GetCounter(
+            "infer.quant.act_saturated")};
     return m;
   }
 };
@@ -123,6 +129,7 @@ void PlannedExecutor::Execute(const Op& op, int64_t b) {
     case OpKind::kCommonPool: return ExecCommonPool(op, b);
     case OpKind::kBroadcastAddRow: return ExecBroadcastAddRow(op, b);
     case OpKind::kCatalogScore: return ExecCatalogScore(op, b);
+    case OpKind::kCatalogScoreQ: return ExecCatalogScoreQ(op, b);
   }
   MISSL_CHECK(false) << "planned executor: unknown op kind";
 }
@@ -522,6 +529,88 @@ void PlannedExecutor::ExecCatalogScore(const Op& op, int64_t b) {
           float best = -std::numeric_limits<float>::infinity();
           for (int64_t kk = 0; kk < K; ++kk) {
             const float val = logits[(bb * K + kk) * V + vv];
+            if (val > best) best = val;
+          }
+          dst[i] = best;
+        }
+      });
+}
+
+// Int8 catalog scoring. Activation rows (the fused interests — or, for mean
+// routing, the per-batch fp32 interest mean computed exactly as the fp32
+// plan computes it) are quantized per row per Run; the item scores are int32
+// row-dots against the compile-time quantized catalog, dequantized by one
+// fp32 multiply fused into the max/mean routing pass. Determinism: the
+// integer dot is order-free (any tier blocking lands on quant::Int8DotRef),
+// the quantization and dequant epilogue are scalar single-rounded formulas
+// evaluated per element — so scores are bitwise identical on every SIMD
+// tier at every thread count (tests/quant_test.cc enforces it).
+void PlannedExecutor::ExecCatalogScoreQ(const Op& op, int64_t b) {
+  const int64_t K = op.k, d = op.in, V = op.out;
+  const float* ints = BufPtr(op.src);
+  float* dst = BufPtr(op.dst);
+  const float* act = ints;
+  int64_t rows = b * K;
+  if (op.flag) {  // mean routing: fp32 mean first, then quantize the mean row
+    float* mean = BufPtr(op.scratch);
+    runtime::ParallelFor(0, b, 1, [&](int64_t b0, int64_t b1) {
+      for (int64_t bb = b0; bb < b1; ++bb) {
+        float* mrow = mean + bb * d;
+        for (int64_t j = 0; j < d; ++j) {
+          float acc = 0.0f;
+          for (int64_t kk = 0; kk < K; ++kk) acc += ints[(bb * K + kk) * d + j];
+          mrow[j] = acc * (1.0f / static_cast<float>(K));
+        }
+      }
+    });
+    act = mean;
+    rows = b;
+  }
+  // Activation quantization stays serial: at most max_batch * K short rows,
+  // and a single scan keeps the saturation count free of atomics.
+  quant::RowQuantStats st;
+  quant::QuantizeRowsSymmetric(act, rows, d, act_q_.data(), act_scale_.data(),
+                               &st);
+  if (st.saturated > 0 && obs::MetricsEnabled()) {
+    InferMetrics::Get().quant_act_saturated.Add(st.saturated);
+  }
+  const int8_t* aq = act_q_.data();
+  const int8_t* cq = op.wq;
+  int32_t* acc = acc_q_.data();
+  const float* as = act_scale_.data();
+  const float* cs = op.wscale;
+  if (op.flag) {  // mean routing: fused dot + dequant, no int32 scratch pass
+    // Chunks are PAIRS of activation rows so the tile kernel can walk the
+    // catalog once per pair (each loaded catalog vector feeds two dot
+    // chains) and dequantize straight out of registers — the [V]-sized
+    // int32 row never touches memory at all. Cost per pair is two rows'
+    // worth of the fp32 op's per-row granularity.
+    runtime::ParallelFor(
+        0, (b + 1) / 2, runtime::GrainForCost(4 * d * V),
+        [&](int64_t p0, int64_t p1) {
+          const int64_t i0 = 2 * p0;
+          const int64_t i1 = std::min<int64_t>(b, 2 * p1);
+          simd::Int8DotDequantTile(aq + i0 * d, as + i0, i1 - i0, cq, cs,
+                                   dst + i0 * V, V, d, 0, V);
+        });
+    return;
+  }
+  runtime::ParallelFor(
+      0, rows, runtime::GrainForCost(2 * d * V), [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          simd::Int8DotRows(aq + r * d, cq, acc + r * V, d, 0, V);
+        }
+      });
+  // Max routing: dequant fused into the strict-> ascending-K max scan.
+  runtime::ParallelFor(
+      0, b * V, runtime::GrainForCost(4 * K), [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          const int64_t bb = i / V, vv = i % V;
+          float best = -std::numeric_limits<float>::infinity();
+          for (int64_t kk = 0; kk < K; ++kk) {
+            const int64_t r = bb * K + kk;
+            const float val =
+                (as[r] * cs[vv]) * static_cast<float>(acc[r * V + vv]);
             if (val > best) best = val;
           }
           dst[i] = best;

@@ -63,6 +63,8 @@ enum class OpKind : int {
   kCommonPool,          ///< masked mean pool + last position (common interest)
   kBroadcastAddRow,     ///< dst[b,k,:] = src[b,k,:] + src2[b,:]
   kCatalogScore,        ///< logits = interests x catalog; max/mean routing
+  kCatalogScoreQ,       ///< int8 catalog scoring: quantize activations,
+                        ///< int32 row-dots, fp32 dequant fused into routing
 };
 
 /// Fused activation epilogues applied per element after the bias add of a
@@ -100,6 +102,11 @@ struct BufferSpec {
 ///   kBroadcastAddRow:  src2 = [d] row added to each of the K interest rows.
 ///   kCatalogScore:     w = catalog [d, V]; flag = mean routing; scratch =
 ///                      logits ([K, V]) or interest mean ([d]).
+///   kCatalogScoreQ:    wq/wscale = item-major int8 catalog [V, d] + per-item
+///                      scales [V]; flag = mean routing; scratch = interest
+///                      mean ([d], mean routing only — the int32 accumulators
+///                      and int8 activation rows live in presized executor
+///                      members, not the float arena).
 struct Op {
   OpKind kind = OpKind::kLinear;
   std::string label;
@@ -108,6 +115,8 @@ struct Op {
   int32_t scratch = -1, scratch2 = -1;       ///< op-private scratch buffers
   std::vector<int32_t> srcs;                 ///< kAuxMean input list
   const float* w = nullptr;                  ///< primary weight / table
+  const int8_t* wq = nullptr;                ///< quantized catalog [V, d]
+  const float* wscale = nullptr;             ///< per-item fp32 scales [V]
   const float* w2 = nullptr;                 ///< secondary table (positions)
   const float* w3 = nullptr;                 ///< tertiary table (behaviors)
   const float* bias = nullptr;               ///< bias / recency table
@@ -120,6 +129,29 @@ struct Op {
   float scale = 0.0f;                        ///< scale / eps / gate constant
   int32_t behavior = -1;                     ///< interest channel
   bool flag = false;                         ///< kind-specific switch
+};
+
+/// Compile-time options. The defaults reproduce the fp32 plan exactly.
+struct InferConfig {
+  /// Quantize the catalog to symmetric per-item int8 at compile time and
+  /// emit kCatalogScoreQ instead of kCatalogScore. The int8 path is bitwise
+  /// deterministic across SIMD tiers and thread counts (integer
+  /// accumulation), but its scores differ from fp32 by quantization error —
+  /// accuracy is gated as a ranking-level NDCG@10/Recall@10 bound in
+  /// tests/quant_test.cc, never as float equality.
+  bool quantize_catalog = false;
+};
+
+/// Catalog-quantization statistics, resolved at compile time (plus the
+/// running activation-side saturation count). Exposed on /statusz.
+struct QuantInfo {
+  bool enabled = false;
+  float min_scale = 0.0f;     ///< smallest non-zero per-item scale
+  float max_scale = 0.0f;     ///< largest per-item scale
+  int64_t zero_rows = 0;      ///< all-zero catalog items (scale 0)
+  int64_t saturated = 0;      ///< catalog codes clamped to ±127 at compile
+  int64_t int8_bytes = 0;     ///< quantized catalog + scales footprint
+  int64_t fp32_bytes = 0;     ///< fp32 catalog footprint, for the ratio
 };
 
 /// A frozen MisslModel forward compiled to a static op plan. Thread-safety:
@@ -139,6 +171,14 @@ class PlannedExecutor {
                                                   int64_t max_batch,
                                                   Status* status);
 
+  /// Same, with compile-time options (InferConfig::quantize_catalog selects
+  /// the int8 catalog tier). The overload above is Compile(..., {} , ...).
+  static std::unique_ptr<PlannedExecutor> Compile(const core::MisslModel& model,
+                                                  const Tensor& catalog,
+                                                  int64_t max_batch,
+                                                  const InferConfig& options,
+                                                  Status* status);
+
   /// Executes the plan on `batch` and returns the [batch_size, num_items]
   /// row-major score matrix, resident in the plan's arena (valid until the
   /// next Run). Requires batch.max_len == the compiled max_len and
@@ -156,6 +196,10 @@ class PlannedExecutor {
   int64_t max_batch() const { return max_batch_; }
   int64_t max_len() const { return t_; }
   int64_t num_items() const { return num_items_; }
+  /// True when the plan scores through the int8 catalog tier.
+  bool quantized() const { return qinfo_.enabled; }
+  /// Catalog-quantization statistics (all zero when !quantized()).
+  const QuantInfo& quant_info() const { return qinfo_; }
 
   /// One line per op ("[12] linear rows=20 in=32 out=64 act=gelu ..."), the
   /// human-readable plan dump used by tests and debugging.
@@ -185,6 +229,7 @@ class PlannedExecutor {
   void ExecCommonPool(const Op& op, int64_t b);
   void ExecBroadcastAddRow(const Op& op, int64_t b);
   void ExecCatalogScore(const Op& op, int64_t b);
+  void ExecCatalogScoreQ(const Op& op, int64_t b);
 
   float* BufPtr(int32_t id) {
     return arena_.data() + bufs_[static_cast<size_t>(id)].offset;
@@ -209,6 +254,17 @@ class PlannedExecutor {
   const float* catalog_ = nullptr;
   std::deque<std::vector<float>> constants_;  ///< plan-time derived weights
   std::vector<Tensor> keepalive_;  ///< shares ownership of referenced params
+
+  // Int8 catalog tier (InferConfig::quantize_catalog). The quantized
+  // catalog is repacked item-major so each item score is one contiguous
+  // int8 row-dot; the activation-side buffers are presized at compile so
+  // Run stays allocation-free (same rule as the integer id scratch below).
+  QuantInfo qinfo_;
+  std::vector<int8_t> catalog_q_;      ///< [V, d] item-major int8 codes
+  std::vector<float> catalog_scale_;   ///< [V] per-item scales
+  std::vector<int8_t> act_q_;          ///< per-run quantized activation rows
+  std::vector<float> act_scale_;       ///< per-run activation row scales
+  std::vector<int32_t> acc_q_;         ///< per-run int32 dot accumulators
 
   // Per-run integer scratch (presized at compile; Run only overwrites).
   std::vector<int32_t> items_;  ///< effective merged items (ablation-masked)

@@ -49,6 +49,14 @@ struct ServeMetrics {
 
 }  // namespace
 
+const char* ExecutorKindName(ExecutorKind k) {
+  return k == ExecutorKind::kPlanned ? "planned" : "graph";
+}
+
+const char* PrecisionName(Precision p) {
+  return p == Precision::kInt8 ? "int8" : "fp32";
+}
+
 data::Batch BuildQueryBatch(const std::vector<const Query*>& queries,
                             int64_t max_len, int32_t num_behaviors) {
   MISSL_CHECK(!queries.empty() && max_len > 0 && num_behaviors > 0);
@@ -165,6 +173,13 @@ std::unique_ptr<RecoService> RecoService::Load(
         std::to_string(config.num_threads));
     return nullptr;
   }
+  if (config.precision == Precision::kInt8 &&
+      config.executor != ExecutorKind::kPlanned) {
+    *status = Status::InvalidArgument(
+        "Precision::kInt8 (--precision int8) requires the planned executor "
+        "(--executor planned); the graph path scores fp32 only");
+    return nullptr;
+  }
   *status = nn::LoadParametersForInference(model.get(), checkpoint_path);
   if (!status->ok()) return nullptr;
   // The batcher front-pads every query to config.max_len positions; if the
@@ -204,8 +219,10 @@ std::unique_ptr<RecoService> RecoService::Load(
           svc->model_->Name() + "'");
       return nullptr;
     }
+    infer::InferConfig icfg;
+    icfg.quantize_catalog = config.precision == Precision::kInt8;
     svc->planned_ = infer::PlannedExecutor::Compile(
-        *missl, svc->catalog_, config.max_batch, status);
+        *missl, svc->catalog_, config.max_batch, icfg, status);
     if (svc->planned_ == nullptr) return nullptr;
   }
   int threads = config.num_threads > 0 ? config.num_threads

@@ -66,6 +66,21 @@ struct TopKResult {
 ///              (docs/INFERENCE.md). Requires a MISSL model.
 enum class ExecutorKind { kGraph, kPlanned };
 
+/// Catalog-scoring precision.
+///   kFp32 — full-precision scoring; both executors, the bitwise oracle.
+///   kInt8 — the quantized catalog tier (docs/INFERENCE.md): the planned
+///           executor quantizes the catalog to symmetric per-item int8 at
+///           Load and scores through int32 maddubs dots with an fp32 dequant
+///           epilogue. Deterministic across tiers/threads, but NOT bitwise
+///           equal to fp32 — accuracy is a ranking-level bound
+///           (tests/quant_test.cc). Requires ExecutorKind::kPlanned.
+enum class Precision { kFp32, kInt8 };
+
+/// Stable display names ("graph"/"planned", "fp32"/"int8") used by /statusz
+/// and the missl_serve flag parser.
+const char* ExecutorKindName(ExecutorKind k);
+const char* PrecisionName(Precision p);
+
 /// Serving knobs. `max_len` must equal the history window the model was
 /// constructed with (its position table size).
 struct ServeConfig {
@@ -74,6 +89,7 @@ struct ServeConfig {
   int64_t max_wait_us = 2000;  ///< how long the batcher waits to fill a batch
   int num_threads = 0;      ///< forward-pass threads; 0 = runtime default
   ExecutorKind executor = ExecutorKind::kGraph;  ///< see ExecutorKind
+  Precision precision = Precision::kFp32;        ///< see Precision
 };
 
 /// Thread-safe serving front-end around one frozen model. Construct via

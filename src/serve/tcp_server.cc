@@ -13,6 +13,7 @@
 #include <sstream>
 #include <utility>
 
+#include "infer/plan.h"
 #include "obs/exposition.h"
 #include "obs/flight_recorder.h"
 #include "obs/json.h"
@@ -722,7 +723,9 @@ std::string TcpServer::StatuszJson() const {
      << ",\"serve_config\":{\"max_len\":" << sc.max_len
      << ",\"max_batch\":" << sc.max_batch
      << ",\"max_wait_us\":" << sc.max_wait_us
-     << ",\"num_threads\":" << sc.num_threads << "}"
+     << ",\"num_threads\":" << sc.num_threads
+     << ",\"executor\":\"" << ExecutorKindName(sc.executor) << "\""
+     << ",\"precision\":\"" << PrecisionName(sc.precision) << "\"}"
      << ",\"tcp_config\":{\"max_connections\":" << config_.max_connections
      << ",\"num_workers\":" << config_.num_workers
      << ",\"max_line_bytes\":" << config_.max_line_bytes
@@ -730,7 +733,23 @@ std::string TcpServer::StatuszJson() const {
      << "}"
      << ",\"catalog\":{\"num_items\":" << service_->num_items()
      << ",\"num_behaviors\":" << service_->num_behaviors()
-     << ",\"dim\":" << service_->catalog_dim() << "}"
+     << ",\"dim\":" << service_->catalog_dim() << "}";
+  // Quantized-catalog stats (docs/INFERENCE.md): enabled only when the
+  // planned executor was compiled with the int8 tier.
+  const infer::PlannedExecutor* plan = service_->planned_executor();
+  if (plan != nullptr && plan->quantized()) {
+    const infer::QuantInfo& qi = plan->quant_info();
+    ss << ",\"quant\":{\"enabled\":true"
+       << ",\"min_scale\":" << qi.min_scale
+       << ",\"max_scale\":" << qi.max_scale
+       << ",\"zero_rows\":" << qi.zero_rows
+       << ",\"saturated\":" << qi.saturated
+       << ",\"int8_bytes\":" << qi.int8_bytes
+       << ",\"fp32_bytes\":" << qi.fp32_bytes << "}";
+  } else {
+    ss << ",\"quant\":{\"enabled\":false}";
+  }
+  ss
      << ",\"requests_served\":" << service_->requests_served()
      << ",\"batches_run\":" << service_->batches_run()
      << ",\"connections\":{\"active\":" << active

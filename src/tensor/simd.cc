@@ -34,6 +34,16 @@ void LayerNormGradRow(const float* g, const float* gamma, const float* xh,
                       float m1, float m2, float is, float* gx, int64_t n);
 void SoftmaxGradRow(const float* y, const float* g, float dot, float* ga,
                     int64_t n);
+void Int8DotRows(const int8_t* a, const int8_t* b, int32_t* o, int64_t k,
+                 int64_t r0, int64_t r1);
+void DequantRow(const int32_t* acc, float act_scale, const float* scales,
+                float* out, int64_t n);
+void Int8DotDequantRows(const int8_t* a, float act_scale, const int8_t* b,
+                        const float* scales, float* o, int64_t k, int64_t r0,
+                        int64_t r1);
+void Int8DotDequantTile(const int8_t* a, const float* act_scales, int64_t na,
+                        const int8_t* b, const float* scales, float* o,
+                        int64_t ldo, int64_t k, int64_t r0, int64_t r1);
 }  // namespace avx2
 #endif  // MISSL_SIMD_AVX2
 
@@ -47,10 +57,24 @@ bool CpuHasAvx2() {
 #endif
 }
 
+bool CpuHasAvxVnni() {
+#if defined(MISSL_SIMD_AVX2) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avxvnni");
+#else
+  return false;
+#endif
+}
+
 void PublishTierGauge(Tier t) {
   static obs::Gauge& gauge =
       obs::MetricsRegistry::Global().GetGauge("simd.tier");
   gauge.Set(static_cast<int64_t>(t));
+}
+
+void PublishVnniGauge(bool on) {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::Global().GetGauge("simd.vnni");
+  gauge.Set(on ? 1 : 0);
 }
 
 // Resolves the startup tier from MISSL_SIMD + CPUID. Unknown values fall
@@ -87,6 +111,20 @@ Tier ResolveTier() {
 // reader either sees the final tier or resolves the same value itself.
 std::atomic<int> g_tier{-1};
 
+// VNNI sub-dispatch state for the int8 kernels, same write-once discipline:
+// -1 = unresolved, else 0/1. Resolved from availability + MISSL_SIMD_VNNI.
+std::atomic<int> g_vnni{-1};
+
+bool ResolveVnni() {
+  if (!AvxVnniAvailable()) return false;
+  const char* env = std::getenv("MISSL_SIMD_VNNI");
+  if (env != nullptr &&
+      (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0)) {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 bool Avx2Available() {
@@ -97,6 +135,43 @@ bool Avx2Available() {
   return false;
 #endif
 }
+
+bool AvxVnniAvailable() {
+#ifdef MISSL_SIMD_AVX2
+  static const bool available = Avx2Available() && CpuHasAvxVnni();
+  return available;
+#else
+  return false;
+#endif
+}
+
+bool AvxVnniEnabled() {
+  int v = g_vnni.load(std::memory_order_relaxed);
+  if (v < 0) {
+    bool resolved = ResolveVnni();
+    int expected = -1;
+    if (g_vnni.compare_exchange_strong(expected, resolved ? 1 : 0,
+                                       std::memory_order_relaxed)) {
+      PublishVnniGauge(resolved);
+      v = resolved ? 1 : 0;
+    } else {
+      v = expected;  // another thread resolved (or SetAvxVnni ran) first
+    }
+  }
+  return v != 0;
+}
+
+void SetAvxVnni(bool on) {
+  MISSL_CHECK(!on || AvxVnniAvailable())
+      << "AVX-VNNI is not available in this build or on this CPU";
+  g_vnni.store(on ? 1 : 0, std::memory_order_relaxed);
+  PublishVnniGauge(on);
+}
+
+ScopedAvxVnni::ScopedAvxVnni(bool on) : prev_(AvxVnniEnabled()) {
+  SetAvxVnni(on);
+}
+ScopedAvxVnni::~ScopedAvxVnni() { SetAvxVnni(prev_); }
 
 Tier ActiveTier() {
   int t = g_tier.load(std::memory_order_relaxed);
@@ -219,6 +294,57 @@ void SoftmaxGradRow(const float* y, const float* g, float dot, float* ga,
   for (int64_t i = 0; i < n; ++i) ga[i] += y[i] * (g[i] - dot);
 }
 
+// Integer kernel: unlike the float loops above, this one is the contract
+// only up to the mathematical sum — int32 adds are associative, so any
+// re-blocking (the AVX2 path uses 32-lane maddubs partials) is bitwise
+// identical automatically.
+void Int8DotRows(const int8_t* a, const int8_t* b, int32_t* o, int64_t k,
+                 int64_t r0, int64_t r1) {
+  for (int64_t r = r0; r < r1; ++r) {
+    const int8_t* brow = b + r * k;
+    int32_t acc = 0;
+    for (int64_t i = 0; i < k; ++i) {
+      acc += static_cast<int32_t>(a[i]) * static_cast<int32_t>(brow[i]);
+    }
+    o[r] = acc;
+  }
+}
+
+// Dequant epilogue: per-element fixed rounding sequence (convert, two
+// multiplies); the AVX2 path replays it lane-wise, so tiers agree bitwise.
+void DequantRow(const int32_t* acc, float act_scale, const float* scales,
+                float* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = (act_scale * scales[i]) * static_cast<float>(acc[i]);
+  }
+}
+
+// Fused dot + dequant: the integer sum is exact and the epilogue replays
+// DequantRow's per-element sequence, so fused == composed, bitwise.
+void Int8DotDequantRows(const int8_t* a, float act_scale, const int8_t* b,
+                        const float* scales, float* o, int64_t k, int64_t r0,
+                        int64_t r1) {
+  for (int64_t r = r0; r < r1; ++r) {
+    const int8_t* brow = b + r * k;
+    int32_t acc = 0;
+    for (int64_t i = 0; i < k; ++i) {
+      acc += static_cast<int32_t>(a[i]) * static_cast<int32_t>(brow[i]);
+    }
+    o[r] = (act_scale * scales[r]) * static_cast<float>(acc);
+  }
+}
+
+// Tile = na independent row-kernel calls; the AVX2 path only changes the
+// catalog traversal order (pairing activation rows), never the arithmetic.
+void Int8DotDequantTile(const int8_t* a, const float* act_scales, int64_t na,
+                        const int8_t* b, const float* scales, float* o,
+                        int64_t ldo, int64_t k, int64_t r0, int64_t r1) {
+  for (int64_t i = 0; i < na; ++i) {
+    Int8DotDequantRows(a + i * k, act_scales[i], b, scales, o + i * ldo, k,
+                       r0, r1);
+  }
+}
+
 }  // namespace scalar
 
 // ---- Dispatch ---------------------------------------------------------------
@@ -295,6 +421,30 @@ void LayerNormGradRow(const float* g, const float* gamma, const float* xh,
 void SoftmaxGradRow(const float* y, const float* g, float dot, float* ga,
                     int64_t n) {
   MISSL_SIMD_DISPATCH(SoftmaxGradRow, y, g, dot, ga, n);
+}
+
+void Int8DotRows(const int8_t* a, const int8_t* b, int32_t* o, int64_t k,
+                 int64_t r0, int64_t r1) {
+  MISSL_SIMD_DISPATCH(Int8DotRows, a, b, o, k, r0, r1);
+}
+
+void DequantRow(const int32_t* acc, float act_scale, const float* scales,
+                float* out, int64_t n) {
+  MISSL_SIMD_DISPATCH(DequantRow, acc, act_scale, scales, out, n);
+}
+
+void Int8DotDequantRows(const int8_t* a, float act_scale, const int8_t* b,
+                        const float* scales, float* o, int64_t k, int64_t r0,
+                        int64_t r1) {
+  MISSL_SIMD_DISPATCH(Int8DotDequantRows, a, act_scale, b, scales, o, k, r0,
+                      r1);
+}
+
+void Int8DotDequantTile(const int8_t* a, const float* act_scales, int64_t na,
+                        const int8_t* b, const float* scales, float* o,
+                        int64_t ldo, int64_t k, int64_t r0, int64_t r1) {
+  MISSL_SIMD_DISPATCH(Int8DotDequantTile, a, act_scales, na, b, scales, o,
+                      ldo, k, r0, r1);
 }
 
 #undef MISSL_SIMD_DISPATCH

@@ -28,6 +28,13 @@
 // picks the best available), gated on the CMake option MISSL_SIMD (which
 // compiles the AVX2 translation unit at all) and a CPUID check at
 // startup. The resolved tier is published on the "simd.tier" obs gauge.
+//
+// Within the AVX2 tier, the integer int8 kernels additionally sub-dispatch
+// to AVX-VNNI (vpdpbusd) when the CPU has it: one instruction replaces the
+// sign-trick maddubs/madd pair and accumulates u8 x s8 quads into int32
+// exactly — no int16 intermediate at all, so the result is the same exact
+// integer sum and the sub-tier stays bitwise invisible. MISSL_SIMD_VNNI=off
+// (or "0") disables it; the resolved state is on the "simd.vnni" gauge.
 #ifndef MISSL_TENSOR_SIMD_H_
 #define MISSL_TENSOR_SIMD_H_
 
@@ -53,6 +60,32 @@ void SetTier(Tier t);
 /// True when the AVX2 tier was compiled in (CMake MISSL_SIMD=ON on x86-64)
 /// and the running CPU supports it.
 bool Avx2Available();
+
+/// True when the AVX2 tier is available AND the CPU supports AVX-VNNI
+/// (the 256-bit vpdpbusd extension; CPUID leaf 7.1 EAX bit 4).
+bool AvxVnniAvailable();
+
+/// True when the int8 kernels' AVX2 path will use vpdpbusd: available, not
+/// disabled by MISSL_SIMD_VNNI=off, and not overridden by SetAvxVnni.
+/// Resolved once on first use, then cached.
+bool AvxVnniEnabled();
+
+/// Overrides the VNNI sub-dispatch (tests/benches compare the maddubs and
+/// vpdpbusd paths on the same machine). CHECK-fails if `on` but AVX-VNNI is
+/// unavailable. Re-publishes the "simd.vnni" gauge.
+void SetAvxVnni(bool on);
+
+/// RAII VNNI override restoring the previous state on scope exit.
+class ScopedAvxVnni {
+ public:
+  explicit ScopedAvxVnni(bool on);
+  ~ScopedAvxVnni();
+  ScopedAvxVnni(const ScopedAvxVnni&) = delete;
+  ScopedAvxVnni& operator=(const ScopedAvxVnni&) = delete;
+
+ private:
+  bool prev_;
+};
 
 /// Human-readable tier name ("scalar", "avx2").
 const char* TierName(Tier t);
@@ -120,6 +153,48 @@ void LayerNormGradRow(const float* g, const float* gamma, const float* xh,
 /// reduction stays scalar).
 void SoftmaxGradRow(const float* y, const float* g, float dot, float* ga,
                     int64_t n);
+
+/// o[r] = sum over i of int32(a[i]) * int32(b[r*k + i]) for rows r in
+/// [r0, r1): one quantized activation row dotted against rows of a row-major
+/// int8 matrix (the item-major quantized catalog). The contract is
+/// quant::Int8DotRef (tensor/quant.h): a plain int32 sum of element
+/// products. Integer accumulation is order-free, so every tier is bitwise
+/// identical by arithmetic — stronger than the fp32 kernels' fixed-order
+/// rule, and the AVX2 maddubs path may therefore re-block freely. Inputs
+/// must be quantization codes in [-127, 127]; -128 would let a maddubs pair
+/// sum saturate int16.
+void Int8DotRows(const int8_t* a, const int8_t* b, int32_t* o, int64_t k,
+                 int64_t r0, int64_t r1);
+
+/// out[i] = (act_scale * scales[i]) * float(acc[i]) — the fp32 dequant
+/// epilogue of the int8 catalog tier. Per element: one int32->fp32 convert
+/// and two multiplies, each individually rounded in that fixed sequence; the
+/// AVX2 path applies the identical sequence lane-wise (no FMA, no
+/// reassociation), so the tiers agree bitwise.
+void DequantRow(const int32_t* acc, float act_scale, const float* scales,
+                float* out, int64_t n);
+
+/// o[r] = (act_scale * scales[r]) * float(dot(a, b[r,:])) for rows r in
+/// [r0, r1): Int8DotRows with the DequantRow epilogue fused per output. The
+/// integer dot is exact on every tier and the dequant applies DequantRow's
+/// per-element sequence (convert, two rounded multiplies, no FMA), so the
+/// fused kernel is bitwise identical to the two-kernel composition — while
+/// skipping the int32 scratch row's write+read round trip entirely.
+void Int8DotDequantRows(const int8_t* a, float act_scale, const int8_t* b,
+                        const float* scales, float* o, int64_t k, int64_t r0,
+                        int64_t r1);
+
+/// o[i*ldo + r] = (act_scales[i] * scales[r]) * float(dot(a[i,:], b[r,:]))
+/// for activation rows i in [0, na) x catalog rows r in [r0, r1):
+/// Int8DotDequantRows over a whole tile of activation rows. Semantically
+/// exactly na independent calls of the row kernel — same exact integer dots,
+/// same per-element dequant sequence, so bitwise identical on every tier.
+/// The AVX2 path walks the catalog once per PAIR of activation rows (each
+/// loaded catalog vector feeds two dot chains), halving the kernel's
+/// dominant memory stream — the catalog re-read per activation row.
+void Int8DotDequantTile(const int8_t* a, const float* act_scales, int64_t na,
+                        const int8_t* b, const float* scales, float* o,
+                        int64_t ldo, int64_t k, int64_t r0, int64_t r1);
 
 }  // namespace missl::simd
 

@@ -9,6 +9,8 @@
 
 #include <cstdint>
 
+#include "tensor/simd.h"
+
 namespace missl::simd::avx2 {
 
 namespace {
@@ -544,6 +546,480 @@ void SoftmaxGradRow(const float* y, const float* g, float dot, float* ga,
     SoftmaxGradRowImpl<true>(y, g, dot, ga, n);
   } else {
     SoftmaxGradRowImpl<false>(y, g, dot, ga, n);
+  }
+}
+
+// ---- Int8 catalog tier ------------------------------------------------------
+//
+// Unlike the float kernels above, the int8 dot is free to re-block: the
+// contract (quant::Int8DotRef) is an int32 sum of int32 products, and
+// integer addition is associative, so maddubs pair sums, 32-lane partials
+// and the final horizontal reduction all land on exactly the scalar result.
+// The signed x signed product runs through the classic sign trick —
+// maddubs multiplies u8 x s8, so feed it |a| and b*sign(a). Codes are
+// clamped to [-127, 127] at quantization time (tensor/quant.cc), which
+// bounds every maddubs pair sum by 2 * 127 * 127 = 32258 < 2^15: the
+// intermediate int16 never saturates and the pair sums are exact.
+//
+// Structure note: the hot shapes (k = 32 and k = 64, the embedding dims the
+// serving stack ships) get their own branch-free template instantiations.
+// A single generic loop with a runtime block count looks tidier but makes
+// GCC merge all paths into one allocation region and bounce every catalog
+// load off a stack slot — measured ~2x slower than the fixed-shape loops.
+
+namespace {
+
+// 32 int8 lanes of a * b, pair-summed into 8 exact int32 lanes. `ua` must be
+// |va| (hoisted by the caller — it only depends on the activation row).
+inline __m256i Int8DotStep(__m256i va, __m256i ua, __m256i vb) {
+  const __m256i sb = _mm256_sign_epi8(vb, va);  // b * sign(a); 0 where a == 0
+  const __m256i pair16 = _mm256_maddubs_epi16(ua, sb);
+  return _mm256_madd_epi16(pair16, _mm256_set1_epi16(1));
+}
+
+// Sum of the 8 int32 lanes (exact, order-free).
+inline int32_t Hsum256(__m256i v) {
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(v),
+                            _mm256_extracti128_si256(v, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+// Reduces four 8-lane int32 accumulators to their four exact totals
+// [s0, s1, s2, s3] via a hadd tree — ~4x cheaper than four Hsum256 calls,
+// and still exact: every step is an integer add.
+inline __m128i Hsum4x256(__m256i a0, __m256i a1, __m256i a2, __m256i a3) {
+  const __m256i h01 = _mm256_hadd_epi32(a0, a1);
+  const __m256i h23 = _mm256_hadd_epi32(a2, a3);
+  const __m256i h = _mm256_hadd_epi32(h01, h23);  // [p0 p1 p2 p3 | q0 q1 q2 q3]
+  return _mm_add_epi32(_mm256_castsi256_si128(h),
+                       _mm256_extracti128_si256(h, 1));
+}
+
+inline __m256i LoadI8(const int8_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+// The activation row's one or two 32-byte blocks, loaded and sign-stripped
+// once per kernel call — they are loop-invariant across the whole catalog.
+template <int kNB>  // number of 32-byte activation blocks (k = 32 * kNB)
+struct ActRegs {
+  __m256i va0, ua0, va1, ua1;
+  explicit ActRegs(const int8_t* a) {
+    va0 = LoadI8(a);
+    ua0 = _mm256_sign_epi8(va0, va0);  // |a|, fits u8 (<= 127)
+    if constexpr (kNB == 2) {
+      va1 = LoadI8(a + 32);
+      ua1 = _mm256_sign_epi8(va1, va1);
+    } else {
+      va1 = ua1 = _mm256_setzero_si256();
+    }
+  }
+};
+
+// Exact totals of four consecutive catalog rows starting at b0.
+template <int kNB>
+inline __m128i Dot4Fixed(const ActRegs<kNB>& ar, const int8_t* b0) {
+  constexpr int64_t k = 32 * kNB;
+  __m256i a0 = Int8DotStep(ar.va0, ar.ua0, LoadI8(b0));
+  __m256i a1 = Int8DotStep(ar.va0, ar.ua0, LoadI8(b0 + k));
+  __m256i a2 = Int8DotStep(ar.va0, ar.ua0, LoadI8(b0 + 2 * k));
+  __m256i a3 = Int8DotStep(ar.va0, ar.ua0, LoadI8(b0 + 3 * k));
+  if constexpr (kNB == 2) {
+    a0 = _mm256_add_epi32(a0, Int8DotStep(ar.va1, ar.ua1, LoadI8(b0 + 32)));
+    a1 = _mm256_add_epi32(a1, Int8DotStep(ar.va1, ar.ua1, LoadI8(b0 + k + 32)));
+    a2 = _mm256_add_epi32(a2,
+                          Int8DotStep(ar.va1, ar.ua1, LoadI8(b0 + 2 * k + 32)));
+    a3 = _mm256_add_epi32(a3,
+                          Int8DotStep(ar.va1, ar.ua1, LoadI8(b0 + 3 * k + 32)));
+  }
+  return Hsum4x256(a0, a1, a2, a3);
+}
+
+template <int kNB>
+inline int32_t Dot1Fixed(const ActRegs<kNB>& ar, const int8_t* brow) {
+  __m256i acc = Int8DotStep(ar.va0, ar.ua0, LoadI8(brow));
+  if constexpr (kNB == 2) {
+    acc = _mm256_add_epi32(acc, Int8DotStep(ar.va1, ar.ua1, LoadI8(brow + 32)));
+  }
+  return Hsum256(acc);
+}
+
+template <int kNB>
+void Int8DotRowsFixed(const int8_t* a, const int8_t* b, int32_t* o, int64_t r0,
+                      int64_t r1) {
+  constexpr int64_t k = 32 * kNB;
+  const ActRegs<kNB> ar(a);
+  int64_t r = r0;
+  // Four catalog rows per iteration share the preloaded activation; their
+  // totals come out of one hadd tree as a 4-lane store.
+  for (; r + 4 <= r1; r += 4) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(o + r),
+                     Dot4Fixed(ar, b + r * k));
+  }
+  for (; r < r1; ++r) o[r] = Dot1Fixed(ar, b + r * k);
+}
+
+// Two activation rows per catalog sweep: each loaded catalog vector feeds
+// both dot chains, halving the kernel's dominant memory stream (the catalog
+// re-read per activation row — at serving scale the catalog lives in L2 and
+// its re-streaming, not the integer ALUs, bounds throughput).
+template <int kNB>
+void Int8DotDequantPairFixed(const int8_t* a, const float* act_scales,
+                             const int8_t* b, const float* scales, float* o,
+                             int64_t ldo, int64_t r0, int64_t r1) {
+  constexpr int64_t k = 32 * kNB;
+  const ActRegs<kNB> x(a);
+  const ActRegs<kNB> y(a + k);
+  const __m128 vsx = _mm_set1_ps(act_scales[0]);
+  const __m128 vsy = _mm_set1_ps(act_scales[1]);
+  float* ox = o;
+  float* oy = o + ldo;
+  int64_t r = r0;
+  for (; r + 4 <= r1; r += 4) {
+    const int8_t* b0 = b + r * k;
+    const __m256i v0 = LoadI8(b0);
+    const __m256i v1 = LoadI8(b0 + k);
+    const __m256i v2 = LoadI8(b0 + 2 * k);
+    const __m256i v3 = LoadI8(b0 + 3 * k);
+    __m256i x0 = Int8DotStep(x.va0, x.ua0, v0);
+    __m256i x1 = Int8DotStep(x.va0, x.ua0, v1);
+    __m256i x2 = Int8DotStep(x.va0, x.ua0, v2);
+    __m256i x3 = Int8DotStep(x.va0, x.ua0, v3);
+    __m256i y0 = Int8DotStep(y.va0, y.ua0, v0);
+    __m256i y1 = Int8DotStep(y.va0, y.ua0, v1);
+    __m256i y2 = Int8DotStep(y.va0, y.ua0, v2);
+    __m256i y3 = Int8DotStep(y.va0, y.ua0, v3);
+    if constexpr (kNB == 2) {
+      const __m256i w0 = LoadI8(b0 + 32);
+      const __m256i w1 = LoadI8(b0 + k + 32);
+      const __m256i w2 = LoadI8(b0 + 2 * k + 32);
+      const __m256i w3 = LoadI8(b0 + 3 * k + 32);
+      x0 = _mm256_add_epi32(x0, Int8DotStep(x.va1, x.ua1, w0));
+      x1 = _mm256_add_epi32(x1, Int8DotStep(x.va1, x.ua1, w1));
+      x2 = _mm256_add_epi32(x2, Int8DotStep(x.va1, x.ua1, w2));
+      x3 = _mm256_add_epi32(x3, Int8DotStep(x.va1, x.ua1, w3));
+      y0 = _mm256_add_epi32(y0, Int8DotStep(y.va1, y.ua1, w0));
+      y1 = _mm256_add_epi32(y1, Int8DotStep(y.va1, y.ua1, w1));
+      y2 = _mm256_add_epi32(y2, Int8DotStep(y.va1, y.ua1, w2));
+      y3 = _mm256_add_epi32(y3, Int8DotStep(y.va1, y.ua1, w3));
+    }
+    const __m128 sc = _mm_loadu_ps(scales + r);
+    _mm_storeu_ps(ox + r,
+                  _mm_mul_ps(_mm_mul_ps(vsx, sc),
+                             _mm_cvtepi32_ps(Hsum4x256(x0, x1, x2, x3))));
+    _mm_storeu_ps(oy + r,
+                  _mm_mul_ps(_mm_mul_ps(vsy, sc),
+                             _mm_cvtepi32_ps(Hsum4x256(y0, y1, y2, y3))));
+  }
+  for (; r < r1; ++r) {
+    const int8_t* brow = b + r * k;
+    ox[r] = (act_scales[0] * scales[r]) *
+            static_cast<float>(Dot1Fixed(x, brow));
+    oy[r] = (act_scales[1] * scales[r]) *
+            static_cast<float>(Dot1Fixed(y, brow));
+  }
+}
+
+template <int kNB>
+void Int8DotDequantRowsFixed(const int8_t* a, float act_scale, const int8_t* b,
+                             const float* scales, float* o, int64_t r0,
+                             int64_t r1) {
+  constexpr int64_t k = 32 * kNB;
+  const ActRegs<kNB> ar(a);
+  const __m128 vas = _mm_set1_ps(act_scale);
+  int64_t r = r0;
+  // The dequant epilogue applies DequantRow's per-element sequence — cvt,
+  // two rounded multiplies, no FMA — four lanes at a time, straight out of
+  // the hadd tree: the int32 totals never touch memory.
+  for (; r + 4 <= r1; r += 4) {
+    const __m128 sc = _mm_mul_ps(vas, _mm_loadu_ps(scales + r));
+    _mm_storeu_ps(
+        o + r, _mm_mul_ps(sc, _mm_cvtepi32_ps(Dot4Fixed(ar, b + r * k))));
+  }
+  for (; r < r1; ++r) {
+    o[r] = (act_scale * scales[r]) *
+           static_cast<float>(Dot1Fixed(ar, b + r * k));
+  }
+}
+
+// Generic fallback for every other k: reload the activation block inside the
+// loop, scalar tail for k % 32. Bitwise identical — every path computes the
+// same exact integer sum.
+int32_t Int8DotGeneric(const int8_t* a, const int8_t* brow, int64_t k) {
+  const int64_t k32 = k - (k % 32);
+  __m256i acc = _mm256_setzero_si256();
+  for (int64_t i = 0; i < k32; i += 32) {
+    const __m256i va = LoadI8(a + i);
+    const __m256i ua = _mm256_sign_epi8(va, va);
+    acc = _mm256_add_epi32(acc, Int8DotStep(va, ua, LoadI8(brow + i)));
+  }
+  int32_t s = Hsum256(acc);
+  for (int64_t i = k32; i < k; ++i) {
+    s += static_cast<int32_t>(a[i]) * static_cast<int32_t>(brow[i]);
+  }
+  return s;
+}
+
+// ---- AVX-VNNI sub-tier ------------------------------------------------------
+//
+// vpdpbusd multiplies u8 x s8 and accumulates the four-element quads straight
+// into int32 — one instruction where the maddubs path needs three (sign,
+// maddubs, madd), and with NO int16 intermediate, so even the [-127, 127]
+// clamp argument is unnecessary: the quad sums are exact by construction.
+// The sign trick (|a| times b*sign(a)) is still how signed x signed becomes
+// u8 x s8, and the hadd reduction trees are shared with the maddubs path.
+// Everything is exact integer arithmetic followed by the identical dequant
+// epilogue, so this sub-tier is bitwise invisible; tests/quant_test.cc runs
+// the int8 parity suites with VNNI forced both off and on.
+//
+// Only this region is compiled for avxvnni (the pragma below); the public
+// entry points choose it per call via simd::AvxVnniEnabled(), which is false
+// unless CPUID reports the extension.
+
+#pragma GCC push_options
+#pragma GCC target("avx2,avxvnni")
+
+// acc += quad sums of a * b, via the sign trick. `ua` must be |va|.
+inline __m256i Int8DotStepVnni(__m256i acc, __m256i va, __m256i ua,
+                               __m256i vb) {
+  return _mm256_dpbusd_avx_epi32(acc, ua, _mm256_sign_epi8(vb, va));
+}
+
+// Exact totals of four consecutive catalog rows starting at b0.
+template <int kNB>
+inline __m128i Dot4Vnni(const ActRegs<kNB>& ar, const int8_t* b0) {
+  constexpr int64_t k = 32 * kNB;
+  const __m256i z = _mm256_setzero_si256();
+  __m256i a0 = Int8DotStepVnni(z, ar.va0, ar.ua0, LoadI8(b0));
+  __m256i a1 = Int8DotStepVnni(z, ar.va0, ar.ua0, LoadI8(b0 + k));
+  __m256i a2 = Int8DotStepVnni(z, ar.va0, ar.ua0, LoadI8(b0 + 2 * k));
+  __m256i a3 = Int8DotStepVnni(z, ar.va0, ar.ua0, LoadI8(b0 + 3 * k));
+  if constexpr (kNB == 2) {
+    a0 = Int8DotStepVnni(a0, ar.va1, ar.ua1, LoadI8(b0 + 32));
+    a1 = Int8DotStepVnni(a1, ar.va1, ar.ua1, LoadI8(b0 + k + 32));
+    a2 = Int8DotStepVnni(a2, ar.va1, ar.ua1, LoadI8(b0 + 2 * k + 32));
+    a3 = Int8DotStepVnni(a3, ar.va1, ar.ua1, LoadI8(b0 + 3 * k + 32));
+  }
+  return Hsum4x256(a0, a1, a2, a3);
+}
+
+template <int kNB>
+inline int32_t Dot1Vnni(const ActRegs<kNB>& ar, const int8_t* brow) {
+  __m256i acc = Int8DotStepVnni(_mm256_setzero_si256(), ar.va0, ar.ua0,
+                                LoadI8(brow));
+  if constexpr (kNB == 2) {
+    acc = Int8DotStepVnni(acc, ar.va1, ar.ua1, LoadI8(brow + 32));
+  }
+  return Hsum256(acc);
+}
+
+template <int kNB>
+void Int8DotRowsVnni(const int8_t* a, const int8_t* b, int32_t* o, int64_t r0,
+                     int64_t r1) {
+  constexpr int64_t k = 32 * kNB;
+  const ActRegs<kNB> ar(a);
+  int64_t r = r0;
+  for (; r + 4 <= r1; r += 4) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(o + r),
+                     Dot4Vnni(ar, b + r * k));
+  }
+  for (; r < r1; ++r) o[r] = Dot1Vnni(ar, b + r * k);
+}
+
+template <int kNB>
+void Int8DotDequantRowsVnni(const int8_t* a, float act_scale, const int8_t* b,
+                            const float* scales, float* o, int64_t r0,
+                            int64_t r1) {
+  constexpr int64_t k = 32 * kNB;
+  const ActRegs<kNB> ar(a);
+  const __m128 vas = _mm_set1_ps(act_scale);
+  int64_t r = r0;
+  for (; r + 4 <= r1; r += 4) {
+    const __m128 sc = _mm_mul_ps(vas, _mm_loadu_ps(scales + r));
+    _mm_storeu_ps(o + r,
+                  _mm_mul_ps(sc, _mm_cvtepi32_ps(Dot4Vnni(ar, b + r * k))));
+  }
+  for (; r < r1; ++r) {
+    o[r] =
+        (act_scale * scales[r]) * static_cast<float>(Dot1Vnni(ar, b + r * k));
+  }
+}
+
+// Paired-activation catalog sweep, vpdpbusd edition of
+// Int8DotDequantPairFixed: same traversal, a third fewer integer ALU ops.
+template <int kNB>
+void Int8DotDequantPairVnni(const int8_t* a, const float* act_scales,
+                            const int8_t* b, const float* scales, float* o,
+                            int64_t ldo, int64_t r0, int64_t r1) {
+  constexpr int64_t k = 32 * kNB;
+  const ActRegs<kNB> x(a);
+  const ActRegs<kNB> y(a + k);
+  const __m128 vsx = _mm_set1_ps(act_scales[0]);
+  const __m128 vsy = _mm_set1_ps(act_scales[1]);
+  float* ox = o;
+  float* oy = o + ldo;
+  int64_t r = r0;
+  for (; r + 4 <= r1; r += 4) {
+    const int8_t* b0 = b + r * k;
+    const __m256i z = _mm256_setzero_si256();
+    const __m256i v0 = LoadI8(b0);
+    const __m256i v1 = LoadI8(b0 + k);
+    const __m256i v2 = LoadI8(b0 + 2 * k);
+    const __m256i v3 = LoadI8(b0 + 3 * k);
+    __m256i x0 = Int8DotStepVnni(z, x.va0, x.ua0, v0);
+    __m256i x1 = Int8DotStepVnni(z, x.va0, x.ua0, v1);
+    __m256i x2 = Int8DotStepVnni(z, x.va0, x.ua0, v2);
+    __m256i x3 = Int8DotStepVnni(z, x.va0, x.ua0, v3);
+    __m256i y0 = Int8DotStepVnni(z, y.va0, y.ua0, v0);
+    __m256i y1 = Int8DotStepVnni(z, y.va0, y.ua0, v1);
+    __m256i y2 = Int8DotStepVnni(z, y.va0, y.ua0, v2);
+    __m256i y3 = Int8DotStepVnni(z, y.va0, y.ua0, v3);
+    if constexpr (kNB == 2) {
+      const __m256i w0 = LoadI8(b0 + 32);
+      const __m256i w1 = LoadI8(b0 + k + 32);
+      const __m256i w2 = LoadI8(b0 + 2 * k + 32);
+      const __m256i w3 = LoadI8(b0 + 3 * k + 32);
+      x0 = Int8DotStepVnni(x0, x.va1, x.ua1, w0);
+      x1 = Int8DotStepVnni(x1, x.va1, x.ua1, w1);
+      x2 = Int8DotStepVnni(x2, x.va1, x.ua1, w2);
+      x3 = Int8DotStepVnni(x3, x.va1, x.ua1, w3);
+      y0 = Int8DotStepVnni(y0, y.va1, y.ua1, w0);
+      y1 = Int8DotStepVnni(y1, y.va1, y.ua1, w1);
+      y2 = Int8DotStepVnni(y2, y.va1, y.ua1, w2);
+      y3 = Int8DotStepVnni(y3, y.va1, y.ua1, w3);
+    }
+    const __m128 sc = _mm_loadu_ps(scales + r);
+    _mm_storeu_ps(ox + r,
+                  _mm_mul_ps(_mm_mul_ps(vsx, sc),
+                             _mm_cvtepi32_ps(Hsum4x256(x0, x1, x2, x3))));
+    _mm_storeu_ps(oy + r,
+                  _mm_mul_ps(_mm_mul_ps(vsy, sc),
+                             _mm_cvtepi32_ps(Hsum4x256(y0, y1, y2, y3))));
+  }
+  for (; r < r1; ++r) {
+    const int8_t* brow = b + r * k;
+    ox[r] =
+        (act_scales[0] * scales[r]) * static_cast<float>(Dot1Vnni(x, brow));
+    oy[r] =
+        (act_scales[1] * scales[r]) * static_cast<float>(Dot1Vnni(y, brow));
+  }
+}
+
+int32_t Int8DotGenericVnni(const int8_t* a, const int8_t* brow, int64_t k) {
+  const int64_t k32 = k - (k % 32);
+  __m256i acc = _mm256_setzero_si256();
+  for (int64_t i = 0; i < k32; i += 32) {
+    const __m256i va = LoadI8(a + i);
+    const __m256i ua = _mm256_sign_epi8(va, va);
+    acc = Int8DotStepVnni(acc, va, ua, LoadI8(brow + i));
+  }
+  int32_t s = Hsum256(acc);
+  for (int64_t i = k32; i < k; ++i) {
+    s += static_cast<int32_t>(a[i]) * static_cast<int32_t>(brow[i]);
+  }
+  return s;
+}
+
+#pragma GCC pop_options
+
+}  // namespace
+
+void Int8DotRows(const int8_t* a, const int8_t* b, int32_t* o, int64_t k,
+                 int64_t r0, int64_t r1) {
+  if (simd::AvxVnniEnabled()) {
+    if (k == 32) return Int8DotRowsVnni<1>(a, b, o, r0, r1);
+    if (k == 64) return Int8DotRowsVnni<2>(a, b, o, r0, r1);
+    for (int64_t r = r0; r < r1; ++r) {
+      o[r] = Int8DotGenericVnni(a, b + r * k, k);
+    }
+    return;
+  }
+  if (k == 32) return Int8DotRowsFixed<1>(a, b, o, r0, r1);
+  if (k == 64) return Int8DotRowsFixed<2>(a, b, o, r0, r1);
+  for (int64_t r = r0; r < r1; ++r) o[r] = Int8DotGeneric(a, b + r * k, k);
+}
+
+void Int8DotDequantRows(const int8_t* a, float act_scale, const int8_t* b,
+                        const float* scales, float* o, int64_t k, int64_t r0,
+                        int64_t r1) {
+  // Fused dot + dequant: the integer totals are exact (any blocking agrees
+  // with the scalar sum) and the epilogue replays DequantRow's fixed
+  // per-element sequence, so fused == Int8DotRows + DequantRow, bitwise, on
+  // every tier — while the [V]-sized int32 scratch row disappears entirely.
+  if (simd::AvxVnniEnabled()) {
+    if (k == 32) return Int8DotDequantRowsVnni<1>(a, act_scale, b, scales, o,
+                                                  r0, r1);
+    if (k == 64) return Int8DotDequantRowsVnni<2>(a, act_scale, b, scales, o,
+                                                  r0, r1);
+    for (int64_t r = r0; r < r1; ++r) {
+      o[r] = (act_scale * scales[r]) *
+             static_cast<float>(Int8DotGenericVnni(a, b + r * k, k));
+    }
+    return;
+  }
+  if (k == 32) return Int8DotDequantRowsFixed<1>(a, act_scale, b, scales, o,
+                                                 r0, r1);
+  if (k == 64) return Int8DotDequantRowsFixed<2>(a, act_scale, b, scales, o,
+                                                 r0, r1);
+  for (int64_t r = r0; r < r1; ++r) {
+    o[r] = (act_scale * scales[r]) *
+           static_cast<float>(Int8DotGeneric(a, b + r * k, k));
+  }
+}
+
+void Int8DotDequantTile(const int8_t* a, const float* act_scales, int64_t na,
+                        const int8_t* b, const float* scales, float* o,
+                        int64_t ldo, int64_t k, int64_t r0, int64_t r1) {
+  // Semantically na independent Int8DotDequantRows calls; the paired sweep
+  // only reorders the catalog traversal (exact integer dots, unchanged
+  // dequant sequence), so the tile stays bitwise identical to the row
+  // kernel on every tier.
+  const bool vnni = simd::AvxVnniEnabled();
+  int64_t i = 0;
+  if (k == 32) {
+    for (; i + 2 <= na; i += 2) {
+      if (vnni) {
+        Int8DotDequantPairVnni<1>(a + i * k, act_scales + i, b, scales,
+                                  o + i * ldo, ldo, r0, r1);
+      } else {
+        Int8DotDequantPairFixed<1>(a + i * k, act_scales + i, b, scales,
+                                   o + i * ldo, ldo, r0, r1);
+      }
+    }
+  } else if (k == 64) {
+    for (; i + 2 <= na; i += 2) {
+      if (vnni) {
+        Int8DotDequantPairVnni<2>(a + i * k, act_scales + i, b, scales,
+                                  o + i * ldo, ldo, r0, r1);
+      } else {
+        Int8DotDequantPairFixed<2>(a + i * k, act_scales + i, b, scales,
+                                   o + i * ldo, ldo, r0, r1);
+      }
+    }
+  }
+  for (; i < na; ++i) {
+    Int8DotDequantRows(a + i * k, act_scales[i], b, scales, o + i * ldo, k,
+                       r0, r1);
+  }
+}
+
+void DequantRow(const int32_t* acc, float act_scale, const float* scales,
+                float* out, int64_t n) {
+  // Lane-wise identical to the scalar loop: per element one int32->fp32
+  // convert and two rounded multiplies, no reassociation, no FMA — so the
+  // tiers agree bitwise (same argument as the elementwise kernels above).
+  const __m256 vs = _mm256_set1_ps(act_scale);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 sc = _mm256_mul_ps(vs, _mm256_loadu_ps(scales + i));
+    const __m256 vi = _mm256_cvtepi32_ps(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i)));
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(sc, vi));
+  }
+  for (; i < n; ++i) {
+    out[i] = (act_scale * scales[i]) * static_cast<float>(acc[i]);
   }
 }
 
